@@ -1,0 +1,104 @@
+// Ablation (paper §3.2.3 setup choice): FactorJoin join-bucket count sweep —
+// estimation accuracy (median/P90 Q-Error on join probes) and model size as
+// the equi-height bucket count grows. The paper fixes 200 buckets; this
+// shows the accuracy/size trade-off behind that choice.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "bytecard/model_preprocessor.h"
+#include "common/stopwatch.h"
+#include "cardest/factorjoin/factor_join.h"
+#include "workload/qerror.h"
+#include "workload/truth.h"
+
+namespace bytecard::bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "Ablation: FactorJoin bucket-count sweep (IMDB join probes)\n");
+  std::printf("scale=%.3f seed=%llu\n\n", ScaleFactor(),
+              static_cast<unsigned long long>(BenchSeed()));
+
+  BenchContextOptions ctx_options;
+  ctx_options.build_bytecard = false;
+  ctx_options.build_traditional = false;
+  BenchContext ctx = BuildBenchContext("imdb", ctx_options);
+
+  std::vector<minihouse::BoundQuery> hint;
+  for (const auto& wq : ctx.workload.queries) hint.push_back(wq.query);
+  const auto key_groups = ModelPreprocessor::CollectJoinPatterns(hint);
+
+  PrintRow({"buckets", "uniform median", "uniform P90", "bound median",
+            "bound P90", "model KB", "train s"});
+
+  for (int buckets : {4, 8, 16, 32, 64, 128, 200}) {
+    Stopwatch timer;
+    auto fj = cardest::FactorJoinModel::Train(*ctx.db, key_groups, buckets);
+    BC_CHECK_OK(fj.status());
+
+    // BNs aligned to this bucketization.
+    std::map<std::string, std::unique_ptr<cardest::BayesNetModel>> models;
+    std::map<std::string, std::unique_ptr<cardest::BnInferenceContext>>
+        contexts;
+    std::map<std::string, const cardest::BnInferenceContext*> registry;
+    for (const std::string& name : ctx.db->TableNames()) {
+      const minihouse::Table* table = ctx.db->FindTable(name).value();
+      cardest::BnTrainOptions bn_options;
+      bn_options.columns = ModelPreprocessor::SelectedColumns(*table);
+      for (int c : bn_options.columns) {
+        auto boundaries = fj.value().BoundariesFor(name, c);
+        if (boundaries.ok()) {
+          bn_options.join_column_boundaries[c] = boundaries.value();
+        }
+      }
+      auto model = cardest::BayesNetModel::Train(*table, bn_options);
+      BC_CHECK_OK(model.status());
+      models[name] = std::make_unique<cardest::BayesNetModel>(
+          std::move(model).value());
+      contexts[name] =
+          std::make_unique<cardest::BnInferenceContext>(models[name].get());
+      registry[name] = contexts[name].get();
+    }
+    const double train_seconds = timer.ElapsedSeconds();
+
+    cardest::FactorJoinEstimator uniform(&fj.value(), &registry,
+                                         cardest::FactorJoinMode::kBucketUniform);
+    cardest::FactorJoinEstimator bound(&fj.value(), &registry,
+                                       cardest::FactorJoinMode::kUpperBound);
+    std::vector<double> uniform_qerrors;
+    std::vector<double> bound_qerrors;
+    for (const auto& wq : ctx.workload.queries) {
+      if (wq.aggregate || wq.query.num_tables() < 2) continue;
+      auto truth = workload::TrueCount(wq.query);
+      BC_CHECK_OK(truth.status());
+      std::vector<int> all(wq.query.num_tables());
+      std::iota(all.begin(), all.end(), 0);
+      const double t = static_cast<double>(truth.value());
+      uniform_qerrors.push_back(
+          workload::QError(uniform.EstimateJoinCount(wq.query, all), t));
+      bound_qerrors.push_back(
+          workload::QError(bound.EstimateJoinCount(wq.query, all), t));
+    }
+
+    BufferWriter writer;
+    fj.value().Serialize(&writer);
+    PrintRow({std::to_string(buckets),
+              Fmt(workload::Quantile(uniform_qerrors, 0.5)),
+              Fmt(workload::Quantile(uniform_qerrors, 0.9)),
+              Fmt(workload::Quantile(bound_qerrors, 0.5)),
+              Fmt(workload::Quantile(bound_qerrors, 0.9)),
+              Fmt(static_cast<double>(writer.buffer().size()) / 1024.0),
+              Fmt(train_seconds)});
+  }
+}
+
+}  // namespace
+}  // namespace bytecard::bench
+
+int main() {
+  bytecard::bench::Run();
+  return 0;
+}

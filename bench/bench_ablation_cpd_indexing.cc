@@ -1,0 +1,81 @@
+// Ablation (paper §4.1 InitContext design): inference over the frozen,
+// flat-indexed CPD array vs the naive recursive tree walk the paper's
+// CPD-indexing optimization replaces. google-benchmark microbenchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "cardest/bayes/bayes_net.h"
+#include "common/rng.h"
+#include "workload/datagen.h"
+
+namespace bytecard::bench {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<minihouse::Database> db;
+  std::unique_ptr<cardest::BayesNetModel> model;
+  std::unique_ptr<cardest::BnInferenceContext> context;
+  std::vector<minihouse::Conjunction> queries;
+
+  Fixture() {
+    db = workload::GenerateStats(0.1, 77).value();
+    const minihouse::Table* posts = db->FindTable("posts").value();
+    cardest::BnTrainOptions options;
+    options.max_train_rows = 0;
+    model = std::make_unique<cardest::BayesNetModel>(
+        cardest::BayesNetModel::Train(*posts, options).value());
+    context = std::make_unique<cardest::BnInferenceContext>(model.get());
+
+    Rng rng(5);
+    for (int i = 0; i < 64; ++i) {
+      minihouse::ColumnPredicate p1;
+      p1.column = posts->FindColumnIndex("score");
+      p1.op = minihouse::CompareOp::kLe;
+      p1.operand = rng.UniformInt(0, 100);
+      minihouse::ColumnPredicate p2;
+      p2.column = posts->FindColumnIndex("view_count");
+      p2.op = minihouse::CompareOp::kGe;
+      p2.operand = rng.UniformInt(0, 5000);
+      queries.push_back({p1, p2});
+    }
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_FlatIndexedInference(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.context->EstimateSelectivity(f.queries[i++ % f.queries.size()]));
+  }
+}
+BENCHMARK(BM_FlatIndexedInference);
+
+void BM_TreeWalkInference(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.context->EstimateSelectivityTreeWalk(
+        f.queries[i++ % f.queries.size()]));
+  }
+}
+BENCHMARK(BM_TreeWalkInference);
+
+void BM_InitContext(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    cardest::BnInferenceContext context(f.model.get());
+    benchmark::DoNotOptimize(context.root());
+  }
+}
+BENCHMARK(BM_InitContext);
+
+}  // namespace
+}  // namespace bytecard::bench
+
+BENCHMARK_MAIN();

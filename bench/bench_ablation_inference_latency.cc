@@ -1,0 +1,116 @@
+// Ablation (the paper's central practicality criterion, §3.2/§7): per-call
+// estimation latency of every estimator on the critical query path. The
+// model-selection argument — compact learned models with sub-millisecond
+// inference beat both heavyweight learned models and the sample-based
+// method's per-estimate predicate evaluation — is quantified here.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bench_util.h"
+#include "workload/query_gen.h"
+
+namespace bytecard::bench {
+namespace {
+
+struct Fixture {
+  BenchContext ctx;
+  std::vector<minihouse::BoundQuery> single_table;
+  std::vector<minihouse::BoundQuery> joins;
+
+  Fixture() : ctx(BuildBenchContext("stats")) {
+    for (const auto& wq : ctx.workload.queries) {
+      if (wq.aggregate) continue;
+      if (wq.query.num_tables() == 1) {
+        single_table.push_back(wq.query);
+      } else {
+        joins.push_back(wq.query);
+      }
+    }
+    // Guarantee a single-table pool even if the workload is all joins:
+    // reduce join queries to their first table.
+    if (single_table.empty()) {
+      for (const auto& q : joins) {
+        minihouse::BoundQuery reduced;
+        reduced.tables.push_back(q.tables[0]);
+        single_table.push_back(reduced);
+      }
+    }
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+template <typename GetEstimator>
+void RunSelectivity(benchmark::State& state, GetEstimator get) {
+  Fixture& f = GetFixture();
+  minihouse::CardinalityEstimator* estimator = get(f);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& query = f.single_table[i++ % f.single_table.size()];
+    benchmark::DoNotOptimize(estimator->EstimateSelectivity(
+        *query.tables[0].table, query.tables[0].filters));
+  }
+}
+
+template <typename GetEstimator>
+void RunJoin(benchmark::State& state, GetEstimator get) {
+  Fixture& f = GetFixture();
+  minihouse::CardinalityEstimator* estimator = get(f);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& query = f.joins[i++ % f.joins.size()];
+    std::vector<int> all(query.num_tables());
+    std::iota(all.begin(), all.end(), 0);
+    benchmark::DoNotOptimize(estimator->EstimateJoinCardinality(query, all));
+  }
+}
+
+void BM_Selectivity_Sketch(benchmark::State& state) {
+  RunSelectivity(state, [](Fixture& f) { return f.ctx.sketch.get(); });
+}
+void BM_Selectivity_Sample(benchmark::State& state) {
+  RunSelectivity(state, [](Fixture& f) { return f.ctx.sample.get(); });
+}
+void BM_Selectivity_ByteCardBn(benchmark::State& state) {
+  RunSelectivity(state, [](Fixture& f) { return f.ctx.bytecard.get(); });
+}
+void BM_JoinCard_Sketch(benchmark::State& state) {
+  RunJoin(state, [](Fixture& f) { return f.ctx.sketch.get(); });
+}
+void BM_JoinCard_Sample(benchmark::State& state) {
+  RunJoin(state, [](Fixture& f) { return f.ctx.sample.get(); });
+}
+void BM_JoinCard_ByteCardFactorJoin(benchmark::State& state) {
+  RunJoin(state, [](Fixture& f) { return f.ctx.bytecard.get(); });
+}
+void BM_Ndv_ByteCardRbx(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const minihouse::Table* posts = f.ctx.db->FindTable("posts").value();
+  const int score = posts->FindColumnIndex("score");
+  minihouse::ColumnPredicate pred;
+  pred.column = posts->FindColumnIndex("post_type");
+  pred.op = minihouse::CompareOp::kEq;
+  pred.operand = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.ctx.bytecard->EstimateColumnNdv(*posts, score, {pred}));
+  }
+}
+
+BENCHMARK(BM_Selectivity_Sketch);
+BENCHMARK(BM_Selectivity_Sample);
+BENCHMARK(BM_Selectivity_ByteCardBn);
+BENCHMARK(BM_JoinCard_Sketch);
+BENCHMARK(BM_JoinCard_Sample);
+BENCHMARK(BM_JoinCard_ByteCardFactorJoin);
+BENCHMARK(BM_Ndv_ByteCardRbx);
+
+}  // namespace
+}  // namespace bytecard::bench
+
+BENCHMARK_MAIN();

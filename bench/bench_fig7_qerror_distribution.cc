@@ -1,0 +1,64 @@
+// Reproduces Figure 7 (a-c): the Q-Error distribution of the three
+// estimators on each workload. The paper draws violin plots; this bench
+// prints the summary statistics a violin communicates (min / quartiles /
+// P90 / P99 / max) per method per workload.
+
+#include <cstdio>
+#include <map>
+#include <numeric>
+
+#include "bench_util.h"
+#include "workload/qerror.h"
+#include "workload/truth.h"
+
+namespace bytecard::bench {
+namespace {
+
+void RunWorkload(const std::string& dataset) {
+  BenchContext ctx = BuildBenchContext(dataset);
+  std::printf("\nFigure 7 (%s): Q-Error distribution\n",
+              ctx.workload_name.c_str());
+
+  std::map<std::string, std::vector<double>> qerrors;
+  for (const auto& wq : ctx.workload.queries) {
+    if (wq.aggregate) continue;
+    auto truth = workload::TrueCount(wq.query);
+    BC_CHECK_OK(truth.status());
+    const double t = static_cast<double>(truth.value());
+    std::vector<int> all(wq.query.num_tables());
+    std::iota(all.begin(), all.end(), 0);
+    for (minihouse::CardinalityEstimator* estimator :
+         {static_cast<minihouse::CardinalityEstimator*>(ctx.bytecard.get()),
+          static_cast<minihouse::CardinalityEstimator*>(ctx.sketch.get()),
+          static_cast<minihouse::CardinalityEstimator*>(ctx.sample.get())}) {
+      qerrors[estimator->Name()].push_back(
+          workload::QError(estimator->EstimateJoinCardinality(wq.query, all),
+                           t));
+    }
+  }
+
+  PrintRow({"method", "min", "P25", "median", "P75", "P90", "P99", "max"});
+  for (const char* method : {"sketch", "sample", "bytecard"}) {
+    const workload::QuantileSummary s =
+        workload::Summarize(qerrors[method]);
+    PrintRow({method, Fmt(s.min), Fmt(s.p25), Fmt(s.p50), Fmt(s.p75),
+              Fmt(s.p90), Fmt(s.p99), Fmt(s.max)});
+  }
+}
+
+void Run() {
+  std::printf("Figure 7: Algorithm Performance, Q-Error violin statistics\n");
+  std::printf("scale=%.3f seed=%llu\n", ScaleFactor(),
+              static_cast<unsigned long long>(BenchSeed()));
+  for (const char* dataset : {"imdb", "stats", "aeolus"}) {
+    RunWorkload(dataset);
+  }
+}
+
+}  // namespace
+}  // namespace bytecard::bench
+
+int main() {
+  bytecard::bench::Run();
+  return 0;
+}

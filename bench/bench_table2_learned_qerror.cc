@@ -1,0 +1,93 @@
+// Reproduces Table 2: estimation errors of ByteCard's learned CardEst
+// methods — COUNT via per-table Bayesian networks + FactorJoin, NDV via the
+// RBX sample-profile estimator — on the same probe workloads as Table 1.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "workload/qerror.h"
+#include "workload/query_gen.h"
+#include "workload/truth.h"
+
+namespace bytecard::bench {
+namespace {
+
+struct DatasetErrors {
+  std::vector<double> count_qerrors;
+  std::vector<double> ndv_qerrors;
+};
+
+DatasetErrors EvaluateDataset(const std::string& dataset) {
+  BenchContextOptions options;
+  options.build_traditional = false;
+  BenchContext ctx = BuildBenchContext(dataset, options);
+  DatasetErrors errors;
+
+  for (const auto& wq : ctx.workload.queries) {
+    if (wq.aggregate) continue;
+    auto truth = workload::TrueCount(wq.query);
+    BC_CHECK_OK(truth.status());
+    std::vector<int> all(wq.query.num_tables());
+    std::iota(all.begin(), all.end(), 0);
+    const double estimate =
+        ctx.bytecard->EstimateJoinCardinality(wq.query, all);
+    errors.count_qerrors.push_back(
+        workload::QError(estimate, static_cast<double>(truth.value())));
+  }
+
+  Rng rng(BenchSeed() ^ 0x11);  // same probe stream as Table 1
+  workload::QueryGenOptions gen_options;
+  for (const std::string& table_name : ctx.db->TableNames()) {
+    const minihouse::Table* table = ctx.db->FindTable(table_name).value();
+    for (int probe = 0; probe < 12; ++probe) {
+      auto ndv_probe = workload::GenerateNdvProbe(*ctx.db, table_name,
+                                                  gen_options, &rng);
+      if (!ndv_probe.ok()) continue;
+      auto truth = workload::TrueColumnNdv(*table, ndv_probe.value().column,
+                                           ndv_probe.value().filters);
+      BC_CHECK_OK(truth.status());
+      if (truth.value() == 0) continue;
+      const double estimate = ctx.bytecard->EstimateColumnNdv(
+          *table, ndv_probe.value().column, ndv_probe.value().filters);
+      errors.ndv_qerrors.push_back(
+          workload::QError(estimate, static_cast<double>(truth.value())));
+    }
+  }
+  return errors;
+}
+
+void Run() {
+  std::printf(
+      "Table 2: Estimation Errors of Learned CardEst Methods in ByteCard "
+      "(Q-Error quantiles)\n");
+  std::printf("scale=%.3f seed=%llu\n\n", ScaleFactor(),
+              static_cast<unsigned long long>(BenchSeed()));
+  PrintRow({"CardEst", "IMDB 50%", "IMDB 90%", "IMDB 99%", "STATS 50%",
+            "STATS 90%", "STATS 99%", "AEOLUS 50%", "AEOLUS 90%",
+            "AEOLUS 99%"});
+
+  std::vector<DatasetErrors> per_dataset;
+  for (const char* dataset : {"imdb", "stats", "aeolus"}) {
+    per_dataset.push_back(EvaluateDataset(dataset));
+  }
+
+  std::vector<std::string> count_row = {"COUNT Est."};
+  std::vector<std::string> ndv_row = {"NDV Est."};
+  for (const DatasetErrors& e : per_dataset) {
+    for (double q : {0.5, 0.9, 0.99}) {
+      count_row.push_back(Fmt(workload::Quantile(e.count_qerrors, q)));
+      ndv_row.push_back(Fmt(workload::Quantile(e.ndv_qerrors, q)));
+    }
+  }
+  PrintRow(count_row);
+  PrintRow(ndv_row);
+}
+
+}  // namespace
+}  // namespace bytecard::bench
+
+int main() {
+  bytecard::bench::Run();
+  return 0;
+}

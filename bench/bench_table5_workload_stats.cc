@@ -1,0 +1,71 @@
+// Reproduces Table 5: workload statistics of JOB-Hybrid, STATS-Hybrid, and
+// AEOLUS-Online — query counts, join template counts, joined-table and
+// group-by-key ranges, true-cardinality range, and the counts of queries
+// hitting the maxima.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/workload.h"
+
+namespace bytecard::bench {
+namespace {
+
+void Run() {
+  std::printf("Table 5: Workload Statistics\n");
+  std::printf("scale=%.3f seed=%llu\n\n", ScaleFactor(),
+              static_cast<unsigned long long>(BenchSeed()));
+
+  std::vector<workload::WorkloadStats> stats;
+  std::vector<std::string> names;
+  for (const char* dataset : {"imdb", "stats", "aeolus"}) {
+    BenchContextOptions options;
+    options.build_bytecard = false;
+    options.build_traditional = false;
+    BenchContext ctx = BuildBenchContext(dataset, options);
+    auto s = workload::ComputeWorkloadStats(ctx.workload);
+    BC_CHECK_OK(s.status());
+    stats.push_back(s.value());
+    names.push_back(ctx.workload_name);
+  }
+
+  PrintRow({"", names[0], names[1], names[2]});
+  auto row_of = [&](const char* label, auto fmt) {
+    std::vector<std::string> row = {label};
+    for (const auto& s : stats) row.push_back(fmt(s));
+    PrintRow(row);
+  };
+  row_of("# of queries", [](const workload::WorkloadStats& s) {
+    return std::to_string(s.num_queries);
+  });
+  row_of("# of join templates", [](const workload::WorkloadStats& s) {
+    return std::to_string(s.num_join_templates);
+  });
+  row_of("# of joined tables", [](const workload::WorkloadStats& s) {
+    return std::to_string(s.min_joined_tables) + "-" +
+           std::to_string(s.max_joined_tables);
+  });
+  row_of("# of group-by keys", [](const workload::WorkloadStats& s) {
+    return std::to_string(s.min_group_keys) + "-" +
+           std::to_string(s.max_group_keys);
+  });
+  row_of("range of true cardinality", [](const workload::WorkloadStats& s) {
+    return Fmt(s.min_true_cardinality) + " - " +
+           Fmt(s.max_true_cardinality);
+  });
+  row_of("# queries at max joined-table", [](const workload::WorkloadStats& s) {
+    return std::to_string(s.queries_at_max_tables);
+  });
+  row_of("# queries at max group-by key",
+         [](const workload::WorkloadStats& s) {
+           return std::to_string(s.queries_at_max_group_keys);
+         });
+}
+
+}  // namespace
+}  // namespace bytecard::bench
+
+int main() {
+  bytecard::bench::Run();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Shared setup for the reproduction benches: dataset + workload + estimator
+// construction, environment-variable scale override, and table printing.
+
+#ifndef BYTECARD_BENCH_BENCH_UTIL_H_
+#define BYTECARD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecard/bytecard.h"
+#include "common/logging.h"
+#include "minihouse/database.h"
+#include "stats/traditional_estimator.h"
+#include "workload/datagen.h"
+#include "workload/workload.h"
+
+namespace bytecard::bench {
+
+// Dataset scale factor; override with BYTECARD_SCALE. The default keeps the
+// full bench suite laptop-friendly on one core.
+inline double ScaleFactor(double fallback = 0.1) {
+  const char* env = std::getenv("BYTECARD_SCALE");
+  if (env == nullptr) return fallback;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : fallback;
+}
+
+// Deterministic seed shared by all benches; override with BYTECARD_SEED.
+inline uint64_t BenchSeed() {
+  const char* env = std::getenv("BYTECARD_SEED");
+  if (env == nullptr) return 20240607;
+  return static_cast<uint64_t>(std::atoll(env));
+}
+
+// Everything one dataset's experiments need.
+struct BenchContext {
+  std::string dataset;
+  std::string workload_name;
+  std::unique_ptr<minihouse::Database> db;
+  workload::Workload workload;
+  std::unique_ptr<ByteCard> bytecard;
+  std::unique_ptr<stats::SketchStatistics> sketch_statistics;
+  std::unique_ptr<stats::SketchEstimator> sketch;
+  std::unique_ptr<stats::SampleEstimator> sample;
+};
+
+struct BenchContextOptions {
+  double scale = 0.0;  // 0 = ScaleFactor()
+  int count_queries = 0;  // 0 = workload defaults
+  int agg_queries = 0;
+  bool build_bytecard = true;
+  bool build_traditional = true;
+  // RBX is workload-independent: benches share one cached artifact.
+  std::string rbx_cache_dir = "bench_model_cache";
+};
+
+inline std::string WorkloadNameOf(const std::string& dataset) {
+  if (dataset == "imdb") return "JOB-Hybrid";
+  if (dataset == "stats") return "STATS-Hybrid";
+  return "AEOLUS-Online";
+}
+
+// Trains (or reuses) the shared workload-independent RBX artifact and
+// returns its path.
+inline std::string SharedRbxArtifact(const std::string& cache_dir) {
+  namespace fs = std::filesystem;
+  ModelForgeService forge(cache_dir);
+  auto artifacts = forge.ListArtifacts();
+  if (artifacts.ok()) {
+    for (const ModelArtifact& a : artifacts.value()) {
+      if (a.kind == "rbx") return a.path;
+    }
+  }
+  cardest::RbxTrainOptions options;
+  options.seed = BenchSeed();
+  auto artifact = forge.TrainRbx(options);
+  BC_CHECK_OK(artifact.status());
+  return artifact.value().path;
+}
+
+inline BenchContext BuildBenchContext(const std::string& dataset,
+                                      BenchContextOptions options = {}) {
+  BenchContext ctx;
+  ctx.dataset = dataset;
+  ctx.workload_name = WorkloadNameOf(dataset);
+  const double scale = options.scale > 0.0 ? options.scale : ScaleFactor();
+
+  auto db = workload::GenerateDataset(dataset, scale, BenchSeed());
+  BC_CHECK_OK(db.status());
+  ctx.db = std::move(db).value();
+
+  workload::WorkloadOptions wl_options;
+  wl_options.num_count_queries = options.count_queries;
+  wl_options.num_agg_queries = options.agg_queries;
+  wl_options.seed = BenchSeed() ^ 0x77;
+  auto wl = workload::BuildWorkload(*ctx.db, ctx.workload_name, wl_options);
+  BC_CHECK_OK(wl.status());
+  ctx.workload = std::move(wl).value();
+
+  if (options.build_bytecard) {
+    std::vector<minihouse::BoundQuery> hint;
+    for (const auto& wq : ctx.workload.queries) hint.push_back(wq.query);
+    ByteCard::Options bc_options;
+    bc_options.seed = BenchSeed();
+    bc_options.pretrained_rbx_path =
+        SharedRbxArtifact(options.rbx_cache_dir);
+    const std::string dir = "bench_model_cache/" + dataset;
+    auto bc = ByteCard::Bootstrap(*ctx.db, hint, dir, bc_options);
+    BC_CHECK_OK(bc.status());
+    ctx.bytecard = std::move(bc).value();
+  }
+  if (options.build_traditional) {
+    ctx.sketch_statistics = stats::SketchStatistics::Build(*ctx.db, 64);
+    ctx.sketch = std::make_unique<stats::SketchEstimator>(
+        ctx.sketch_statistics.get());
+    ctx.sample = std::make_unique<stats::SampleEstimator>(
+        *ctx.db, 0.02, 50000, BenchSeed() ^ 0x31);
+  }
+  return ctx;
+}
+
+// Markdown-ish row printer so bench output diff-compares cleanly.
+inline void PrintRow(const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (const std::string& cell : cells) std::printf(" %s |", cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v) {
+  char buffer[64];
+  if (v >= 10000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2e", v);
+  } else if (v >= 100.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", v);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  }
+  return buffer;
+}
+
+}  // namespace bytecard::bench
+
+#endif  // BYTECARD_BENCH_BENCH_UTIL_H_

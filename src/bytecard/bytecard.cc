@@ -1,0 +1,341 @@
+#include "bytecard/bytecard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bytecard/model_loader.h"
+#include "bytecard/model_preprocessor.h"
+#include "common/logging.h"
+
+namespace bytecard {
+
+ByteCard::ByteCard(Options options)
+    : options_(std::move(options)), monitor_(options_.monitor) {}
+
+Result<std::unique_ptr<ByteCard>> ByteCard::Bootstrap(
+    const minihouse::Database& db,
+    const std::vector<minihouse::BoundQuery>& workload_hint,
+    const std::string& storage_dir, const Options& options) {
+  std::unique_ptr<ByteCard> bc(new ByteCard(options));
+  bc->storage_dir_ = storage_dir;
+  bc->loader_ = std::make_unique<ModelLoader>(storage_dir);
+  ModelForgeService forge(storage_dir);
+  ModelLoader& loader = *bc->loader_;
+
+  // 1. Model Preprocessor: join-pattern collection from the workload hint.
+  const std::vector<std::vector<cardest::JoinKeyRef>> join_patterns =
+      ModelPreprocessor::CollectJoinPatterns(workload_hint);
+
+  // 2. FactorJoin bucket construction first — BN training needs its
+  // boundaries so join-column bins coincide with join buckets.
+  BC_ASSIGN_OR_RETURN(
+      ModelArtifact fj_artifact,
+      forge.TrainFactorJoin(db, join_patterns, options.join_buckets));
+  bc->training_stats_.factorjoin_seconds = fj_artifact.train_seconds;
+  bc->training_stats_.factorjoin_bytes = fj_artifact.size_bytes;
+  bc->training_stats_.artifacts.push_back(fj_artifact);
+
+  bc->fj_engine_ = std::make_unique<FactorJoinEngine>(&bc->bn_contexts_);
+  {
+    BC_ASSIGN_OR_RETURN(std::vector<LoadedModel> loaded, loader.PollOnce());
+    for (const LoadedModel& model : loaded) {
+      if (model.kind == "factorjoin") {
+        BC_RETURN_IF_ERROR(bc->fj_engine_->LoadModel(model.bytes));
+      }
+    }
+  }
+
+  // 3. Routine per-table BN training through the forge.
+  for (const std::string& name : db.TableNames()) {
+    const minihouse::Table* table = db.FindTable(name).value();
+    if (table->num_rows() == 0) continue;
+
+    const cardest::BnTrainOptions bn_options = bc->DeriveBnOptions(*table);
+    if (bn_options.columns.empty()) continue;
+    BC_ASSIGN_OR_RETURN(ModelArtifact artifact,
+                        forge.TrainTableBn(*table, bn_options));
+    bc->training_stats_.bn_seconds += artifact.train_seconds;
+    bc->training_stats_.bn_bytes += artifact.size_bytes;
+    bc->training_stats_.artifacts.push_back(artifact);
+  }
+
+  // 4. Model Loader pickup + Validator admission + InitContext for BNs.
+  {
+    BC_ASSIGN_OR_RETURN(std::vector<LoadedModel> loaded, loader.PollOnce());
+    for (const LoadedModel& model : loaded) {
+      if (model.kind != "bn") continue;
+      auto engine = std::make_unique<BnCountEngine>();
+      BC_RETURN_IF_ERROR(engine->LoadModel(model.bytes));
+      BC_RETURN_IF_ERROR(
+          bc->validator_.Admit("bn/" + model.name, *engine, nullptr));
+      BC_RETURN_IF_ERROR(engine->InitContext());
+      bc->bn_contexts_[model.name] = engine->context();
+      bc->bn_engines_[model.name] = std::move(engine);
+    }
+  }
+  BC_RETURN_IF_ERROR(
+      bc->validator_.Admit("factorjoin/global", *bc->fj_engine_, nullptr));
+  BC_RETURN_IF_ERROR(bc->fj_engine_->InitContext());
+
+  // 5. RBX: reuse a pre-trained workload-independent artifact when given,
+  // otherwise run the one-off offline training.
+  bc->rbx_engine_ = std::make_unique<RbxNdvEngine>();
+  std::string rbx_bytes;
+  if (!options.pretrained_rbx_path.empty()) {
+    BC_ASSIGN_OR_RETURN(rbx_bytes,
+                        ReadArtifactBytes(options.pretrained_rbx_path));
+  } else {
+    cardest::RbxTrainOptions rbx_options = options.rbx;
+    rbx_options.seed = options.seed ^ 0x5bd1e995;
+    BC_ASSIGN_OR_RETURN(ModelArtifact artifact,
+                        forge.TrainRbx(rbx_options));
+    bc->training_stats_.rbx_seconds = artifact.train_seconds;
+    bc->training_stats_.artifacts.push_back(artifact);
+    BC_ASSIGN_OR_RETURN(rbx_bytes, ReadArtifactBytes(artifact.path));
+  }
+  BC_RETURN_IF_ERROR(bc->rbx_engine_->LoadModel(rbx_bytes));
+  bc->training_stats_.rbx_bytes = bc->rbx_engine_->ModelSizeBytes();
+  BC_RETURN_IF_ERROR(
+      bc->validator_.Admit("rbx/global", *bc->rbx_engine_, nullptr));
+  BC_RETURN_IF_ERROR(bc->rbx_engine_->InitContext());
+
+  // RBX was installed directly from the forge's artifact (not via a loader
+  // poll); advance the loader's high-water marks so the next RefreshModels
+  // only reacts to genuinely newer artifacts.
+  BC_RETURN_IF_ERROR(loader.PollOnce().status());
+
+  // 6. Per-table samples for RBX featurization (§5.2.1).
+  {
+    Rng rng(options.seed ^ 0x9e3779b9);
+    for (const std::string& name : db.TableNames()) {
+      const minihouse::Table* table = db.FindTable(name).value();
+      bc->samples_[name] = stats::TableSample::Build(
+          *table, options.sample_rate, options.sample_max_rows, &rng);
+    }
+  }
+
+  // 7. Traditional fallback sketches (ByteHouse keeps these regardless).
+  if (options.build_fallback_sketches) {
+    bc->fallback_statistics_ = stats::SketchStatistics::Build(db, 64);
+    bc->fallback_ = std::make_unique<stats::SketchEstimator>(
+        bc->fallback_statistics_.get());
+  }
+
+  // 8. Model Monitor probing of each single-table model.
+  if (options.run_monitor) {
+    for (const auto& [name, context] : bc->bn_contexts_) {
+      const minihouse::Table* table = db.FindTable(name).value();
+      Result<MonitorReport> report =
+          bc->monitor_.EvaluateBnModel(*table, *context);
+      if (!report.ok()) bc->monitor_.SetHealth(name, false);
+    }
+  }
+  return bc;
+}
+
+cardest::BnTrainOptions ByteCard::DeriveBnOptions(
+    const minihouse::Table& table) const {
+  cardest::BnTrainOptions bn_options;
+  bn_options.columns = ModelPreprocessor::SelectedColumns(table);
+  bn_options.max_bins = options_.bn_max_bins;
+  bn_options.max_train_rows = options_.bn_max_train_rows;
+  bn_options.seed = options_.seed;
+  if (fj_engine_ != nullptr) {
+    for (int c : bn_options.columns) {
+      Result<std::vector<int64_t>> boundaries =
+          fj_engine_->model().BoundariesFor(table.name(), c);
+      if (boundaries.ok()) {
+        bn_options.join_column_boundaries[c] = std::move(boundaries).value();
+      }
+    }
+  }
+  return bn_options;
+}
+
+Result<int> ByteCard::RefreshModels() {
+  if (loader_ == nullptr) {
+    return Status::Internal("ByteCard was not bootstrapped with a store");
+  }
+  BC_ASSIGN_OR_RETURN(std::vector<LoadedModel> loaded, loader_->PollOnce());
+  int applied = 0;
+  for (const LoadedModel& model : loaded) {
+    if (model.kind == "bn") {
+      auto engine = std::make_unique<BnCountEngine>();
+      BC_RETURN_IF_ERROR(engine->LoadModel(model.bytes));
+      BC_RETURN_IF_ERROR(
+          validator_.Admit("bn/" + model.name, *engine, nullptr));
+      BC_RETURN_IF_ERROR(engine->InitContext());
+      bn_contexts_[model.name] = engine->context();
+      bn_engines_[model.name] = std::move(engine);
+      ++applied;
+    } else if (model.kind == "factorjoin") {
+      BC_RETURN_IF_ERROR(fj_engine_->LoadModel(model.bytes));
+      BC_RETURN_IF_ERROR(
+          validator_.Admit("factorjoin/global", *fj_engine_, nullptr));
+      BC_RETURN_IF_ERROR(fj_engine_->InitContext());
+      ++applied;
+    } else if (model.kind == "rbx") {
+      BC_RETURN_IF_ERROR(rbx_engine_->LoadModel(model.bytes));
+      BC_RETURN_IF_ERROR(
+          validator_.Admit("rbx/global", *rbx_engine_, nullptr));
+      BC_RETURN_IF_ERROR(rbx_engine_->InitContext());
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+Status ByteCard::RetrainTable(const minihouse::Table& table) {
+  if (storage_dir_.empty()) {
+    return Status::Internal("ByteCard was not bootstrapped with a store");
+  }
+  const cardest::BnTrainOptions bn_options = DeriveBnOptions(table);
+  if (bn_options.columns.empty()) {
+    return Status::InvalidArgument("table '" + table.name() +
+                                   "' has no trainable columns");
+  }
+  ModelForgeService forge(storage_dir_);
+  BC_ASSIGN_OR_RETURN(ModelArtifact artifact,
+                      forge.TrainTableBn(table, bn_options));
+  training_stats_.bn_seconds += artifact.train_seconds;
+  training_stats_.artifacts.push_back(std::move(artifact));
+  return Status::Ok();
+}
+
+Result<MonitorReport> ByteCard::ProbeTable(const minihouse::Table& table) {
+  const cardest::BnInferenceContext* context = bn_context(table.name());
+  if (context == nullptr) {
+    return Status::NotFound("no BN model for table '" + table.name() + "'");
+  }
+  return monitor_.EvaluateBnModel(table, *context);
+}
+
+double ByteCard::EstimateCountDisjunction(
+    const minihouse::Table& table,
+    const std::vector<minihouse::Conjunction>& disjuncts) {
+  // Inclusion-exclusion over all non-empty disjunct subsets. |D| is small in
+  // practice (OR lists in analytical filters); cap keeps this bounded.
+  const int n = static_cast<int>(disjuncts.size());
+  if (n == 0) return 0.0;
+  BC_CHECK(n <= 16) << "inclusion-exclusion over too many disjuncts";
+
+  double selectivity = 0.0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    minihouse::Conjunction merged;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        merged.insert(merged.end(), disjuncts[i].begin(),
+                      disjuncts[i].end());
+      }
+    }
+    const double term = EstimateSelectivity(table, merged);
+    selectivity += (__builtin_popcount(mask) % 2 == 1) ? term : -term;
+  }
+  selectivity = std::clamp(selectivity, 0.0, 1.0);
+  return selectivity * static_cast<double>(table.num_rows());
+}
+
+const cardest::BnInferenceContext* ByteCard::bn_context(
+    const std::string& table) const {
+  auto it = bn_contexts_.find(table);
+  return it == bn_contexts_.end() ? nullptr : it->second;
+}
+
+double ByteCard::EstimateSelectivity(const minihouse::Table& table,
+                                     const minihouse::Conjunction& filters) {
+  const cardest::BnInferenceContext* context = bn_context(table.name());
+  if (context != nullptr && monitor_.IsHealthy(table.name())) {
+    validator_.Touch("bn/" + table.name());
+    return context->EstimateSelectivity(filters);
+  }
+  if (fallback_ != nullptr) {
+    return fallback_->EstimateSelectivity(table, filters);
+  }
+  return 1.0;
+}
+
+double ByteCard::EstimateJoinCardinality(const minihouse::BoundQuery& query,
+                                         const std::vector<int>& subset) {
+  if (subset.size() == 1) {
+    const minihouse::BoundTableRef& ref = query.tables[subset[0]];
+    return EstimateSelectivity(*ref.table, ref.filters) *
+           static_cast<double>(ref.table->num_rows());
+  }
+  // Unhealthy single-table models poison join estimates too; fall back to
+  // the traditional estimator for the whole join in that case.
+  for (int t : subset) {
+    if (!monitor_.IsHealthy(query.tables[t].table->name())) {
+      if (fallback_ != nullptr) {
+        return fallback_->EstimateJoinCardinality(query, subset);
+      }
+      break;
+    }
+  }
+  validator_.Touch("factorjoin/global");
+  FeatureVector features;
+  features.query = query;
+  features.table_subset = subset;
+  Result<double> estimate = fj_engine_->Estimate(features);
+  if (!estimate.ok()) {
+    return fallback_ != nullptr
+               ? fallback_->EstimateJoinCardinality(query, subset)
+               : 1.0;
+  }
+  return estimate.value();
+}
+
+double ByteCard::EstimateCount(const minihouse::BoundQuery& query) {
+  std::vector<int> all(query.num_tables());
+  std::iota(all.begin(), all.end(), 0);
+  return EstimateJoinCardinality(query, all);
+}
+
+double ByteCard::EstimateColumnNdv(const minihouse::Table& table, int column,
+                                   const minihouse::Conjunction& filters) {
+  auto it = samples_.find(table.name());
+  if (it == samples_.end() || it->second.num_rows() == 0) {
+    return 1.0;
+  }
+  const stats::TableSample& sample = it->second;
+
+  // Featurization: filter the in-memory sample, then build the
+  // sample-profile over the surviving key values.
+  const std::vector<uint8_t> selection = sample.Matches(filters);
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < sample.num_rows(); ++i) {
+    if (selection[i] != 0) values.push_back(sample.column(column)[i]);
+  }
+  if (values.empty()) return 1.0;
+
+  // Population under the filters comes from the COUNT model.
+  const double filtered_rows =
+      EstimateSelectivity(table, filters) *
+      static_cast<double>(table.num_rows());
+  stats::SampleFrequencies frequencies = stats::ComputeFrequencies(
+      values, std::max<int64_t>(1, static_cast<int64_t>(filtered_rows)));
+
+  validator_.Touch("rbx/global");
+  const FeatureVector features = rbx_engine_->FeaturizeSample(frequencies);
+  Result<double> estimate = rbx_engine_->Estimate(features);
+  if (!estimate.ok()) {
+    return std::max(1.0, stats::GeeEstimate(frequencies));
+  }
+  return estimate.value();
+}
+
+double ByteCard::EstimateGroupNdv(const minihouse::BoundQuery& query) {
+  if (query.group_by.empty()) return 1.0;
+  double ndv = 1.0;
+  for (const minihouse::GroupKeyRef& g : query.group_by) {
+    const minihouse::BoundTableRef& ref = query.tables[g.table];
+    ndv *= std::max(1.0,
+                    EstimateColumnNdv(*ref.table, g.column, ref.filters));
+  }
+  std::vector<int> all(query.num_tables());
+  std::iota(all.begin(), all.end(), 0);
+  const double rows = EstimateJoinCardinality(query, all);
+  return std::max(1.0, std::min(ndv, rows));
+}
+
+}  // namespace bytecard

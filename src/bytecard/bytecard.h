@@ -1,0 +1,166 @@
+#ifndef BYTECARD_BYTECARD_BYTECARD_H_
+#define BYTECARD_BYTECARD_BYTECARD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecard/inference_engine.h"
+#include "bytecard/model_forge.h"
+#include "bytecard/model_loader.h"
+#include "bytecard/model_monitor.h"
+#include "bytecard/model_validator.h"
+#include "cardest/ndv/rbx.h"
+#include "common/status.h"
+#include "minihouse/database.h"
+#include "minihouse/optimizer.h"
+#include "stats/sampler.h"
+#include "stats/traditional_estimator.h"
+
+namespace bytecard {
+
+// Aggregate training cost/size accounting (feeds Tables 3 and 6).
+struct ByteCardTrainingStats {
+  double bn_seconds = 0.0;
+  double factorjoin_seconds = 0.0;
+  double rbx_seconds = 0.0;
+  int64_t bn_bytes = 0;
+  int64_t factorjoin_bytes = 0;
+  int64_t rbx_bytes = 0;
+  std::vector<ModelArtifact> artifacts;
+
+  double total_seconds() const {
+    return bn_seconds + factorjoin_seconds + rbx_seconds;
+  }
+  int64_t total_bytes() const {
+    return bn_bytes + factorjoin_bytes + rbx_bytes;
+  }
+};
+
+// The ByteCard framework facade: owns the per-table BN engines, the
+// FactorJoin engine, the RBX engine, per-table samples for NDV
+// featurization, and the Monitor/Validator machinery; implements MiniHouse's
+// CardinalityEstimator so the optimizer can consume learned estimates for
+// materialization, join ordering, and hash-table pre-sizing.
+//
+// When the Model Monitor marks a table's model unhealthy, estimates for that
+// table transparently fall back to the traditional sketch estimator, exactly
+// as §4.4.2 prescribes.
+class ByteCard : public minihouse::CardinalityEstimator {
+ public:
+  struct Options {
+    int bn_max_bins = 64;
+    int64_t bn_max_train_rows = 200000;
+    int join_buckets = 200;         // the paper setup: 200 equi-height buckets
+    double sample_rate = 0.05;      // RBX featurization sample
+    int64_t sample_max_rows = 50000;
+    cardest::RbxTrainOptions rbx;
+    ModelMonitor::Options monitor;
+    bool run_monitor = true;
+    bool build_fallback_sketches = true;
+    // Reuse a pre-trained workload-independent RBX artifact instead of
+    // training (one offline session serves every dataset — paper §4.3).
+    std::string pretrained_rbx_path;
+    uint64_t seed = 1234;
+  };
+
+  // Runs the full production lifecycle against `db`:
+  //   Model Preprocessor (column selection + join patterns from
+  //   `workload_hint`) -> ModelForge training -> artifact store under
+  //   `storage_dir` -> Model Loader pickup -> Validator admission ->
+  //   InitContext -> Model Monitor probing.
+  static Result<std::unique_ptr<ByteCard>> Bootstrap(
+      const minihouse::Database& db,
+      const std::vector<minihouse::BoundQuery>& workload_hint,
+      const std::string& storage_dir, const Options& options);
+
+  // --- CardinalityEstimator ------------------------------------------------
+  std::string Name() const override { return "bytecard"; }
+  double EstimateSelectivity(const minihouse::Table& table,
+                             const minihouse::Conjunction& filters) override;
+  double EstimateJoinCardinality(const minihouse::BoundQuery& query,
+                                 const std::vector<int>& subset) override;
+  double EstimateGroupNdv(const minihouse::BoundQuery& query) override;
+
+  // --- Model lifecycle -------------------------------------------------------
+  // One Model Loader cycle: polls the artifact store and swaps in any model
+  // with a newer timestamp (validated + re-contexted before it serves). Not
+  // thread-safe with concurrent estimation — call between queries, as the
+  // Daemon Manager schedules loading tasks.
+  Result<int> RefreshModels();
+
+  // Routine retraining of one table's COUNT model via the ModelForge
+  // Service, publishing a fresh artifact (pick it up with RefreshModels).
+  // Invoked when the Data Ingestor reports enough new data or the Monitor
+  // flags the current model.
+  Status RetrainTable(const minihouse::Table& table);
+
+  // Re-probes one table's model and updates its health flag; returns the
+  // report (paper §4.4.2).
+  Result<MonitorReport> ProbeTable(const minihouse::Table& table);
+
+  // OR-query estimation (paper §5.1.2): COUNT of the union of single-table
+  // filter conjunctions via the inclusion-exclusion principle. Disjuncts
+  // must all reference `table`.
+  double EstimateCountDisjunction(
+      const minihouse::Table& table,
+      const std::vector<minihouse::Conjunction>& disjuncts);
+
+  // --- Direct estimation APIs ----------------------------------------------
+  // COUNT(*) of a whole (possibly multi-table) query.
+  double EstimateCount(const minihouse::BoundQuery& query);
+
+  // COUNT(DISTINCT column) on one table under filters, via the RBX
+  // sample-profile path (§5.2.1).
+  double EstimateColumnNdv(const minihouse::Table& table, int column,
+                           const minihouse::Conjunction& filters);
+
+  // --- Introspection ---------------------------------------------------------
+  const ByteCardTrainingStats& training_stats() const {
+    return training_stats_;
+  }
+  const ModelMonitor& monitor() const { return monitor_; }
+  ModelMonitor* mutable_monitor() { return &monitor_; }
+  const ModelValidator& validator() const { return validator_; }
+  const cardest::FactorJoinModel& factorjoin_model() const {
+    return fj_engine_->model();
+  }
+  const cardest::BnInferenceContext* bn_context(
+      const std::string& table) const;
+  const RbxNdvEngine& rbx_engine() const { return *rbx_engine_; }
+
+ private:
+  explicit ByteCard(Options options);
+
+  // Per-table training options as Bootstrap derives them (column selection +
+  // join-bucket boundaries), reused verbatim by RetrainTable.
+  cardest::BnTrainOptions DeriveBnOptions(const minihouse::Table& table) const;
+
+  Options options_;
+  std::string storage_dir_;
+  std::unique_ptr<ModelLoader> loader_;
+  // Engines. Stored behind unique_ptr so internal context pointers stay
+  // stable. bn_contexts_ is the registry the FactorJoin engine reads.
+  std::map<std::string, std::unique_ptr<BnCountEngine>> bn_engines_;
+  std::map<std::string, const cardest::BnInferenceContext*> bn_contexts_;
+  std::unique_ptr<FactorJoinEngine> fj_engine_;
+  std::unique_ptr<RbxNdvEngine> rbx_engine_;
+
+  // Per-table samples for RBX featurization (the in-memory DataFrame-style
+  // sample of §5.2.1).
+  std::map<std::string, stats::TableSample> samples_;
+
+  ModelMonitor monitor_;
+  ModelValidator validator_;
+
+  // Traditional fallback for unhealthy models.
+  std::unique_ptr<stats::SketchStatistics> fallback_statistics_;
+  std::unique_ptr<stats::SketchEstimator> fallback_;
+
+  ByteCardTrainingStats training_stats_;
+};
+
+}  // namespace bytecard
+
+#endif  // BYTECARD_BYTECARD_BYTECARD_H_

@@ -1,0 +1,180 @@
+#include "bytecard/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace bytecard {
+
+namespace {
+constexpr uint32_t kCostFormatVersion = 1;
+
+double Log1p(double v) { return std::log1p(std::max(0.0, v)); }
+}  // namespace
+
+std::vector<double> BuildCostFeatures(
+    const minihouse::BoundQuery& query, const minihouse::PhysicalPlan& plan,
+    minihouse::CardinalityEstimator* estimator) {
+  std::vector<double> features(kCostFeatureDim, 0.0);
+
+  // Plan shape.
+  features[0] = static_cast<double>(query.num_tables());
+  features[1] = static_cast<double>(query.joins.size());
+  features[2] = static_cast<double>(query.group_by.size());
+  features[3] = static_cast<double>(query.aggs.size());
+
+  // Scan-side volume: base rows, estimated surviving rows, reader mix.
+  double base_rows = 0.0;
+  double scanned_rows = 0.0;
+  int multi_stage = 0;
+  int total_filters = 0;
+  for (int t = 0; t < query.num_tables(); ++t) {
+    const auto& ref = query.tables[t];
+    const double rows = static_cast<double>(ref.table->num_rows());
+    base_rows += rows;
+    scanned_rows += rows * plan.scans[t].estimated_selectivity;
+    if (plan.scans[t].reader == minihouse::ReaderKind::kMultiStage) {
+      ++multi_stage;
+    }
+    total_filters += static_cast<int>(ref.filters.size());
+  }
+  features[4] = Log1p(base_rows);
+  features[5] = Log1p(scanned_rows);
+  features[6] = static_cast<double>(multi_stage);
+  features[7] = static_cast<double>(total_filters);
+
+  // Estimated output / intermediate volume from the cardinality estimator —
+  // the coupling between CardEst and cost the paper emphasizes.
+  std::vector<int> all(query.num_tables());
+  for (int i = 0; i < query.num_tables(); ++i) all[i] = i;
+  features[8] = Log1p(estimator->EstimateJoinCardinality(query, all));
+  features[9] =
+      query.group_by.empty() ? 0.0 : Log1p(estimator->EstimateGroupNdv(query));
+  features[10] = static_cast<double>(plan.group_ndv_hint > 0);
+  features[11] = Log1p(static_cast<double>(plan.join_order.size()));
+  return features;
+}
+
+Result<LearnedCostModel> LearnedCostModel::Train(
+    const std::vector<CostTrace>& traces, const TrainOptions& options) {
+  if (traces.size() < 4) {
+    return Status::InvalidArgument("cost model needs more traces");
+  }
+  LearnedCostModel model;
+  model.network_ = cardest::Mlp::Create({kCostFeatureDim, 32, 16, 1},
+                                        options.seed);
+  std::vector<std::vector<double>> inputs;
+  std::vector<double> targets;
+  for (const CostTrace& trace : traces) {
+    if (static_cast<int>(trace.features.size()) != kCostFeatureDim) {
+      return Status::InvalidArgument("cost trace feature dim mismatch");
+    }
+    inputs.push_back(trace.features);
+    targets.push_back(Log1p(trace.exec_ms));
+  }
+  cardest::Mlp::TrainConfig config;
+  config.epochs = options.epochs;
+  config.learning_rate = options.learning_rate;
+  config.seed = options.seed;
+  model.network_.Train(inputs, targets, config);
+  BC_RETURN_IF_ERROR(model.network_.ValidateWeights());
+  return model;
+}
+
+double LearnedCostModel::PredictMs(
+    const std::vector<double>& features) const {
+  const double log_ms = network_.Predict(features);
+  return std::max(0.0, std::expm1(std::max(0.0, log_ms)));
+}
+
+void LearnedCostModel::Serialize(BufferWriter* writer) const {
+  writer->WriteU32(kCostFormatVersion);
+  network_.Serialize(writer);
+}
+
+Result<LearnedCostModel> LearnedCostModel::Deserialize(BufferReader* reader) {
+  uint32_t version = 0;
+  BC_RETURN_IF_ERROR(reader->ReadU32(&version));
+  if (version != kCostFormatVersion) {
+    return Status::InvalidModel("unsupported cost-model artifact version");
+  }
+  LearnedCostModel model;
+  BC_ASSIGN_OR_RETURN(model.network_, cardest::Mlp::Deserialize(reader));
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// CostModelEngine
+// ---------------------------------------------------------------------------
+
+Status CostModelEngine::LoadModel(const std::string& artifact_bytes) {
+  BufferReader reader(artifact_bytes);
+  BC_ASSIGN_OR_RETURN(model_, LearnedCostModel::Deserialize(&reader));
+  context_ready_ = false;
+  return Status::Ok();
+}
+
+Status CostModelEngine::Validate() const { return model_.Validate(); }
+
+Status CostModelEngine::InitContext() {
+  BC_RETURN_IF_ERROR(Validate());
+  context_ready_ = true;
+  return Status::Ok();
+}
+
+Result<FeatureVector> CostModelEngine::FeaturizeAst(
+    const minihouse::BoundQuery& ast) const {
+  (void)ast;
+  return Status::Unimplemented(
+      "cost featurization needs the physical plan; use FeaturizePlan");
+}
+
+FeatureVector CostModelEngine::FeaturizePlan(
+    const minihouse::BoundQuery& query, const minihouse::PhysicalPlan& plan,
+    minihouse::CardinalityEstimator* estimator) const {
+  FeatureVector features;
+  features.dense = BuildCostFeatures(query, plan, estimator);
+  return features;
+}
+
+Result<double> CostModelEngine::Estimate(const FeatureVector& features) const {
+  if (!context_ready_) {
+    return Status::Internal("CostModelEngine: InitContext not called");
+  }
+  if (static_cast<int>(features.dense.size()) != kCostFeatureDim) {
+    return Status::InvalidArgument("cost feature vector has wrong dimension");
+  }
+  return model_.PredictMs(features.dense);
+}
+
+int64_t CostModelEngine::ModelSizeBytes() const {
+  BufferWriter writer;
+  model_.Serialize(&writer);
+  return static_cast<int64_t>(writer.buffer().size());
+}
+
+// ---------------------------------------------------------------------------
+
+Result<std::vector<CostTrace>> CollectCostTraces(
+    const std::vector<minihouse::BoundQuery>& queries,
+    const minihouse::Optimizer& optimizer,
+    minihouse::CardinalityEstimator* estimator) {
+  std::vector<CostTrace> traces;
+  traces.reserve(queries.size());
+  for (const minihouse::BoundQuery& query : queries) {
+    const minihouse::PhysicalPlan plan = optimizer.Plan(query, estimator);
+    Stopwatch timer;
+    BC_ASSIGN_OR_RETURN(minihouse::ExecResult result,
+                        minihouse::ExecuteQuery(query, plan));
+    (void)result;
+    CostTrace trace;
+    trace.exec_ms = timer.ElapsedMillis();
+    trace.features = BuildCostFeatures(query, plan, estimator);
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace bytecard

@@ -1,0 +1,106 @@
+#ifndef BYTECARD_BYTECARD_COST_MODEL_H_
+#define BYTECARD_BYTECARD_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "bytecard/inference_engine.h"
+#include "cardest/ndv/mlp.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "minihouse/executor.h"
+#include "minihouse/optimizer.h"
+#include "minihouse/query.h"
+
+namespace bytecard {
+
+// The learning-based cost model the paper's "Future Directions" section
+// commits to (§7): a query-driven regressor over runtime traces, deployed
+// through the same Inference Engine abstraction as the CardEst models so the
+// kernel-side integration story (load -> validate -> initContext ->
+// featurize -> estimate) is identical.
+//
+// Featurization combines plan shape with the cardinality estimates already
+// available at planning time — exactly the "runtime traces and query plan
+// statistics" recipe the paper describes for XGBoost/Elastic-Net cost
+// models, realized with this repository's MLP.
+
+// One training observation: what the planner saw, and what execution cost.
+struct CostTrace {
+  std::vector<double> features;
+  double exec_ms = 0.0;
+};
+
+inline constexpr int kCostFeatureDim = 12;
+
+// Builds the plan-time feature vector for a (query, plan) pair. `estimator`
+// supplies the same cardinality estimates the optimizer used.
+std::vector<double> BuildCostFeatures(
+    const minihouse::BoundQuery& query, const minihouse::PhysicalPlan& plan,
+    minihouse::CardinalityEstimator* estimator);
+
+// The cost model itself: wraps a small MLP predicting log(1 + exec_ms).
+class LearnedCostModel {
+ public:
+  struct TrainOptions {
+    int epochs = 200;
+    double learning_rate = 2e-3;
+    uint64_t seed = 23;
+  };
+
+  LearnedCostModel() = default;
+
+  static Result<LearnedCostModel> Train(const std::vector<CostTrace>& traces,
+                                        const TrainOptions& options);
+
+  // Predicted execution milliseconds for the featurized plan.
+  double PredictMs(const std::vector<double>& features) const;
+
+  Status Validate() const { return network_.ValidateWeights(); }
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<LearnedCostModel> Deserialize(BufferReader* reader);
+
+ private:
+  cardest::Mlp network_;
+};
+
+// Inference-Engine adapter, proving the abstraction carries non-CardEst
+// models as the paper intends: LoadModel/Validate/InitContext plug into the
+// same Model Loader / Validator machinery.
+class CostModelEngine : public CardEstInferenceEngine {
+ public:
+  CostModelEngine() = default;
+
+  std::string name() const override { return "learned_cost"; }
+  Status LoadModel(const std::string& artifact_bytes) override;
+  Status Validate() const override;
+  Status InitContext() override;
+  Result<FeatureVector> FeaturizeAst(
+      const minihouse::BoundQuery& ast) const override;
+  Result<double> Estimate(const FeatureVector& features) const override;
+  int64_t ModelSizeBytes() const override;
+
+  // Plan-aware featurization (the AST alone is not enough for cost).
+  FeatureVector FeaturizePlan(
+      const minihouse::BoundQuery& query, const minihouse::PhysicalPlan& plan,
+      minihouse::CardinalityEstimator* estimator) const;
+
+  const LearnedCostModel& model() const { return model_; }
+
+ private:
+  LearnedCostModel model_;
+  bool context_ready_ = false;
+};
+
+// Trace collection helper: plans and executes every query, recording
+// (features, measured ms) pairs — the "runtime traces in system tables" the
+// paper's warehouse already gathers.
+Result<std::vector<CostTrace>> CollectCostTraces(
+    const std::vector<minihouse::BoundQuery>& queries,
+    const minihouse::Optimizer& optimizer,
+    minihouse::CardinalityEstimator* estimator);
+
+}  // namespace bytecard
+
+#endif  // BYTECARD_BYTECARD_COST_MODEL_H_

@@ -1,0 +1,85 @@
+#include "bytecard/data_ingestor.h"
+
+#include "common/logging.h"
+
+namespace bytecard {
+
+Result<IngestionEvent> DataIngestor::AppendResampled(
+    const std::string& table_name, int64_t rows, int drift_column,
+    int64_t drift_offset, Rng* rng) {
+  BC_ASSIGN_OR_RETURN(minihouse::Table * table,
+                      db_->FindMutableTable(table_name));
+  const int64_t existing = table->num_rows();
+  if (existing == 0) {
+    return Status::InvalidArgument("cannot resample from empty table '" +
+                                   table_name + "'");
+  }
+  if (rows <= 0) {
+    return Status::InvalidArgument("batch must add at least one row");
+  }
+
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t src = static_cast<int64_t>(rng->Uniform(existing));
+    for (int c = 0; c < table->num_columns(); ++c) {
+      minihouse::Column* column = table->mutable_column(c);
+      if (column->type() == minihouse::DataType::kArray) {
+        column->AppendNumeric(0);  // appends an empty array
+        continue;
+      }
+      int64_t value = column->NumericAt(src);
+      if (c == drift_column) value += drift_offset;
+      if (column->type() == minihouse::DataType::kFloat64) {
+        // Shift in value space, not code space.
+        const double d = column->DoubleAt(src) +
+                         (c == drift_column
+                              ? static_cast<double>(drift_offset)
+                              : 0.0);
+        value = minihouse::Column::OrderedCodeOf(d);
+      }
+      column->AppendNumeric(value);
+    }
+  }
+  BC_RETURN_IF_ERROR(table->Seal());
+
+  IngestionEvent event;
+  event.table = table_name;
+  event.rows_added = rows;
+  event.total_rows = table->num_rows();
+  event.offset = ++next_offset_;
+  events_.push_back(event);
+  return event;
+}
+
+Result<IngestionEvent> DataIngestor::IngestStationaryBatch(
+    const std::string& table, int64_t rows, Rng* rng) {
+  return AppendResampled(table, rows, /*drift_column=*/-1,
+                         /*drift_offset=*/0, rng);
+}
+
+Result<IngestionEvent> DataIngestor::IngestDriftedBatch(
+    const std::string& table, int64_t rows, int drift_column,
+    int64_t drift_offset, Rng* rng) {
+  if (drift_column < 0) {
+    return Status::InvalidArgument("drift column must be valid");
+  }
+  return AppendResampled(table, rows, drift_column, drift_offset, rng);
+}
+
+int64_t DataIngestor::PendingRows(const std::string& table) const {
+  int64_t pending = 0;
+  auto watermark = trained_watermark_.find(table);
+  const int64_t mark =
+      watermark == trained_watermark_.end() ? 0 : watermark->second;
+  for (const IngestionEvent& event : events_) {
+    if (event.table == table && event.offset > mark) {
+      pending += event.rows_added;
+    }
+  }
+  return pending;
+}
+
+void DataIngestor::MarkTrained(const std::string& table) {
+  trained_watermark_[table] = next_offset_;
+}
+
+}  // namespace bytecard

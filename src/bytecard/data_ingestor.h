@@ -1,0 +1,73 @@
+#ifndef BYTECARD_BYTECARD_DATA_INGESTOR_H_
+#define BYTECARD_BYTECARD_DATA_INGESTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "minihouse/database.h"
+
+namespace bytecard {
+
+// One batch-consumption notification, equivalent to what ByteHouse's Data
+// Ingestor sends the ModelForge Service when new data lands from Hive/Kafka
+// (paper §4.3): which table changed, by how much, and up to where.
+struct IngestionEvent {
+  std::string table;
+  int64_t rows_added = 0;
+  int64_t total_rows = 0;   // table size after the batch
+  int64_t offset = 0;       // cumulative batch counter (Kafka-offset style)
+};
+
+// Simulates ByteHouse's Data Ingestor: appends batches of rows to catalog
+// tables and accumulates the consumption log the training service reads to
+// decide when enough new data has arrived to retrain.
+//
+// Two batch flavors:
+//  * stationary batches resample existing rows — the common production case
+//    the paper leans on ("the underlying data distribution tends to be
+//    relatively stable");
+//  * drifted batches shift selected columns' values, modelling the
+//    distribution shift that degrades deployed models and trips the Model
+//    Monitor.
+class DataIngestor {
+ public:
+  explicit DataIngestor(minihouse::Database* db) : db_(db) {}
+
+  // Appends `rows` new rows to `table` by resampling existing rows
+  // (bootstrap resampling preserves all marginal and joint distributions).
+  Result<IngestionEvent> IngestStationaryBatch(const std::string& table,
+                                               int64_t rows, Rng* rng);
+
+  // Appends `rows` new rows whose `drift_column` values are shifted by
+  // `drift_offset` (other columns resampled), skewing that column's
+  // distribution away from what the models learned.
+  Result<IngestionEvent> IngestDriftedBatch(const std::string& table,
+                                            int64_t rows, int drift_column,
+                                            int64_t drift_offset, Rng* rng);
+
+  // The consumption log since construction (what the ModelForge Service
+  // would consume to schedule retraining).
+  const std::vector<IngestionEvent>& events() const { return events_; }
+
+  // Rows added to `table` since the last call to MarkTrained(table) — the
+  // "enough new data gathered?" signal.
+  int64_t PendingRows(const std::string& table) const;
+  void MarkTrained(const std::string& table);
+
+ private:
+  Result<IngestionEvent> AppendResampled(const std::string& table,
+                                         int64_t rows, int drift_column,
+                                         int64_t drift_offset, Rng* rng);
+
+  minihouse::Database* db_;
+  std::vector<IngestionEvent> events_;
+  std::map<std::string, int64_t> trained_watermark_;
+  int64_t next_offset_ = 0;
+};
+
+}  // namespace bytecard
+
+#endif  // BYTECARD_BYTECARD_DATA_INGESTOR_H_

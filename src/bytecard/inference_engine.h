@@ -1,0 +1,156 @@
+#ifndef BYTECARD_BYTECARD_INFERENCE_ENGINE_H_
+#define BYTECARD_BYTECARD_INFERENCE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cardest/bayes/bayes_net.h"
+#include "cardest/factorjoin/factor_join.h"
+#include "cardest/ndv/rbx.h"
+#include "common/status.h"
+#include "minihouse/database.h"
+#include "minihouse/query.h"
+
+namespace bytecard {
+
+// The feature container that flows from the featurization interfaces into
+// Estimate (paper Fig. 4). Different model families consume different parts:
+// NN models (RBX) use the dense vector; probabilistic models (BN,
+// FactorJoin) use the structured evidence.
+struct FeatureVector {
+  std::vector<double> dense;               // NN-style features
+  minihouse::Conjunction conjunction;      // single-table evidence
+  minihouse::BoundQuery query;             // join-shaped evidence
+  std::vector<int> table_subset;           // tables the estimate covers
+};
+
+// The paper's Inference Engine abstraction (§4.2, Fig. 4): a uniform
+// lifecycle for every learned CardEst model inside the warehouse kernel.
+//
+//   LoadModel -> Validate -> InitContext -> { Featurize* -> Estimate }*
+//
+// LoadModel deserializes an artifact (invoked by the Model Loader);
+// Validate is the Model Validator's hook; InitContext freezes the immutable
+// structures inference needs, after which Estimate is const, lock-free, and
+// safe to invoke concurrently from every query thread.
+class CardEstInferenceEngine {
+ public:
+  virtual ~CardEstInferenceEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  // Deserializes a model artifact from bytes (as read from cloud storage).
+  virtual Status LoadModel(const std::string& artifact_bytes) = 0;
+
+  // Model legitimacy checks (health detector). Called before InitContext.
+  virtual Status Validate() const = 0;
+
+  // Builds the immutable inference context. Must be called after a
+  // successful LoadModel/Validate and before Estimate.
+  virtual Status InitContext() = 0;
+
+  // Featurization of raw SQL (the rapid-PoC path for research estimators).
+  virtual Result<FeatureVector> FeaturizeSqlQuery(
+      const std::string& sql, const minihouse::Database& db) const;
+
+  // Featurization of the analyzer's bound AST (the production path; richer
+  // and cheaper since parsing/binding already happened).
+  virtual Result<FeatureVector> FeaturizeAst(
+      const minihouse::BoundQuery& ast) const = 0;
+
+  // The actual inference. Thread-safe after InitContext.
+  virtual Result<double> Estimate(const FeatureVector& features) const = 0;
+
+  // Serialized model size, for the size checker and Tables 3/6.
+  virtual int64_t ModelSizeBytes() const = 0;
+};
+
+// --- Concrete engines -------------------------------------------------------
+
+// Single-table COUNT engine wrapping a tree BN. Estimate returns the
+// estimated row count of the (single-table) feature conjunction.
+class BnCountEngine : public CardEstInferenceEngine {
+ public:
+  BnCountEngine() = default;
+
+  std::string name() const override { return "bn_count"; }
+  Status LoadModel(const std::string& artifact_bytes) override;
+  Status Validate() const override;
+  Status InitContext() override;
+  Result<FeatureVector> FeaturizeAst(
+      const minihouse::BoundQuery& ast) const override;
+  Result<double> Estimate(const FeatureVector& features) const override;
+  int64_t ModelSizeBytes() const override;
+
+  const cardest::BayesNetModel& model() const { return model_; }
+  // Valid after InitContext.
+  const cardest::BnInferenceContext* context() const {
+    return context_.get();
+  }
+
+ private:
+  cardest::BayesNetModel model_;
+  std::unique_ptr<cardest::BnInferenceContext> context_;
+};
+
+// Multi-table COUNT engine wrapping FactorJoin. Needs the BN contexts of the
+// tables it composes; `bn_contexts` must outlive the engine and be fully
+// initialized before InitContext is called (the paper's requirement that
+// FactorJoin's InitContext invoke each single-table model's InitContext).
+class FactorJoinEngine : public CardEstInferenceEngine {
+ public:
+  explicit FactorJoinEngine(
+      const std::map<std::string, const cardest::BnInferenceContext*>*
+          bn_contexts)
+      : bn_contexts_(bn_contexts) {}
+
+  std::string name() const override { return "factorjoin"; }
+  Status LoadModel(const std::string& artifact_bytes) override;
+  Status Validate() const override;
+  Status InitContext() override;
+  Result<FeatureVector> FeaturizeAst(
+      const minihouse::BoundQuery& ast) const override;
+  Result<double> Estimate(const FeatureVector& features) const override;
+  int64_t ModelSizeBytes() const override;
+
+  const cardest::FactorJoinModel& model() const { return model_; }
+
+ private:
+  cardest::FactorJoinModel model_;
+  std::unique_ptr<cardest::FactorJoinEstimator> estimator_;
+  const std::map<std::string, const cardest::BnInferenceContext*>*
+      bn_contexts_;
+};
+
+// COUNT-DISTINCT engine wrapping RBX. The dense feature vector is the
+// frequency profile; Estimate returns the NDV estimate.
+class RbxNdvEngine : public CardEstInferenceEngine {
+ public:
+  RbxNdvEngine() = default;
+
+  std::string name() const override { return "rbx_ndv"; }
+  Status LoadModel(const std::string& artifact_bytes) override;
+  Status Validate() const override;
+  Status InitContext() override;
+  Result<FeatureVector> FeaturizeAst(
+      const minihouse::BoundQuery& ast) const override;
+  Result<double> Estimate(const FeatureVector& features) const override;
+  int64_t ModelSizeBytes() const override;
+
+  // RBX featurization from sample statistics (the sample-profile path the
+  // aggregation-sizing scenario uses, §5.2.1).
+  FeatureVector FeaturizeSample(
+      const stats::SampleFrequencies& frequencies) const;
+
+  const cardest::RbxModel& model() const { return model_; }
+
+ private:
+  cardest::RbxModel model_;
+  bool context_ready_ = false;
+};
+
+}  // namespace bytecard
+
+#endif  // BYTECARD_BYTECARD_INFERENCE_ENGINE_H_

@@ -1,0 +1,44 @@
+#include "bytecard/model_loader.h"
+
+#include <map>
+
+namespace bytecard {
+
+Result<std::vector<LoadedModel>> ModelLoader::PollOnce() {
+  ModelForgeService forge(storage_dir_);  // reuses the store's listing logic
+  BC_ASSIGN_OR_RETURN(std::vector<ModelArtifact> artifacts,
+                      forge.ListArtifacts());
+
+  // ListArtifacts returns newest-first within each (kind, name); keep the
+  // first occurrence per key.
+  std::map<std::pair<std::string, std::string>, const ModelArtifact*> newest;
+  for (const ModelArtifact& artifact : artifacts) {
+    newest.try_emplace({artifact.kind, artifact.name}, &artifact);
+  }
+
+  std::vector<LoadedModel> loaded;
+  for (const auto& [key, artifact] : newest) {
+    auto it = loaded_.find(key);
+    if (it != loaded_.end() && it->second >= artifact->timestamp) {
+      continue;  // already up to date
+    }
+    BC_ASSIGN_OR_RETURN(std::string bytes,
+                        ReadArtifactBytes(artifact->path));
+    LoadedModel model;
+    model.kind = artifact->kind;
+    model.name = artifact->name;
+    model.timestamp = artifact->timestamp;
+    model.bytes = std::move(bytes);
+    loaded.push_back(std::move(model));
+    loaded_[key] = artifact->timestamp;
+  }
+  return loaded;
+}
+
+int64_t ModelLoader::LoadedTimestamp(const std::string& kind,
+                                     const std::string& name) const {
+  auto it = loaded_.find({kind, name});
+  return it == loaded_.end() ? 0 : it->second;
+}
+
+}  // namespace bytecard

@@ -1,0 +1,49 @@
+#ifndef BYTECARD_BYTECARD_MODEL_LOADER_H_
+#define BYTECARD_BYTECARD_MODEL_LOADER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bytecard/model_forge.h"
+#include "common/status.h"
+
+namespace bytecard {
+
+// One model picked up from the artifact store.
+struct LoadedModel {
+  std::string kind;
+  std::string name;
+  int64_t timestamp = 0;
+  std::string bytes;
+};
+
+// The Model Loader (paper §4.2.1): a background task (scheduled by the
+// Daemon Manager like a compaction job) that scans the artifact store and
+// loads models using a timestamp-based strategy — for each (kind, name) only
+// the artifact with the most recent timestamp is considered, and only if it
+// is strictly newer than what was already loaded. Polling cadence is the
+// caller's business (ByteHouse defaults to hourly unless the Model Monitor
+// demands an early refresh); PollOnce is one cycle.
+class ModelLoader {
+ public:
+  explicit ModelLoader(std::string storage_dir)
+      : storage_dir_(std::move(storage_dir)) {}
+
+  // Scans the store and returns every (kind, name)'s newest artifact that is
+  // newer than the last loaded version. Updates the high-water marks for the
+  // returned models.
+  Result<std::vector<LoadedModel>> PollOnce();
+
+  // Highest timestamp loaded for (kind, name); 0 if never loaded.
+  int64_t LoadedTimestamp(const std::string& kind,
+                          const std::string& name) const;
+
+ private:
+  std::string storage_dir_;
+  std::map<std::pair<std::string, std::string>, int64_t> loaded_;
+};
+
+}  // namespace bytecard
+
+#endif  // BYTECARD_BYTECARD_MODEL_LOADER_H_

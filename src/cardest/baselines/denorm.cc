@@ -1,0 +1,203 @@
+#include "cardest/baselines/denorm.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "cardest/factorjoin/factor_graph.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include <unordered_map>
+
+#include "minihouse/join.h"
+
+namespace bytecard::cardest {
+
+namespace {
+
+using minihouse::BoundQuery;
+using minihouse::Relation;
+
+// Materializes a sampled base table as a Relation with "alias_col" names,
+// restricted to columns that participate in the join or are model-visible.
+Relation SampleToRelation(const BoundQuery& query, int table_idx,
+                          int64_t max_rows, Rng* rng) {
+  const minihouse::BoundTableRef& ref = query.tables[table_idx];
+  const minihouse::Table& table = *ref.table;
+  const std::string alias =
+      ref.alias.empty() ? table.name() : ref.alias;
+
+  std::vector<int64_t> rows(table.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  if (table.num_rows() > max_rows) {
+    for (int64_t i = 0; i < max_rows; ++i) {
+      const int64_t j =
+          i + static_cast<int64_t>(rng->Uniform(table.num_rows() - i));
+      std::swap(rows[i], rows[j]);
+    }
+    rows.resize(max_rows);
+  }
+
+  Relation rel;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (table.schema().column(c).type == minihouse::DataType::kArray) {
+      continue;
+    }
+    rel.column_names.push_back(alias + "_" +
+                               table.schema().column(c).name);
+    std::vector<int64_t> values;
+    values.reserve(rows.size());
+    const minihouse::Column& col = table.column(c);
+    for (int64_t r : rows) values.push_back(col.NumericAt(r));
+    rel.columns.push_back(std::move(values));
+  }
+  return rel;
+}
+
+void TruncateRelation(Relation* rel, int64_t max_rows) {
+  if (rel->num_rows() <= max_rows) return;
+  for (auto& col : rel->columns) col.resize(max_rows);
+}
+
+// Left-outer hash join: DeepDB/BayesCard denormalize with OUTER joins so
+// rows without a match in a satellite table survive (with sentinel values),
+// keeping the training distribution faithful to the base tables instead of
+// restricting it to rows present in every satellite.
+Relation LeftOuterJoin(const Relation& left, const Relation& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys,
+                       int64_t null_sentinel) {
+  std::unordered_multimap<int64_t, int64_t> ht;
+  auto key_of = [](const Relation& rel, const std::vector<int>& keys,
+                   int64_t row) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (int k : keys) {
+      uint64_t x = static_cast<uint64_t>(rel.columns[k][row]);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      h ^= (x ^ (x >> 27)) + (h << 6) + (h >> 2);
+    }
+    return static_cast<int64_t>(h);
+  };
+  ht.reserve(static_cast<size_t>(right.num_rows()));
+  for (int64_t r = 0; r < right.num_rows(); ++r) {
+    ht.emplace(key_of(right, right_keys, r), r);
+  }
+
+  Relation out;
+  out.column_names = left.column_names;
+  out.column_names.insert(out.column_names.end(), right.column_names.begin(),
+                          right.column_names.end());
+  out.columns.resize(out.column_names.size());
+
+  auto emit = [&](int64_t lrow, int64_t rrow) {
+    for (size_t c = 0; c < left.columns.size(); ++c) {
+      out.columns[c].push_back(left.columns[c][lrow]);
+    }
+    for (size_t c = 0; c < right.columns.size(); ++c) {
+      out.columns[left.columns.size() + c].push_back(
+          rrow < 0 ? null_sentinel : right.columns[c][rrow]);
+    }
+  };
+
+  for (int64_t l = 0; l < left.num_rows(); ++l) {
+    auto [lo, hi] = ht.equal_range(key_of(left, left_keys, l));
+    bool matched = false;
+    for (auto it = lo; it != hi; ++it) {
+      bool equal = true;
+      for (size_t k = 0; k < left_keys.size(); ++k) {
+        if (left.columns[left_keys[k]][l] !=
+            right.columns[right_keys[k]][it->second]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        emit(l, it->second);
+        matched = true;
+      }
+    }
+    if (!matched) emit(l, -1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<minihouse::Table>> BuildDenormalizedSample(
+    const BoundQuery& full_join, int64_t max_base_rows,
+    int64_t max_output_rows, uint64_t seed) {
+  if (full_join.tables.empty()) {
+    return Status::InvalidArgument("denormalization needs tables");
+  }
+  Rng rng(seed);
+
+  std::vector<int> subset(full_join.num_tables());
+  std::iota(subset.begin(), subset.end(), 0);
+  const std::vector<int> order = JoinSpanningOrder(full_join, subset);
+
+  auto qualified = [&](int t, int c) {
+    const auto& ref = full_join.tables[t];
+    const std::string alias =
+        ref.alias.empty() ? ref.table->name() : ref.alias;
+    return alias + "_" + ref.table->schema().column(c).name;
+  };
+
+  Relation current =
+      SampleToRelation(full_join, order[0], max_base_rows, &rng);
+  std::set<int> joined = {order[0]};
+
+  for (size_t step = 1; step < order.size(); ++step) {
+    const int t = order[step];
+    Relation right = SampleToRelation(full_join, t, max_base_rows, &rng);
+
+    std::vector<int> left_keys;
+    std::vector<int> right_keys;
+    for (const minihouse::JoinEdge& e : full_join.joins) {
+      int this_col = -1;
+      int other_t = -1;
+      int other_col = -1;
+      if (e.left_table == t && joined.count(e.right_table)) {
+        this_col = e.left_column;
+        other_t = e.right_table;
+        other_col = e.right_column;
+      } else if (e.right_table == t && joined.count(e.left_table)) {
+        this_col = e.right_column;
+        other_t = e.left_table;
+        other_col = e.left_column;
+      } else {
+        continue;
+      }
+      const int lk = current.FindColumn(qualified(other_t, other_col));
+      const int rk = right.FindColumn(qualified(t, this_col));
+      if (lk >= 0 && rk >= 0) {
+        left_keys.push_back(lk);
+        right_keys.push_back(rk);
+      }
+    }
+    if (left_keys.empty()) {
+      return Status::InvalidArgument(
+          "denormalization join graph is disconnected");
+    }
+    current = LeftOuterJoin(current, right, left_keys, right_keys,
+                            /*null_sentinel=*/-1);
+    TruncateRelation(&current, max_output_rows);
+    joined.insert(t);
+  }
+
+  // Wrap the relation as an in-memory table.
+  minihouse::TableSchema schema;
+  for (const std::string& name : current.column_names) {
+    schema.AddColumn(
+        minihouse::ColumnDef{name, minihouse::DataType::kInt64});
+  }
+  auto table = std::make_unique<minihouse::Table>("denormalized", schema);
+  for (size_t c = 0; c < current.columns.size(); ++c) {
+    for (int64_t v : current.columns[c]) {
+      table->mutable_column(static_cast<int>(c))->AppendInt(v);
+    }
+  }
+  BC_RETURN_IF_ERROR(table->Seal());
+  return table;
+}
+
+}  // namespace bytecard::cardest

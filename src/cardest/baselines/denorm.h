@@ -1,0 +1,29 @@
+#ifndef BYTECARD_CARDEST_BASELINES_DENORM_H_
+#define BYTECARD_CARDEST_BASELINES_DENORM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "minihouse/database.h"
+#include "minihouse/query.h"
+
+namespace bytecard::cardest {
+
+// Materializes a (sampled) denormalized join of the tables in `full_join` —
+// the training substrate DeepDB and BayesCard require for join-size
+// estimation. Every base table is down-sampled to `max_base_rows` before
+// joining and the join output is truncated at `max_output_rows`; column
+// names in the result are "alias_column".
+//
+// This is exactly the design decision Table 3 criticizes: denormalizing
+// multiplies the training data and adds join-fanout columns, which is why
+// these baselines train slower and serialize bigger than ByteCard's
+// per-table models.
+Result<std::unique_ptr<minihouse::Table>> BuildDenormalizedSample(
+    const minihouse::BoundQuery& full_join, int64_t max_base_rows,
+    int64_t max_output_rows, uint64_t seed);
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_BASELINES_DENORM_H_

@@ -1,0 +1,64 @@
+#ifndef BYTECARD_CARDEST_BASELINES_MSCN_H_
+#define BYTECARD_CARDEST_BASELINES_MSCN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cardest/ndv/mlp.h"
+#include "common/serde.h"
+#include "minihouse/database.h"
+#include "minihouse/query.h"
+
+namespace bytecard::cardest {
+
+// Query-driven COUNT baseline in the spirit of MSCN (Kipf et al.): set-based
+// featurization of (tables, joins, predicates) with mean pooling, regressed
+// to log cardinality over a training workload with known true counts.
+//
+// This is the model class the paper evaluates in Table 3 and rejects for
+// production: it needs a labelled query workload (true cardinalities must be
+// executed — that label cost is excluded from training time, as in the
+// paper) and its knowledge decays whenever data changes.
+class MscnModel {
+ public:
+  struct TrainOptions {
+    int epochs = 120;
+    double learning_rate = 1e-3;
+    uint64_t seed = 11;
+  };
+
+  MscnModel() = default;
+
+  // `queries[i]` must have true cardinality `true_counts[i]`. The featurizer
+  // universe (table list, per-column value ranges) is frozen from `db`.
+  static Result<MscnModel> Train(const minihouse::Database& db,
+                                 const std::vector<minihouse::BoundQuery>& queries,
+                                 const std::vector<double>& true_counts,
+                                 const TrainOptions& options);
+
+  double EstimateCount(const minihouse::BoundQuery& query) const;
+
+  // Featurization exposed for tests: fixed-width vector independent of the
+  // number of joins/predicates in the query (sets are mean-pooled).
+  std::vector<double> Featurize(const minihouse::BoundQuery& query) const;
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<MscnModel> Deserialize(BufferReader* reader);
+
+  static constexpr int kJoinHashDim = 16;
+  static constexpr int kColumnHashDim = 24;
+  static constexpr int kOpDim = 8;
+
+ private:
+  int feature_dim() const;
+
+  std::vector<std::string> table_names_;  // one-hot universe
+  // Per "table.column": (min, max) numeric range for value normalization.
+  std::map<std::string, std::pair<double, double>> column_ranges_;
+  Mlp network_;
+};
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_BASELINES_MSCN_H_

@@ -1,0 +1,70 @@
+#ifndef BYTECARD_CARDEST_BASELINES_SPN_H_
+#define BYTECARD_CARDEST_BASELINES_SPN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cardest/discretizer.h"
+#include "common/serde.h"
+#include "minihouse/predicate.h"
+#include "minihouse/table.h"
+
+namespace bytecard::cardest {
+
+// DeepDB-style Sum-Product Network over one (optionally denormalized) table.
+// Structure learning follows the LearnSPN recipe: partition columns into
+// independent groups (product nodes, mutual-information test), cluster rows
+// (sum nodes, 2-means), and close recursion with per-column histogram
+// leaves. Inference evaluates P(conjunctive predicate) bottom-up.
+//
+// Used as the DeepDB comparator in Table 3: training over the denormalized
+// join sample is what makes it slow and large relative to ByteCard.
+class SpnModel {
+ public:
+  struct TrainOptions {
+    int max_bins = 64;
+    int64_t min_instances = 512;   // stop row-clustering below this
+    double mi_threshold = 0.01;    // independence cut for product nodes
+    int max_depth = 16;
+    uint64_t seed = 5;
+  };
+
+  SpnModel() = default;
+
+  static Result<SpnModel> Train(const minihouse::Table& table,
+                                const TrainOptions& options);
+
+  // P(filters) over the trained table's rows.
+  double EstimateSelectivity(const minihouse::Conjunction& filters) const;
+  double EstimateCount(const minihouse::Conjunction& filters) const;
+
+  int64_t row_count() const { return row_count_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<SpnModel> Deserialize(BufferReader* reader);
+
+ private:
+  enum class NodeKind : uint32_t { kSum = 0, kProduct = 1, kLeaf = 2 };
+
+  struct Node {
+    NodeKind kind = NodeKind::kLeaf;
+    std::vector<int> children;
+    std::vector<double> weights;       // sum nodes: child mixture weights
+    int column = -1;                   // leaf: variable index
+    std::vector<double> distribution;  // leaf: bin probabilities
+  };
+
+  double Evaluate(int node,
+                  const std::vector<std::vector<double>>& evidence) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  std::vector<int> columns_;              // schema column per variable
+  std::vector<Discretizer> discretizers_;  // per variable
+  int64_t row_count_ = 0;
+};
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_BASELINES_SPN_H_

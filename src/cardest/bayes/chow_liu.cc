@@ -1,0 +1,121 @@
+#include "cardest/bayes/chow_liu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace bytecard::cardest {
+
+double MutualInformation(const std::vector<int>& x, const std::vector<int>& y,
+                         int x_bins, int y_bins) {
+  BC_CHECK(x.size() == y.size());
+  const int64_t n = static_cast<int64_t>(x.size());
+  if (n == 0) return 0.0;
+
+  std::vector<int64_t> joint(static_cast<size_t>(x_bins) * y_bins, 0);
+  std::vector<int64_t> mx(x_bins, 0);
+  std::vector<int64_t> my(y_bins, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    ++joint[static_cast<size_t>(x[i]) * y_bins + y[i]];
+    ++mx[x[i]];
+    ++my[y[i]];
+  }
+
+  double mi = 0.0;
+  const double dn = static_cast<double>(n);
+  for (int a = 0; a < x_bins; ++a) {
+    if (mx[a] == 0) continue;
+    for (int b = 0; b < y_bins; ++b) {
+      const int64_t c = joint[static_cast<size_t>(a) * y_bins + b];
+      if (c == 0) continue;
+      const double pxy = static_cast<double>(c) / dn;
+      const double px = static_cast<double>(mx[a]) / dn;
+      const double py = static_cast<double>(my[b]) / dn;
+      mi += pxy * std::log(pxy / (px * py));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+ChowLiuTree LearnChowLiuTree(const std::vector<std::vector<int>>& data,
+                             const std::vector<int>& bins) {
+  const int num_vars = static_cast<int>(data.size());
+  ChowLiuTree tree;
+  tree.parent.assign(num_vars, -1);
+  tree.edge_mi.assign(num_vars, 0.0);
+  if (num_vars <= 1) return tree;
+
+  // Pairwise MI matrix.
+  std::vector<std::vector<double>> mi(num_vars,
+                                      std::vector<double>(num_vars, 0.0));
+  for (int a = 0; a < num_vars; ++a) {
+    for (int b = a + 1; b < num_vars; ++b) {
+      mi[a][b] = mi[b][a] =
+          MutualInformation(data[a], data[b], bins[a], bins[b]);
+    }
+  }
+
+  // Prim's algorithm for the maximum spanning tree.
+  std::vector<bool> in_tree(num_vars, false);
+  std::vector<double> best(num_vars, -1.0);
+  std::vector<int> best_from(num_vars, -1);
+  in_tree[0] = true;
+  for (int v = 1; v < num_vars; ++v) {
+    best[v] = mi[0][v];
+    best_from[v] = 0;
+  }
+  for (int step = 1; step < num_vars; ++step) {
+    int pick = -1;
+    double pick_mi = -std::numeric_limits<double>::infinity();
+    for (int v = 0; v < num_vars; ++v) {
+      if (!in_tree[v] && best[v] > pick_mi) {
+        pick = v;
+        pick_mi = best[v];
+      }
+    }
+    BC_CHECK(pick >= 0);
+    in_tree[pick] = true;
+    tree.parent[pick] = best_from[pick];
+    tree.edge_mi[pick] = pick_mi;
+    for (int v = 0; v < num_vars; ++v) {
+      if (!in_tree[v] && mi[pick][v] > best[v]) {
+        best[v] = mi[pick][v];
+        best_from[v] = pick;
+      }
+    }
+  }
+
+  // Re-root at the highest-degree node: shallow trees mean short message
+  // chains during variable elimination.
+  std::vector<int> degree(num_vars, 0);
+  for (int v = 0; v < num_vars; ++v) {
+    if (tree.parent[v] >= 0) {
+      ++degree[v];
+      ++degree[tree.parent[v]];
+    }
+  }
+  int new_root = 0;
+  for (int v = 1; v < num_vars; ++v) {
+    if (degree[v] > degree[new_root]) new_root = v;
+  }
+
+  if (new_root != 0) {
+    // Reverse the parent pointers along the path root..new_root.
+    std::vector<int> path;
+    // Path from new_root up to the old root (0 was Prim's implicit root).
+    for (int v = new_root; v != -1; v = tree.parent[v]) path.push_back(v);
+    for (size_t i = path.size(); i-- > 1;) {
+      // Edge path[i] -> path[i-1] flips direction.
+      tree.parent[path[i]] = path[i - 1];
+      tree.edge_mi[path[i]] = tree.edge_mi[path[i - 1]];
+    }
+    tree.parent[new_root] = -1;
+    tree.edge_mi[new_root] = 0.0;
+  }
+  tree.root = new_root;
+  return tree;
+}
+
+}  // namespace bytecard::cardest

@@ -1,0 +1,38 @@
+#ifndef BYTECARD_CARDEST_BAYES_CHOW_LIU_H_
+#define BYTECARD_CARDEST_BAYES_CHOW_LIU_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bytecard::cardest {
+
+// Result of Chow-Liu structure learning: a directed tree over variables.
+struct ChowLiuTree {
+  int root = 0;
+  std::vector<int> parent;  // parent[v], -1 for root
+  // Pairwise mutual information of each tree edge (v, parent[v]), for
+  // diagnostics and tests; 0 for the root.
+  std::vector<double> edge_mi;
+};
+
+// Learns the maximum-likelihood tree structure over discrete variables
+// (Chow & Liu 1968): computes pairwise mutual information over the training
+// matrix and extracts a maximum spanning tree. The paper's ModelForge runs
+// this per table as its routine COUNT-model structural learning step.
+//
+// `data[v]` holds row-aligned bin ids for variable v; `bins[v]` its alphabet
+// size. Root selection: the highest-degree node of the spanning tree, which
+// keeps the tree shallow so inference message chains stay short (the root
+// identification that InitContext later freezes).
+ChowLiuTree LearnChowLiuTree(const std::vector<std::vector<int>>& data,
+                             const std::vector<int>& bins);
+
+// Pairwise mutual information between two row-aligned bin vectors
+// (natural-log base). Exposed for tests and for FactorJoin's key-correlation
+// dimension reduction.
+double MutualInformation(const std::vector<int>& x, const std::vector<int>& y,
+                         int x_bins, int y_bins);
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_BAYES_CHOW_LIU_H_

@@ -1,0 +1,41 @@
+#include "cardest/bayes/sharded_bn.h"
+
+#include <algorithm>
+
+namespace bytecard::cardest {
+
+Result<ShardedBnEnsemble> ShardedBnEnsemble::Build(
+    std::vector<BayesNetModel> shard_models) {
+  if (shard_models.empty()) {
+    return Status::InvalidArgument("sharded ensemble needs >= 1 shard model");
+  }
+  ShardedBnEnsemble ensemble;
+  for (BayesNetModel& model : shard_models) {
+    BC_RETURN_IF_ERROR(model.ValidateStructure());
+    ensemble.total_rows_ += model.row_count();
+    ensemble.models_.push_back(
+        std::make_unique<BayesNetModel>(std::move(model)));
+    ensemble.contexts_.push_back(
+        std::make_unique<BnInferenceContext>(ensemble.models_.back().get()));
+  }
+  if (ensemble.total_rows_ <= 0) {
+    return Status::InvalidArgument("sharded ensemble covers no rows");
+  }
+  return ensemble;
+}
+
+double ShardedBnEnsemble::EstimateSelectivity(
+    const minihouse::Conjunction& filters) const {
+  return EstimateCount(filters) / static_cast<double>(total_rows_);
+}
+
+double ShardedBnEnsemble::EstimateCount(
+    const minihouse::Conjunction& filters) const {
+  double count = 0.0;
+  for (size_t s = 0; s < contexts_.size(); ++s) {
+    count += contexts_[s]->EstimateCount(filters);
+  }
+  return std::max(0.0, count);
+}
+
+}  // namespace bytecard::cardest

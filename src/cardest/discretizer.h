@@ -1,0 +1,69 @@
+#ifndef BYTECARD_CARDEST_DISCRETIZER_H_
+#define BYTECARD_CARDEST_DISCRETIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+#include "minihouse/column.h"
+#include "minihouse/predicate.h"
+
+namespace bytecard::cardest {
+
+// Maps a column's numeric domain onto a small dense bin space — the
+// categorical alphabet every learned model (BN CPDs, SPN leaves, FactorJoin
+// buckets) operates on. Two build modes:
+//
+//  * value-aligned: when the column's NDV fits max_bins, each distinct value
+//    gets its own bin (exact predicates);
+//  * equi-height ranges: otherwise bins are value ranges holding roughly
+//    equal row counts, with per-bin distinct counts for uniform-within-bin
+//    interpolation.
+//
+// Join columns use boundaries supplied by the FactorJoin join-bucket
+// builder (BuildWithBoundaries) so that all tables sharing a join key group
+// discretize identically.
+class Discretizer {
+ public:
+  struct Bin {
+    int64_t lo = 0;  // inclusive
+    int64_t hi = 0;  // inclusive
+    int64_t distinct = 1;
+  };
+
+  Discretizer() = default;
+
+  static Discretizer Build(const std::vector<int64_t>& values, int max_bins);
+  static Discretizer BuildFromColumn(const minihouse::Column& column,
+                                     int max_bins);
+
+  // Builds bins from explicit inclusive upper bounds (sorted ascending); the
+  // first bin starts at INT64_MIN, each next at previous hi + 1. Distinct
+  // counts are computed from `values`.
+  static Discretizer BuildWithBoundaries(
+      const std::vector<int64_t>& upper_bounds,
+      const std::vector<int64_t>& values);
+
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+  const std::vector<Bin>& bins() const { return bins_; }
+
+  // Bin index of `value` (values outside all ranges clamp to nearest bin).
+  int BinOf(int64_t value) const;
+
+  // Per-bin weight in [0, 1]: estimated fraction of the bin's rows whose
+  // value satisfies `pred`, assuming uniform value frequency within a bin.
+  // Exact (0/1) for value-aligned bins. This is the evidence vector the BN's
+  // variable-elimination inference consumes.
+  std::vector<double> PredicateWeights(
+      const minihouse::ColumnPredicate& pred) const;
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<Discretizer> Deserialize(BufferReader* reader);
+
+ private:
+  std::vector<Bin> bins_;
+};
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_DISCRETIZER_H_

@@ -1,0 +1,82 @@
+#include "cardest/factorjoin/factor_graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bytecard::cardest {
+
+namespace {
+
+bool InSubset(const std::vector<int>& subset, int t) {
+  return std::find(subset.begin(), subset.end(), t) != subset.end();
+}
+
+}  // namespace
+
+std::vector<QueryKeyGroup> BuildQueryKeyGroups(
+    const minihouse::BoundQuery& query, const std::vector<int>& subset) {
+  // Union-find over (table, column) pairs linked by in-subset join edges.
+  std::map<std::pair<int, int>, int> index;
+  std::vector<int> parent;
+
+  auto find_or_add = [&](int t, int c) {
+    auto [it, inserted] = index.try_emplace({t, c}, parent.size());
+    if (inserted) parent.push_back(static_cast<int>(parent.size()));
+    return it->second;
+  };
+  auto find_root = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (const minihouse::JoinEdge& e : query.joins) {
+    if (!InSubset(subset, e.left_table) || !InSubset(subset, e.right_table)) {
+      continue;
+    }
+    const int a = find_or_add(e.left_table, e.left_column);
+    const int b = find_or_add(e.right_table, e.right_column);
+    parent[find_root(a)] = find_root(b);
+  }
+
+  std::map<int, QueryKeyGroup> groups;
+  for (const auto& [key, idx] : index) {
+    groups[find_root(idx)].members.push_back(key);
+  }
+  std::vector<QueryKeyGroup> out;
+  out.reserve(groups.size());
+  for (auto& [_, g] : groups) out.push_back(std::move(g));
+  return out;
+}
+
+std::vector<int> JoinSpanningOrder(const minihouse::BoundQuery& query,
+                                   const std::vector<int>& subset) {
+  std::vector<int> order;
+  if (subset.empty()) return order;
+  std::vector<bool> visited(query.num_tables(), false);
+
+  order.push_back(subset[0]);
+  visited[subset[0]] = true;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const int v = order[i];
+    for (const minihouse::JoinEdge& e : query.joins) {
+      int other = -1;
+      if (e.left_table == v) other = e.right_table;
+      if (e.right_table == v) other = e.left_table;
+      if (other < 0 || visited[other] || !InSubset(subset, other)) continue;
+      visited[other] = true;
+      order.push_back(other);
+    }
+  }
+  for (int t : subset) {
+    if (!visited[t]) {
+      visited[t] = true;
+      order.push_back(t);
+    }
+  }
+  return order;
+}
+
+}  // namespace bytecard::cardest

@@ -1,0 +1,48 @@
+#ifndef BYTECARD_CARDEST_FACTORJOIN_FACTOR_GRAPH_H_
+#define BYTECARD_CARDEST_FACTORJOIN_FACTOR_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "minihouse/query.h"
+
+namespace bytecard::cardest {
+
+// The query-time factor graph FactorJoin infers over (paper §4.2): variable
+// nodes are join key groups (equivalence classes of join columns under the
+// query's equi-join edges), factor nodes are the tables that constrain them.
+// Built dynamically per query from the join relationships, as the paper
+// describes.
+struct QueryKeyGroup {
+  // (table index into query.tables, schema column index) participants.
+  std::vector<std::pair<int, int>> members;
+
+  bool Contains(int table, int column) const {
+    for (const auto& [t, c] : members) {
+      if (t == table && c == column) return true;
+    }
+    return false;
+  }
+
+  // True if this group has any member on `table`.
+  int ColumnOn(int table) const {
+    for (const auto& [t, c] : members) {
+      if (t == table) return c;
+    }
+    return -1;
+  }
+};
+
+// Connected components of join columns restricted to `subset`'s tables.
+std::vector<QueryKeyGroup> BuildQueryKeyGroups(
+    const minihouse::BoundQuery& query, const std::vector<int>& subset);
+
+// A traversal order of `subset` such that each table after the first joins
+// at least one earlier table (BFS over the join graph). Tables unreachable
+// from the first subset element are appended at the end.
+std::vector<int> JoinSpanningOrder(const minihouse::BoundQuery& query,
+                                   const std::vector<int>& subset);
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_FACTORJOIN_FACTOR_GRAPH_H_

@@ -1,0 +1,98 @@
+#include "cardest/factorjoin/join_bucket.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace bytecard::cardest {
+
+JoinBucketizer JoinBucketizer::Build(
+    const std::vector<const minihouse::Column*>& columns, int num_buckets) {
+  JoinBucketizer bucketizer;
+  std::vector<int64_t> values;
+  for (const minihouse::Column* col : columns) {
+    for (int64_t i = 0; i < col->num_rows(); ++i) {
+      values.push_back(col->NumericAt(i));
+    }
+  }
+  if (values.empty() || num_buckets <= 0) return bucketizer;
+  std::sort(values.begin(), values.end());
+
+  const int64_t n = static_cast<int64_t>(values.size());
+  const int64_t target =
+      std::max<int64_t>(1, (n + num_buckets - 1) / num_buckets);
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = std::min(n, i + target);
+    while (j < n && values[j] == values[j - 1]) ++j;
+    bucketizer.upper_bounds_.push_back(values[j - 1]);
+    i = j;
+  }
+  // The last bucket absorbs everything above the observed domain, so that
+  // every consumer (BN discretizers built from these boundaries, BucketOf)
+  // agrees on a single bucket count.
+  bucketizer.upper_bounds_.back() = std::numeric_limits<int64_t>::max();
+  return bucketizer;
+}
+
+int JoinBucketizer::BucketOf(int64_t value) const {
+  BC_DCHECK(!upper_bounds_.empty());
+  auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  if (it == upper_bounds_.end()) {
+    return num_buckets() - 1;  // clamp values above the observed domain
+  }
+  return static_cast<int>(it - upper_bounds_.begin());
+}
+
+void JoinBucketizer::Serialize(BufferWriter* writer) const {
+  writer->WriteI64Vec(upper_bounds_);
+}
+
+Result<JoinBucketizer> JoinBucketizer::Deserialize(BufferReader* reader) {
+  JoinBucketizer bucketizer;
+  BC_RETURN_IF_ERROR(reader->ReadI64Vec(&bucketizer.upper_bounds_));
+  return bucketizer;
+}
+
+BucketStats BucketStats::Build(const minihouse::Column& column,
+                               const JoinBucketizer& bucketizer) {
+  BucketStats stats;
+  const int nb = bucketizer.num_buckets();
+  stats.count.assign(nb, 0.0);
+  stats.max_freq.assign(nb, 0.0);
+  stats.distinct.assign(nb, 0.0);
+
+  // Value frequency map, then per-bucket max/accumulate.
+  std::unordered_map<int64_t, int64_t> freq;
+  freq.reserve(static_cast<size_t>(column.num_rows()));
+  for (int64_t i = 0; i < column.num_rows(); ++i) {
+    ++freq[column.NumericAt(i)];
+  }
+  for (const auto& [value, count] : freq) {
+    const int b = bucketizer.BucketOf(value);
+    stats.count[b] += static_cast<double>(count);
+    stats.max_freq[b] =
+        std::max(stats.max_freq[b], static_cast<double>(count));
+    stats.distinct[b] += 1.0;
+  }
+  return stats;
+}
+
+void BucketStats::Serialize(BufferWriter* writer) const {
+  writer->WriteDoubleVec(count);
+  writer->WriteDoubleVec(max_freq);
+  writer->WriteDoubleVec(distinct);
+}
+
+Result<BucketStats> BucketStats::Deserialize(BufferReader* reader) {
+  BucketStats stats;
+  BC_RETURN_IF_ERROR(reader->ReadDoubleVec(&stats.count));
+  BC_RETURN_IF_ERROR(reader->ReadDoubleVec(&stats.max_freq));
+  BC_RETURN_IF_ERROR(reader->ReadDoubleVec(&stats.distinct));
+  return stats;
+}
+
+}  // namespace bytecard::cardest

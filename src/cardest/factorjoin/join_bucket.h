@@ -1,0 +1,71 @@
+#ifndef BYTECARD_CARDEST_FACTORJOIN_JOIN_BUCKET_H_
+#define BYTECARD_CARDEST_FACTORJOIN_JOIN_BUCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "minihouse/column.h"
+
+namespace bytecard::cardest {
+
+// A (table, column) participant of a join key group.
+struct JoinKeyRef {
+  std::string table;
+  int column = -1;
+
+  bool operator==(const JoinKeyRef& other) const = default;
+  bool operator<(const JoinKeyRef& other) const {
+    return table != other.table ? table < other.table
+                                : column < other.column;
+  }
+};
+
+// Equi-height buckets over the *joint* domain of a join key group (paper
+// §4.2, "Join-Bucket Construction"): every table sharing the group
+// discretizes its key column with these same boundaries, so per-bucket
+// quantities are directly comparable across tables.
+class JoinBucketizer {
+ public:
+  JoinBucketizer() = default;
+
+  // Builds from the union of all member columns' values, equi-height, built
+  // from the equi-height histograms ByteHouse's optimizer already maintains.
+  static JoinBucketizer Build(
+      const std::vector<const minihouse::Column*>& columns, int num_buckets);
+
+  int num_buckets() const { return static_cast<int>(upper_bounds_.size()); }
+  int BucketOf(int64_t value) const;
+
+  // Inclusive per-bucket upper bounds, ascending; feeds
+  // BnTrainOptions::join_column_boundaries.
+  const std::vector<int64_t>& upper_bounds() const { return upper_bounds_; }
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<JoinBucketizer> Deserialize(BufferReader* reader);
+
+ private:
+  std::vector<int64_t> upper_bounds_;
+};
+
+// Per-(table, key column) bucket statistics gathered at training time:
+// row count, maximum single-value frequency, and distinct key count in each
+// bucket — everything both of FactorJoin's per-bucket combiners need (the
+// paper's upper bound uses max_freq; the bucket-uniform estimate uses
+// distinct).
+struct BucketStats {
+  std::vector<double> count;
+  std::vector<double> max_freq;
+  std::vector<double> distinct;
+
+  static BucketStats Build(const minihouse::Column& column,
+                           const JoinBucketizer& bucketizer);
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<BucketStats> Deserialize(BufferReader* reader);
+};
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_FACTORJOIN_JOIN_BUCKET_H_

@@ -1,0 +1,42 @@
+#include "cardest/ndv/freq_profile.h"
+
+#include <cmath>
+
+namespace bytecard::cardest {
+
+std::vector<double> BuildFrequencyProfile(const stats::SampleFrequencies& s) {
+  std::vector<double> features(kFrequencyProfileDim, 0.0);
+
+  auto freq_at = [&](size_t j) -> double {
+    // f_j counts distinct values occurring exactly j times.
+    return j >= 1 && j <= s.freq.size()
+               ? static_cast<double>(s.freq[j - 1])
+               : 0.0;
+  };
+
+  for (int j = 1; j <= 8; ++j) {
+    features[j - 1] = std::log1p(freq_at(j));
+  }
+  const int64_t range_hi[] = {16, 32, 64, 128};
+  int64_t lo = 9;
+  for (int r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (int64_t j = lo; j <= range_hi[r]; ++j) sum += freq_at(j);
+    features[8 + r] = std::log1p(sum);
+    lo = range_hi[r] + 1;
+  }
+  double tail = 0.0;
+  for (size_t j = 129; j <= s.freq.size(); ++j) tail += freq_at(j);
+  features[12] = std::log1p(tail);
+
+  features[13] = std::log1p(static_cast<double>(s.sample_distinct()));
+  features[14] = std::log1p(static_cast<double>(s.sample_size));
+  features[15] = std::log1p(static_cast<double>(s.population_size));
+  features[16] = s.population_size > 0
+                     ? static_cast<double>(s.sample_size) /
+                           static_cast<double>(s.population_size)
+                     : 0.0;
+  return features;
+}
+
+}  // namespace bytecard::cardest

@@ -1,0 +1,27 @@
+#ifndef BYTECARD_CARDEST_NDV_FREQ_PROFILE_H_
+#define BYTECARD_CARDEST_NDV_FREQ_PROFILE_H_
+
+#include <vector>
+
+#include "stats/ndv_classic.h"
+
+namespace bytecard::cardest {
+
+// The RBX "frequency profile" feature (paper §4.3): a compact, workload-
+// independent representation of a sample's value-frequency distribution.
+//
+// Layout (kFrequencyProfileDim doubles):
+//   [0..7]   log1p(f_j) for exact frequencies j = 1..8
+//   [8..12]  log1p(sum of f_j) over geometric ranges (9-16], (16-32],
+//            (32-64], (64-128], (128, inf)
+//   [13]     log1p(sample distinct count d)
+//   [14]     log1p(sample size n)
+//   [15]     log1p(population size N)
+//   [16]     sampling rate n/N
+inline constexpr int kFrequencyProfileDim = 17;
+
+std::vector<double> BuildFrequencyProfile(const stats::SampleFrequencies& s);
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_NDV_FREQ_PROFILE_H_

@@ -1,0 +1,244 @@
+#include "cardest/ndv/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace bytecard::cardest {
+
+namespace {
+constexpr uint32_t kMlpFormatVersion = 1;
+}  // namespace
+
+Mlp Mlp::Create(const std::vector<int>& layer_sizes, uint64_t seed) {
+  BC_CHECK(layer_sizes.size() >= 2);
+  BC_CHECK(layer_sizes.back() == 1);
+  Mlp mlp;
+  mlp.layer_sizes_ = layer_sizes;
+  Rng rng(seed);
+  for (size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+    const int in = layer_sizes[l];
+    const int out = layer_sizes[l + 1];
+    const double scale = std::sqrt(6.0 / static_cast<double>(in + out));
+    std::vector<double> w(static_cast<size_t>(in) * out);
+    for (double& x : w) x = (rng.NextDouble() * 2.0 - 1.0) * scale;
+    mlp.weights_.push_back(std::move(w));
+    mlp.biases_.emplace_back(out, 0.0);
+  }
+  return mlp;
+}
+
+double Mlp::Predict(const std::vector<double>& input) const {
+  BC_DCHECK(static_cast<int>(input.size()) == input_dim());
+  std::vector<double> act = input;
+  std::vector<double> next;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    next.assign(out, 0.0);
+    const double* w = weights_[l].data();
+    for (int o = 0; o < out; ++o) {
+      double s = biases_[l][o];
+      const double* row = w + static_cast<size_t>(o) * in;
+      for (int i = 0; i < in; ++i) s += row[i] * act[i];
+      // ReLU on hidden layers, identity on the output.
+      next[o] = (l + 1 < weights_.size()) ? std::max(0.0, s) : s;
+    }
+    act.swap(next);
+  }
+  return act[0];
+}
+
+double Mlp::Train(const std::vector<std::vector<double>>& inputs,
+                  const std::vector<double>& targets,
+                  const TrainConfig& config) {
+  BC_CHECK(inputs.size() == targets.size());
+  if (inputs.empty()) return 0.0;
+  const int64_t n = static_cast<int64_t>(inputs.size());
+  const int num_weight_layers = static_cast<int>(weights_.size());
+
+  // Adam state.
+  std::vector<std::vector<double>> mw(num_weight_layers), vw(num_weight_layers);
+  std::vector<std::vector<double>> mb(num_weight_layers), vb(num_weight_layers);
+  for (int l = 0; l < num_weight_layers; ++l) {
+    mw[l].assign(weights_[l].size(), 0.0);
+    vw[l].assign(weights_[l].size(), 0.0);
+    mb[l].assign(biases_[l].size(), 0.0);
+    vb[l].assign(biases_[l].size(), 0.0);
+  }
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  int64_t adam_t = 0;
+
+  Rng rng(config.seed);
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Per-example activation storage (activations per layer).
+  std::vector<std::vector<double>> acts(layer_sizes_.size());
+  std::vector<std::vector<double>> grad_w(num_weight_layers);
+  std::vector<std::vector<double>> grad_b(num_weight_layers);
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t cursor = 0;
+    while (cursor < n) {
+      const int64_t batch_end =
+          std::min<int64_t>(n, cursor + config.batch_size);
+      const int64_t batch = batch_end - cursor;
+      for (int l = 0; l < num_weight_layers; ++l) {
+        grad_w[l].assign(weights_[l].size(), 0.0);
+        grad_b[l].assign(biases_[l].size(), 0.0);
+      }
+
+      for (int64_t k = cursor; k < batch_end; ++k) {
+        const int64_t idx = order[k];
+        // Forward with activation capture.
+        acts[0] = inputs[idx];
+        for (int l = 0; l < num_weight_layers; ++l) {
+          const int in = layer_sizes_[l];
+          const int out = layer_sizes_[l + 1];
+          acts[l + 1].assign(out, 0.0);
+          const double* w = weights_[l].data();
+          for (int o = 0; o < out; ++o) {
+            double s = biases_[l][o];
+            const double* row = w + static_cast<size_t>(o) * in;
+            for (int i = 0; i < in; ++i) s += row[i] * acts[l][i];
+            acts[l + 1][o] =
+                (l + 1 < num_weight_layers) ? std::max(0.0, s) : s;
+          }
+        }
+        const double pred = acts.back()[0];
+        const double err = pred - targets[idx];
+        const double weight =
+            err < 0.0 ? config.underestimation_penalty : 1.0;
+        epoch_loss += weight * err * err;
+
+        // Backward.
+        std::vector<double> delta = {2.0 * weight * err};
+        for (int l = num_weight_layers - 1; l >= 0; --l) {
+          const int in = layer_sizes_[l];
+          const int out = layer_sizes_[l + 1];
+          for (int o = 0; o < out; ++o) {
+            grad_b[l][o] += delta[o];
+            double* grow = grad_w[l].data() + static_cast<size_t>(o) * in;
+            for (int i = 0; i < in; ++i) grow[i] += delta[o] * acts[l][i];
+          }
+          if (l == 0) break;
+          std::vector<double> prev_delta(in, 0.0);
+          const double* w = weights_[l].data();
+          for (int i = 0; i < in; ++i) {
+            if (acts[l][i] <= 0.0) continue;  // ReLU gate
+            double s = 0.0;
+            for (int o = 0; o < out; ++o) {
+              s += w[static_cast<size_t>(o) * in + i] * delta[o];
+            }
+            prev_delta[i] = s;
+          }
+          delta.swap(prev_delta);
+        }
+      }
+
+      // Adam update on batch means.
+      ++adam_t;
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t));
+      const double inv_batch = 1.0 / static_cast<double>(batch);
+      for (int l = 0; l < num_weight_layers; ++l) {
+        for (size_t i = 0; i < weights_[l].size(); ++i) {
+          const double g = grad_w[l][i] * inv_batch;
+          mw[l][i] = kBeta1 * mw[l][i] + (1.0 - kBeta1) * g;
+          vw[l][i] = kBeta2 * vw[l][i] + (1.0 - kBeta2) * g * g;
+          weights_[l][i] -= config.learning_rate * (mw[l][i] / bc1) /
+                            (std::sqrt(vw[l][i] / bc2) + kEps);
+        }
+        for (size_t i = 0; i < biases_[l].size(); ++i) {
+          const double g = grad_b[l][i] * inv_batch;
+          mb[l][i] = kBeta1 * mb[l][i] + (1.0 - kBeta1) * g;
+          vb[l][i] = kBeta2 * vb[l][i] + (1.0 - kBeta2) * g * g;
+          biases_[l][i] -= config.learning_rate * (mb[l][i] / bc1) /
+                           (std::sqrt(vb[l][i] / bc2) + kEps);
+        }
+      }
+      cursor = batch_end;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(n);
+  }
+  return last_epoch_loss;
+}
+
+int64_t Mlp::num_parameters() const {
+  int64_t total = 0;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    total += static_cast<int64_t>(weights_[l].size() + biases_[l].size());
+  }
+  return total;
+}
+
+Status Mlp::ValidateWeights() const {
+  for (const auto& layer : weights_) {
+    for (double w : layer) {
+      if (!std::isfinite(w)) {
+        return Status::InvalidModel("MLP weight is not finite");
+      }
+    }
+  }
+  for (const auto& layer : biases_) {
+    for (double b : layer) {
+      if (!std::isfinite(b)) {
+        return Status::InvalidModel("MLP bias is not finite");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Mlp::Serialize(BufferWriter* writer) const {
+  writer->WriteU32(kMlpFormatVersion);
+  writer->WriteU64(layer_sizes_.size());
+  for (int s : layer_sizes_) writer->WriteI64(s);
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    writer->WriteDoubleVec(weights_[l]);
+    writer->WriteDoubleVec(biases_[l]);
+  }
+}
+
+Result<Mlp> Mlp::Deserialize(BufferReader* reader) {
+  uint32_t version = 0;
+  BC_RETURN_IF_ERROR(reader->ReadU32(&version));
+  if (version != kMlpFormatVersion) {
+    return Status::InvalidModel("unsupported MLP artifact version");
+  }
+  Mlp mlp;
+  uint64_t num_sizes = 0;
+  BC_RETURN_IF_ERROR(reader->ReadU64(&num_sizes));
+  if (num_sizes < 2) return Status::InvalidModel("MLP needs >= 2 layers");
+  mlp.layer_sizes_.resize(num_sizes);
+  for (auto& s : mlp.layer_sizes_) {
+    int64_t v = 0;
+    BC_RETURN_IF_ERROR(reader->ReadI64(&v));
+    s = static_cast<int>(v);
+    if (s <= 0) return Status::InvalidModel("MLP layer size must be > 0");
+  }
+  mlp.weights_.resize(num_sizes - 1);
+  mlp.biases_.resize(num_sizes - 1);
+  for (size_t l = 0; l + 1 < num_sizes; ++l) {
+    BC_RETURN_IF_ERROR(reader->ReadDoubleVec(&mlp.weights_[l]));
+    BC_RETURN_IF_ERROR(reader->ReadDoubleVec(&mlp.biases_[l]));
+    const size_t expected_w = static_cast<size_t>(mlp.layer_sizes_[l]) *
+                              mlp.layer_sizes_[l + 1];
+    if (mlp.weights_[l].size() != expected_w ||
+        mlp.biases_[l].size() !=
+            static_cast<size_t>(mlp.layer_sizes_[l + 1])) {
+      return Status::InvalidModel("MLP weight shape mismatch");
+    }
+  }
+  return mlp;
+}
+
+}  // namespace bytecard::cardest

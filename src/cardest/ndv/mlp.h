@@ -1,0 +1,67 @@
+#ifndef BYTECARD_CARDEST_NDV_MLP_H_
+#define BYTECARD_CARDEST_NDV_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace bytecard::cardest {
+
+// Dense feed-forward network (ReLU hidden activations, linear scalar output)
+// with in-process Adam training — the inference and training engine behind
+// RBX. Deliberately small: the paper's model-selection criterion for
+// physical optimization prefers compact models with sub-millisecond
+// inference over deep architectures.
+class Mlp {
+ public:
+  struct TrainConfig {
+    double learning_rate = 1e-3;
+    int epochs = 60;
+    int batch_size = 64;
+    // Loss weight applied when the prediction is *below* the target; > 1
+    // implements the paper's asymmetric underestimation penalty used in RBX
+    // calibration fine-tuning.
+    double underestimation_penalty = 1.0;
+    uint64_t seed = 7;
+  };
+
+  Mlp() = default;
+
+  // `layer_sizes` = {input, hidden..., output}; output must be 1.
+  // Xavier-uniform initialization.
+  static Mlp Create(const std::vector<int>& layer_sizes, uint64_t seed);
+
+  // Scalar regression forward pass.
+  double Predict(const std::vector<double>& input) const;
+
+  // Minibatch Adam on (inputs, targets); returns final mean training loss.
+  double Train(const std::vector<std::vector<double>>& inputs,
+               const std::vector<double>& targets, const TrainConfig& config);
+
+  int input_dim() const {
+    return layer_sizes_.empty() ? 0 : layer_sizes_.front();
+  }
+  int num_layers() const {
+    return static_cast<int>(layer_sizes_.size()) - 1;
+  }
+  int64_t num_parameters() const;
+
+  // Health check for the Model Validator: all weights finite.
+  Status ValidateWeights() const;
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<Mlp> Deserialize(BufferReader* reader);
+
+ private:
+  // weights_[l] is row-major [out][in]; biases_[l] has out entries.
+  std::vector<int> layer_sizes_;
+  std::vector<std::vector<double>> weights_;
+  std::vector<std::vector<double>> biases_;
+};
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_NDV_MLP_H_

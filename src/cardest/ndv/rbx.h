@@ -1,0 +1,90 @@
+#ifndef BYTECARD_CARDEST_NDV_RBX_H_
+#define BYTECARD_CARDEST_NDV_RBX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cardest/ndv/freq_profile.h"
+#include "cardest/ndv/mlp.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "stats/ndv_classic.h"
+
+namespace bytecard::cardest {
+
+// One labelled training example: the frequency profile of a sample together
+// with the true population NDV.
+struct NdvTrainingExample {
+  stats::SampleFrequencies frequencies;
+  int64_t true_ndv = 0;
+};
+
+struct RbxTrainOptions {
+  // Synthetic-column grid: population sizes and sampling rates to sweep.
+  std::vector<int64_t> population_sizes = {20000, 60000, 150000};
+  std::vector<double> sample_rates = {0.005, 0.01, 0.03, 0.1};
+  // Distribution families per (N, rate) cell (uniform / zipf variants /
+  // heavy-hitter mixtures), replicated this many times with fresh seeds.
+  int replicas = 3;
+  // Families included in the synthetic grid (empty = all). The calibration
+  // ablation trains a baseline without the near-unique family to reproduce
+  // the production gap §5.2.2 describes.
+  std::vector<int> families;
+  int epochs = 80;
+  double learning_rate = 1e-3;
+  uint64_t seed = 42;
+};
+
+// The workload-independent learned NDV estimator (paper §4.3): a seven-layer
+// network over the frequency profile, trained once offline on synthetic
+// columns spanning distribution families, then reused for every workload.
+// The network predicts log(D / d) — the log ratio of true to observed
+// distinct counts — which keeps targets scale-free across population sizes.
+class RbxModel {
+ public:
+  RbxModel() = default;
+
+  // One-off offline training on internally generated synthetic columns.
+  static Result<RbxModel> TrainWorkloadIndependent(
+      const RbxTrainOptions& options);
+
+  // Trains on explicit examples (used by tests and by fine-tuning flows that
+  // assemble their own augmented datasets).
+  static Result<RbxModel> TrainOnExamples(
+      const std::vector<NdvTrainingExample>& examples,
+      const RbxTrainOptions& options);
+
+  // Estimated population NDV from a sample's frequency statistics, clamped
+  // to the feasible range [sample distinct, population size].
+  double EstimateNdv(const stats::SampleFrequencies& frequencies) const;
+
+  // Calibration fine-tuning (paper §5.2.2): continues training from the
+  // current checkpoint on problematic-column samples augmented with
+  // synthetic high-NDV columns, with a reduced learning rate and a heavier
+  // penalty on underestimation.
+  Status FineTune(const std::vector<NdvTrainingExample>& problematic,
+                  uint64_t seed);
+
+  const Mlp& network() const { return network_; }
+  Status Validate() const { return network_.ValidateWeights(); }
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<RbxModel> Deserialize(BufferReader* reader);
+
+ private:
+  Mlp network_;
+};
+
+// Generates one synthetic column population + sample and its training
+// example. `family` selects the distribution shape:
+//   0 uniform over D values, 1 zipf(0.8), 2 zipf(1.3),
+//   3 heavy-hitter mixture, 4 near-unique (D ~ N).
+NdvTrainingExample MakeSyntheticExample(int family, int64_t population_size,
+                                        double sample_rate, Rng* rng);
+
+inline constexpr int kRbxFamilies = 5;
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_NDV_RBX_H_

@@ -1,0 +1,67 @@
+#ifndef BYTECARD_COMMON_RNG_H_
+#define BYTECARD_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bytecard {
+
+// Deterministic 64-bit RNG (splitmix64-seeded xoshiro256**). Every data
+// generator and training routine in the repository takes an explicit seed so
+// that benchmark rows are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // Derive an independent child generator (for parallel-safe sub-streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double gauss_cache_ = 0.0;
+};
+
+// Samples from {0, .., n-1} with Zipf(skew) popularity: P(k) ~ 1/(k+1)^skew.
+// Precomputes the CDF once; Sample() is O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double skew);
+
+  uint64_t Sample(Rng* rng) const;
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace bytecard
+
+#endif  // BYTECARD_COMMON_RNG_H_

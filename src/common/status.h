@@ -1,0 +1,120 @@
+#ifndef BYTECARD_COMMON_STATUS_H_
+#define BYTECARD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bytecard {
+
+// Error categories used across the library. The set is deliberately small:
+// callers branch on "did it work", and on a handful of recoverable classes
+// (e.g. kNotFound for missing model artifacts, kInvalidModel for artifacts
+// that fail validation).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kInvalidModel,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+// Lightweight status object (no exceptions are used in this codebase).
+// Functions that can fail return Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status InvalidModel(std::string msg) {
+    return Status(StatusCode::kInvalidModel, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from Status keeps call sites terse:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument("..."); return 7; }
+  Result(T value) : data_(std::move(value)) {}            // NOLINT
+  Result(Status status) : data_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(data_);
+  }
+
+  // Precondition: ok(). Checked by CHECK in debug usage via callers.
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+#define BC_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::bytecard::Status _bc_status = (expr);     \
+    if (!_bc_status.ok()) return _bc_status;    \
+  } while (false)
+
+#define BC_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define BC_INTERNAL_CONCAT(a, b) BC_INTERNAL_CONCAT_IMPL(a, b)
+
+#define BC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  BC_ASSIGN_OR_RETURN_IMPL(BC_INTERNAL_CONCAT(_bc_result_, __LINE__), lhs, rexpr)
+
+#define BC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace bytecard
+
+#endif  // BYTECARD_COMMON_STATUS_H_

@@ -1,0 +1,176 @@
+#include "minihouse/aggregate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace bytecard::minihouse {
+
+namespace {
+int64_t NextPowerOfTwo(int64_t v) {
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+AggregationHashTable::AggregationHashTable(int key_width,
+                                           int64_t initial_ndv_hint)
+    : key_width_(key_width) {
+  BC_CHECK(key_width >= 1);
+  int64_t slots = kDefaultInitialSlots;
+  if (initial_ndv_hint > 0) {
+    // Size so the hint fits under the load-factor ceiling without growth.
+    slots = NextPowerOfTwo(static_cast<int64_t>(
+        static_cast<double>(initial_ndv_hint) / kMaxLoadFactor + 1.0));
+    slots = std::max<int64_t>(slots, kDefaultInitialSlots);
+  }
+  slots_.assign(slots, -1);
+}
+
+uint64_t AggregationHashTable::HashKey(const int64_t* key, int width) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < width; ++i) {
+    uint64_t x = static_cast<uint64_t>(key[i]);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h ^= (x ^ (x >> 31)) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+int64_t AggregationHashTable::FindOrInsert(const int64_t* key) {
+  if (static_cast<double>(num_groups() + 1) >
+      kMaxLoadFactor * static_cast<double>(slots_.size())) {
+    Grow();
+  }
+  const uint64_t hash = HashKey(key, key_width_);
+  const uint64_t mask = slots_.size() - 1;
+  uint64_t pos = hash & mask;
+  for (;;) {
+    const int32_t g = slots_[pos];
+    if (g < 0) {
+      const int64_t group = num_groups();
+      keys_.insert(keys_.end(), key, key + key_width_);
+      hashes_.push_back(hash);
+      slots_[pos] = static_cast<int32_t>(group);
+      return group;
+    }
+    if (hashes_[g] == hash &&
+        std::equal(key, key + key_width_, keys_.begin() + g * key_width_)) {
+      return g;
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+void AggregationHashTable::Grow() {
+  const size_t new_size = slots_.size() * 2;
+  slots_.assign(new_size, -1);
+  const uint64_t mask = new_size - 1;
+  const int64_t groups = num_groups();
+  for (int64_t g = 0; g < groups; ++g) {
+    uint64_t pos = hashes_[g] & mask;
+    while (slots_[pos] >= 0) pos = (pos + 1) & mask;
+    slots_[pos] = static_cast<int32_t>(g);
+  }
+  ++resize_count_;
+}
+
+AggregateResult HashAggregate(
+    const std::vector<std::vector<int64_t>>& columns,
+    const std::vector<int>& key_columns, const std::vector<AggRequest>& aggs,
+    int64_t ndv_hint) {
+  AggregateResult result;
+  const int key_width = std::max<int>(1, static_cast<int>(key_columns.size()));
+  const int64_t num_rows =
+      columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+
+  AggregationHashTable table(key_width, ndv_hint);
+  std::vector<int64_t> key(key_width, 0);
+
+  // Per-aggregate accumulators, indexed by group.
+  const int num_aggs = static_cast<int>(aggs.size());
+  std::vector<std::vector<double>> sums(num_aggs);
+  std::vector<std::vector<int64_t>> counts(num_aggs);
+  // Per-group distinct sets for COUNT(DISTINCT .): nested hash tables whose
+  // resizes are charged to the same counter (same mechanism, same cost).
+  std::vector<std::vector<std::unordered_set<int64_t>>> distinct(num_aggs);
+
+  for (int64_t row = 0; row < num_rows; ++row) {
+    for (size_t k = 0; k < key_columns.size(); ++k) {
+      key[k] = columns[key_columns[k]][row];
+    }
+    const int64_t g = table.FindOrInsert(key.data());
+    for (int a = 0; a < num_aggs; ++a) {
+      if (static_cast<int64_t>(counts[a].size()) <= g) {
+        counts[a].resize(g + 1, 0);
+        sums[a].resize(g + 1, 0.0);
+        if (aggs[a].func == AggFunc::kCountDistinct) {
+          distinct[a].resize(g + 1);
+        }
+      }
+      switch (aggs[a].func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          counts[a][g] += 1;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          counts[a][g] += 1;
+          sums[a][g] +=
+              static_cast<double>(columns[aggs[a].input_column][row]);
+          break;
+        case AggFunc::kCountDistinct:
+          distinct[a][g].insert(columns[aggs[a].input_column][row]);
+          break;
+      }
+    }
+  }
+
+  result.num_groups = table.num_groups();
+  result.resize_count = table.resize_count();
+  result.final_capacity = table.capacity();
+
+  result.group_keys.resize(key_columns.size());
+  for (size_t k = 0; k < key_columns.size(); ++k) {
+    result.group_keys[k].resize(result.num_groups);
+    for (int64_t g = 0; g < result.num_groups; ++g) {
+      result.group_keys[k][g] = table.KeyComponent(g, static_cast<int>(k));
+    }
+  }
+
+  result.agg_values.resize(num_aggs);
+  for (int a = 0; a < num_aggs; ++a) {
+    result.agg_values[a].resize(result.num_groups, 0.0);
+    for (int64_t g = 0; g < result.num_groups; ++g) {
+      if (g >= static_cast<int64_t>(counts[a].size()) &&
+          aggs[a].func != AggFunc::kCountDistinct) {
+        continue;
+      }
+      switch (aggs[a].func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          result.agg_values[a][g] = static_cast<double>(counts[a][g]);
+          break;
+        case AggFunc::kSum:
+          result.agg_values[a][g] = sums[a][g];
+          break;
+        case AggFunc::kAvg:
+          result.agg_values[a][g] =
+              counts[a][g] > 0 ? sums[a][g] / counts[a][g] : 0.0;
+          break;
+        case AggFunc::kCountDistinct:
+          result.agg_values[a][g] =
+              g < static_cast<int64_t>(distinct[a].size())
+                  ? static_cast<double>(distinct[a][g].size())
+                  : 0.0;
+          break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bytecard::minihouse

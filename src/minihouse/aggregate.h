@@ -1,0 +1,40 @@
+#ifndef BYTECARD_MINIHOUSE_AGGREGATE_H_
+#define BYTECARD_MINIHOUSE_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "minihouse/hash_table.h"
+#include "minihouse/query.h"
+
+namespace bytecard::minihouse {
+
+// One aggregate to compute over an input relation. Columns are indices into
+// the input relation's column list (-1 for COUNT(*)).
+struct AggRequest {
+  AggFunc func = AggFunc::kCountStar;
+  int input_column = -1;
+};
+
+struct AggregateResult {
+  int64_t num_groups = 0;
+  int64_t resize_count = 0;
+  int64_t final_capacity = 0;
+  // agg_values[a][g] = value of aggregate a for group g.
+  std::vector<std::vector<double>> agg_values;
+  // group_keys[k][g] = component k of group g's key.
+  std::vector<std::vector<int64_t>> group_keys;
+};
+
+// Hash aggregation over a column-major relation. `key_columns` index into
+// `columns`; `ndv_hint` pre-sizes the hash table (0 = engine default).
+// COUNT(DISTINCT c) is computed per group with a nested distinct table whose
+// resizes also count toward resize_count (it is the same mechanism).
+AggregateResult HashAggregate(
+    const std::vector<std::vector<int64_t>>& columns,
+    const std::vector<int>& key_columns, const std::vector<AggRequest>& aggs,
+    int64_t ndv_hint);
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_AGGREGATE_H_

@@ -1,0 +1,99 @@
+#include "minihouse/column.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace bytecard::minihouse {
+
+void Column::AppendString(const std::string& s) {
+  BC_DCHECK(type_ == DataType::kString);
+  auto it = std::find(dict_.begin(), dict_.end(), s);
+  if (it == dict_.end()) {
+    dict_.push_back(s);
+    ints_.push_back(static_cast<int64_t>(dict_.size()) - 1);
+  } else {
+    ints_.push_back(it - dict_.begin());
+  }
+}
+
+int64_t Column::OrderedCodeOf(double d) {
+  const int64_t bits = std::bit_cast<int64_t>(d);
+  // Positive doubles (and +0.0) already order correctly as int64; negative
+  // doubles order in reverse, so flip their magnitude bits. Result: total
+  // order matching double comparison, with -0.0 mapping just below +0.0.
+  return bits >= 0 ? bits : bits ^ 0x7fffffffffffffffLL;
+}
+
+double Column::DoubleFromOrderedCode(int64_t code) {
+  const int64_t bits = code >= 0 ? code : code ^ 0x7fffffffffffffffLL;
+  return std::bit_cast<double>(bits);
+}
+
+void Column::AppendNumeric(int64_t code) {
+  switch (type_) {
+    case DataType::kFloat64:
+      doubles_.push_back(DoubleFromOrderedCode(code));
+      break;
+    case DataType::kArray:
+      arrays_.emplace_back();
+      break;
+    default:
+      ints_.push_back(code);
+      break;
+  }
+}
+
+namespace {
+std::atomic<int> g_storage_cost_factor{0};
+// Sink defeating dead-code elimination of the simulated-storage passes.
+std::atomic<int64_t> g_storage_sink{0};
+}  // namespace
+
+void SetStorageCostFactor(int factor) {
+  g_storage_cost_factor.store(factor < 0 ? 0 : factor,
+                              std::memory_order_relaxed);
+}
+
+int StorageCostFactor() {
+  return g_storage_cost_factor.load(std::memory_order_relaxed);
+}
+
+void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
+                       IoStats* io) const {
+  const int64_t begin = b * kBlockRows;
+  const int64_t rows = BlockRowCount(b);
+  BC_DCHECK(rows > 0);
+  out->resize(rows);
+  if (type_ == DataType::kFloat64) {
+    for (int64_t i = 0; i < rows; ++i) {
+      (*out)[i] = OrderedCodeOf(doubles_[begin + i]);
+    }
+  } else {
+    std::memcpy(out->data(), ints_.data() + begin, rows * sizeof(int64_t));
+  }
+  // Simulated storage latency: extra passes proportional to block volume,
+  // so wall-clock tracks blocks_read the way it does on a disk-bound
+  // warehouse node.
+  const int cost = StorageCostFactor();
+  for (int pass = 0; pass < cost; ++pass) {
+    int64_t checksum = 0;
+    for (int64_t v : *out) checksum += v;
+    g_storage_sink.fetch_add(checksum, std::memory_order_relaxed);
+  }
+  if (io != nullptr) io->AddBlock(rows, bytes_per_row());
+}
+
+int64_t Column::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(ints_.size() * sizeof(int64_t) +
+                                       doubles_.size() * sizeof(double));
+  for (const auto& a : arrays_) bytes += a.size() * sizeof(int64_t) + 16;
+  for (const auto& s : dict_) bytes += static_cast<int64_t>(s.size()) + 16;
+  return bytes;
+}
+
+}  // namespace bytecard::minihouse

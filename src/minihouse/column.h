@@ -1,0 +1,117 @@
+#ifndef BYTECARD_MINIHOUSE_COLUMN_H_
+#define BYTECARD_MINIHOUSE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minihouse/io_stats.h"
+#include "minihouse/schema.h"
+
+namespace bytecard::minihouse {
+
+// A single stored column. Storage is columnar and block-partitioned:
+// - kInt64 columns store int64 values;
+// - kString columns store int64 codes into an ordered dictionary (order-
+//   preserving encoding, so range predicates on codes match string order);
+// - kFloat64 columns store doubles;
+// - kArray columns store per-row element lists (opaque to the estimators).
+//
+// Access for query processing goes through the block APIs so that I/O is
+// accounted at block granularity.
+class Column {
+ public:
+  Column() : type_(DataType::kInt64) {}
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+
+  int64_t num_rows() const {
+    switch (type_) {
+      case DataType::kFloat64:
+        return static_cast<int64_t>(doubles_.size());
+      case DataType::kArray:
+        return static_cast<int64_t>(arrays_.size());
+      default:
+        return static_cast<int64_t>(ints_.size());
+    }
+  }
+
+  int64_t num_blocks() const {
+    return (num_rows() + kBlockRows - 1) / kBlockRows;
+  }
+
+  // --- Builders -------------------------------------------------------
+  void AppendInt(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendArray(std::vector<int64_t> v) { arrays_.push_back(std::move(v)); }
+
+  // Appends a string value, interning it in the dictionary. The dictionary
+  // must be pre-sorted via SetDictionary for order-preserving codes, or built
+  // incrementally (codes then reflect insertion order).
+  void AppendString(const std::string& s);
+
+  // Installs a dictionary for a kString column. Codes appended afterwards
+  // index into it.
+  void SetDictionary(std::vector<std::string> dict) {
+    dict_ = std::move(dict);
+  }
+  void AppendCode(int64_t code) { ints_.push_back(code); }
+  const std::vector<std::string>& dictionary() const { return dict_; }
+
+  // --- Whole-column raw access (model training, ground truth) ----------
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+
+  // Numeric view of row `i`: the int64 value / string code, or the double
+  // value cast through a total order-preserving mapping for kFloat64.
+  int64_t NumericAt(int64_t i) const {
+    if (type_ == DataType::kFloat64) return OrderedCodeOf(doubles_[i]);
+    return ints_[i];
+  }
+
+  double DoubleAt(int64_t i) const {
+    if (type_ == DataType::kFloat64) return doubles_[i];
+    return static_cast<double>(ints_[i]);
+  }
+
+  // Maps a double to an int64 preserving order (IEEE-754 trick), so that all
+  // predicate evaluation and model binning can operate in int64 space.
+  static int64_t OrderedCodeOf(double d);
+
+  // Inverse of OrderedCodeOf.
+  static double DoubleFromOrderedCode(int64_t code);
+
+  // Appends a value given in the column's numeric domain (int64 value,
+  // string code, or ordered double code). Used by the ingestion path, which
+  // moves rows around in numeric form.
+  void AppendNumeric(int64_t code);
+
+  // --- Block access with I/O accounting --------------------------------
+  // Copies block `b`'s numeric values into `out` (resized). Charges one
+  // block read to `io`.
+  void ReadBlock(int64_t b, std::vector<int64_t>* out, IoStats* io) const;
+
+  int64_t BlockRowCount(int64_t b) const {
+    const int64_t begin = b * kBlockRows;
+    const int64_t end = std::min(begin + kBlockRows, num_rows());
+    return end > begin ? end - begin : 0;
+  }
+
+  int64_t bytes_per_row() const { return 8; }
+
+  // Approximate in-memory footprint (used by the size checker).
+  int64_t MemoryBytes() const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::vector<int64_t>> arrays_;
+  std::vector<std::string> dict_;
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_COLUMN_H_

@@ -1,0 +1,42 @@
+#ifndef BYTECARD_MINIHOUSE_DATABASE_H_
+#define BYTECARD_MINIHOUSE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minihouse/table.h"
+
+namespace bytecard::minihouse {
+
+// The catalog: a named collection of tables. Plays the role of ByteHouse's
+// storage layer as seen from the service layer — the analyzer binds queries
+// against it, the Model Preprocessor scans it to decide what to train on.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Takes ownership. Fails if a table with the same name exists.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  Result<const Table*> FindTable(const std::string& name) const;
+  Result<Table*> FindMutableTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  int64_t TotalRows() const;
+  int64_t MemoryBytes() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_DATABASE_H_

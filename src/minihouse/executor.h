@@ -1,0 +1,51 @@
+#ifndef BYTECARD_MINIHOUSE_EXECUTOR_H_
+#define BYTECARD_MINIHOUSE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "minihouse/aggregate.h"
+#include "minihouse/io_stats.h"
+#include "minihouse/join.h"
+#include "minihouse/optimizer.h"
+#include "minihouse/query.h"
+
+namespace bytecard::minihouse {
+
+// Everything the benches observe about one query execution.
+struct ExecStats {
+  IoStats io;
+  int64_t agg_resize_count = 0;
+  int64_t agg_final_capacity = 0;
+  int64_t intermediate_rows = 0;  // summed join-output sizes
+  // Rows materialized by probe-side scans (what SIP prunes).
+  int64_t probe_rows_materialized = 0;
+  double exec_ms = 0.0;           // execution only
+  double plan_ms = 0.0;           // optimizer (incl. estimator) time
+};
+
+struct ExecResult {
+  AggregateResult agg;
+  ExecStats stats;
+
+  // Convenience for cardinality queries: COUNT(*) with no GROUP BY.
+  int64_t ScalarCount() const {
+    if (agg.agg_values.empty() || agg.agg_values[0].empty()) return 0;
+    return static_cast<int64_t>(agg.agg_values[0][0]);
+  }
+};
+
+// Runs a bound query under a physical plan: per-table scans (reader choice +
+// column order), left-deep hash joins in plan order, then hash aggregation
+// with the plan's NDV hint.
+Result<ExecResult> ExecuteQuery(const BoundQuery& query,
+                                const PhysicalPlan& plan);
+
+// Plans with `optimizer`/`estimator` and executes; fills both timing fields.
+Result<ExecResult> PlanAndExecute(const BoundQuery& query,
+                                  const Optimizer& optimizer,
+                                  CardinalityEstimator* estimator);
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_EXECUTOR_H_

@@ -1,0 +1,57 @@
+#ifndef BYTECARD_MINIHOUSE_HASH_TABLE_H_
+#define BYTECARD_MINIHOUSE_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace bytecard::minihouse {
+
+// Open-addressing hash table for aggregation group keys (paper §3.1.2 /
+// §5.2). Keys are fixed-width tuples of int64. The table grows by doubling
+// when load factor exceeds kMaxLoadFactor, and counts every resize — the
+// observable that Figure 6b reports. Pre-sizing with an (estimated) group
+// NDV avoids the early-stage resize storms the paper describes.
+class AggregationHashTable {
+ public:
+  // `key_width`: number of int64 components per group key.
+  // `initial_ndv_hint`: expected number of groups; 0 = engine default (a
+  // deliberately small table, matching a system with no NDV information).
+  AggregationHashTable(int key_width, int64_t initial_ndv_hint);
+
+  AggregationHashTable(const AggregationHashTable&) = delete;
+  AggregationHashTable& operator=(const AggregationHashTable&) = delete;
+
+  // Looks up `key` (key_width int64s), inserting a new group if absent.
+  // Returns the dense group index.
+  int64_t FindOrInsert(const int64_t* key);
+
+  int64_t num_groups() const {
+    return static_cast<int64_t>(keys_.size()) / key_width_;
+  }
+  int64_t resize_count() const { return resize_count_; }
+  int64_t capacity() const { return static_cast<int64_t>(slots_.size()); }
+
+  // Group key component `c` of group `g`.
+  int64_t KeyComponent(int64_t g, int c) const {
+    return keys_[g * key_width_ + c];
+  }
+
+  static constexpr double kMaxLoadFactor = 0.5;
+  static constexpr int64_t kDefaultInitialSlots = 256;
+
+ private:
+  void Grow();
+  static uint64_t HashKey(const int64_t* key, int width);
+
+  int key_width_;
+  std::vector<int32_t> slots_;   // -1 = empty, else group index
+  std::vector<int64_t> keys_;    // flattened group keys
+  std::vector<uint64_t> hashes_; // cached per-group hash
+  int64_t resize_count_ = 0;
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_HASH_TABLE_H_

@@ -1,0 +1,44 @@
+#ifndef BYTECARD_MINIHOUSE_IO_STATS_H_
+#define BYTECARD_MINIHOUSE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace bytecard::minihouse {
+
+// Rows per storage block. Column I/O is charged at block granularity, the
+// same granularity at which a columnar engine issues reads; the multi-stage
+// reader saves I/O precisely by skipping blocks whose candidate set is empty.
+inline constexpr int64_t kBlockRows = 4096;
+
+// Simulated storage cost: when > 0, every block read performs `factor`
+// extra passes over the block, emulating an I/O-bound storage layer (the
+// regime ByteHouse operates in, where scan volume dominates latency).
+// Default 0 = pure in-memory. Benches that reproduce latency figures set it;
+// tests leave it off.
+void SetStorageCostFactor(int factor);
+int StorageCostFactor();
+
+// Per-query I/O accounting. The executor threads one IoStats through a query;
+// Figure 6a reports the blocks_read totals.
+struct IoStats {
+  int64_t blocks_read = 0;
+  int64_t bytes_read = 0;
+  int64_t rows_scanned = 0;
+
+  void AddBlock(int64_t rows, int64_t bytes_per_row) {
+    blocks_read += 1;
+    bytes_read += rows * bytes_per_row;
+    rows_scanned += rows;
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    blocks_read += other.blocks_read;
+    bytes_read += other.bytes_read;
+    rows_scanned += other.rows_scanned;
+    return *this;
+  }
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_IO_STATS_H_

@@ -1,0 +1,107 @@
+#include "minihouse/join.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace bytecard::minihouse {
+
+namespace {
+
+uint64_t HashRowKeys(const Relation& rel, const std::vector<int>& keys,
+                     int64_t row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int k : keys) {
+    uint64_t x = static_cast<uint64_t>(rel.columns[k][row]);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h ^= (x ^ (x >> 31)) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool KeysEqual(const Relation& a, const std::vector<int>& a_keys, int64_t ra,
+               const Relation& b, const std::vector<int>& b_keys,
+               int64_t rb) {
+  for (size_t i = 0; i < a_keys.size(); ++i) {
+    if (a.columns[a_keys[i]][ra] != b.columns[b_keys[i]][rb]) return false;
+  }
+  return true;
+}
+
+Relation GatherJoined(const Relation& left, const Relation& right,
+                      const std::vector<int64_t>& left_rows,
+                      const std::vector<int64_t>& right_rows) {
+  Relation out;
+  out.column_names = left.column_names;
+  out.column_names.insert(out.column_names.end(), right.column_names.begin(),
+                          right.column_names.end());
+  out.columns.resize(out.column_names.size());
+  const size_t n = left_rows.size();
+  for (size_t c = 0; c < left.columns.size(); ++c) {
+    auto& dst = out.columns[c];
+    dst.resize(n);
+    const auto& src = left.columns[c];
+    for (size_t i = 0; i < n; ++i) dst[i] = src[left_rows[i]];
+  }
+  for (size_t c = 0; c < right.columns.size(); ++c) {
+    auto& dst = out.columns[left.columns.size() + c];
+    dst.resize(n);
+    const auto& src = right.columns[c];
+    for (size_t i = 0; i < n; ++i) dst[i] = src[right_rows[i]];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> HashJoin(const Relation& left, const Relation& right,
+                          const std::vector<int>& left_keys,
+                          const std::vector<int>& right_keys) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  for (int k : left_keys) {
+    if (k < 0 || k >= static_cast<int>(left.columns.size())) {
+      return Status::InvalidArgument("left join key out of range");
+    }
+  }
+  for (int k : right_keys) {
+    if (k < 0 || k >= static_cast<int>(right.columns.size())) {
+      return Status::InvalidArgument("right join key out of range");
+    }
+  }
+
+  // Build on the smaller input.
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& build_keys = build_left ? left_keys : right_keys;
+  const std::vector<int>& probe_keys = build_left ? right_keys : left_keys;
+
+  std::unordered_multimap<uint64_t, int64_t> ht;
+  ht.reserve(static_cast<size_t>(build.num_rows()));
+  for (int64_t r = 0; r < build.num_rows(); ++r) {
+    ht.emplace(HashRowKeys(build, build_keys, r), r);
+  }
+
+  std::vector<int64_t> build_rows;
+  std::vector<int64_t> probe_rows;
+  for (int64_t r = 0; r < probe.num_rows(); ++r) {
+    const uint64_t h = HashRowKeys(probe, probe_keys, r);
+    auto [lo, hi] = ht.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      if (KeysEqual(build, build_keys, it->second, probe, probe_keys, r)) {
+        build_rows.push_back(it->second);
+        probe_rows.push_back(r);
+      }
+    }
+  }
+
+  if (build_left) {
+    return GatherJoined(left, right, build_rows, probe_rows);
+  }
+  return GatherJoined(left, right, probe_rows, build_rows);
+}
+
+}  // namespace bytecard::minihouse

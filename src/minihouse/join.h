@@ -1,0 +1,40 @@
+#ifndef BYTECARD_MINIHOUSE_JOIN_H_
+#define BYTECARD_MINIHOUSE_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bytecard::minihouse {
+
+// An in-flight column-major relation: the unit flowing between scan, join,
+// and aggregation. Column names are qualified "alias.column" strings so that
+// join keys and group keys can be located after arbitrary join orders.
+struct Relation {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<int64_t>> columns;
+
+  int64_t num_rows() const {
+    return columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  }
+
+  int FindColumn(const std::string& qualified_name) const {
+    for (size_t i = 0; i < column_names.size(); ++i) {
+      if (column_names[i] == qualified_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+// Hash equi-join of two relations on possibly multiple key pairs
+// (left_keys[i] joins right_keys[i]; indices into each relation's columns).
+// Builds on the smaller side. Output carries all columns of both inputs.
+Result<Relation> HashJoin(const Relation& left, const Relation& right,
+                          const std::vector<int>& left_keys,
+                          const std::vector<int>& right_keys);
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_JOIN_H_

@@ -1,0 +1,169 @@
+#include "minihouse/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace bytecard::minihouse {
+
+TableScanPlan Optimizer::PlanScan(const BoundTableRef& ref,
+                                  CardinalityEstimator* estimator) const {
+  TableScanPlan plan;
+  if (ref.filters.empty()) {
+    plan.reader = ReaderKind::kSingleStage;
+    return plan;
+  }
+
+  plan.estimated_selectivity =
+      estimator->EstimateSelectivity(*ref.table, ref.filters);
+
+  // Dynamic reader selection (paper §5.1.2): multi-stage pays off exactly
+  // when filters eliminate most rows early; otherwise its extra passes lose.
+  plan.reader =
+      plan.estimated_selectivity <= options_.multi_stage_selectivity_threshold
+          ? ReaderKind::kMultiStage
+          : ReaderKind::kSingleStage;
+
+  if (plan.reader == ReaderKind::kMultiStage && ref.filters.size() > 1) {
+    // Column-order selection (paper §5.1.1): greedily extend the prefix with
+    // the filter that minimizes the *conjunction* selectivity so far — this
+    // is where cross-column correlation matters and where learned estimators
+    // beat per-column independence. Enumeration early-stops once the prefix
+    // is selective enough that later ordering no longer matters.
+    const int n = static_cast<int>(ref.filters.size());
+    std::vector<int> remaining(n);
+    std::iota(remaining.begin(), remaining.end(), 0);
+    Conjunction prefix;
+    double prefix_selectivity = 1.0;
+    bool early_stopped = false;
+
+    while (!remaining.empty()) {
+      if (!early_stopped &&
+          prefix_selectivity <= options_.column_order_early_stop &&
+          !prefix.empty()) {
+        // Prefix already filters well; order the rest by individual
+        // selectivity without further conjunction probes.
+        early_stopped = true;
+      }
+      int best_pos = 0;
+      double best_sel = std::numeric_limits<double>::infinity();
+      for (int pos = 0; pos < static_cast<int>(remaining.size()); ++pos) {
+        Conjunction candidate;
+        if (early_stopped) {
+          candidate = {ref.filters[remaining[pos]]};
+        } else {
+          candidate = prefix;
+          candidate.push_back(ref.filters[remaining[pos]]);
+        }
+        const double sel =
+            estimator->EstimateSelectivity(*ref.table, candidate);
+        if (sel < best_sel) {
+          best_sel = sel;
+          best_pos = pos;
+        }
+      }
+      const int chosen = remaining[best_pos];
+      plan.filter_order.push_back(chosen);
+      prefix.push_back(ref.filters[chosen]);
+      if (!early_stopped) prefix_selectivity = best_sel;
+      remaining.erase(remaining.begin() + best_pos);
+    }
+  }
+  return plan;
+}
+
+std::vector<int> Optimizer::PlanJoinOrder(
+    const BoundQuery& query, CardinalityEstimator* estimator) const {
+  const int n = query.num_tables();
+  std::vector<int> order;
+  if (n <= 1) {
+    if (n == 1) order.push_back(0);
+    return order;
+  }
+  if (!options_.optimize_join_order || query.joins.empty()) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+  }
+
+  auto connected = [&](const std::vector<bool>& in_set, int t) {
+    for (const JoinEdge& e : query.joins) {
+      if ((e.left_table == t && in_set[e.right_table]) ||
+          (e.right_table == t && in_set[e.left_table])) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Seed: the joined pair with the smallest estimated cardinality.
+  double best_card = std::numeric_limits<double>::infinity();
+  int best_a = 0;
+  int best_b = 1;
+  for (const JoinEdge& e : query.joins) {
+    const double card = estimator->EstimateJoinCardinality(
+        query, {e.left_table, e.right_table});
+    if (card < best_card) {
+      best_card = card;
+      best_a = e.left_table;
+      best_b = e.right_table;
+    }
+  }
+  order = {best_a, best_b};
+  std::vector<bool> in_set(n, false);
+  in_set[best_a] = in_set[best_b] = true;
+
+  // Greedy left-deep extension: add the connected table minimizing the
+  // estimated cardinality of the grown subset.
+  while (static_cast<int>(order.size()) < n) {
+    int best_t = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int t = 0; t < n; ++t) {
+      if (in_set[t] || !connected(in_set, t)) continue;
+      std::vector<int> subset = order;
+      subset.push_back(t);
+      const double card = estimator->EstimateJoinCardinality(query, subset);
+      if (card < best) {
+        best = card;
+        best_t = t;
+      }
+    }
+    if (best_t < 0) {
+      // Disconnected join graph: append remaining tables in index order
+      // (a cross product; our workloads never produce one).
+      for (int t = 0; t < n; ++t) {
+        if (!in_set[t]) {
+          order.push_back(t);
+          in_set[t] = true;
+        }
+      }
+      break;
+    }
+    order.push_back(best_t);
+    in_set[best_t] = true;
+  }
+  return order;
+}
+
+PhysicalPlan Optimizer::Plan(const BoundQuery& query,
+                             CardinalityEstimator* estimator) const {
+  Stopwatch timer;
+  PhysicalPlan plan;
+  plan.scans.reserve(query.tables.size());
+  for (const BoundTableRef& ref : query.tables) {
+    plan.scans.push_back(PlanScan(ref, estimator));
+  }
+  plan.join_order = PlanJoinOrder(query, estimator);
+  plan.use_sip = options_.enable_sip;
+  if (options_.use_ndv_hint && !query.group_by.empty()) {
+    const double ndv = estimator->EstimateGroupNdv(query);
+    plan.group_ndv_hint = std::max<int64_t>(0, static_cast<int64_t>(ndv));
+  }
+  plan.estimation_ms = timer.ElapsedMillis();
+  return plan;
+}
+
+}  // namespace bytecard::minihouse

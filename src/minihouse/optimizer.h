@@ -1,0 +1,92 @@
+#ifndef BYTECARD_MINIHOUSE_OPTIMIZER_H_
+#define BYTECARD_MINIHOUSE_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minihouse/query.h"
+#include "minihouse/reader.h"
+
+namespace bytecard::minihouse {
+
+// The estimator interface the optimizer is parameterized by. Implemented by
+// the traditional sketch-based estimator, the sample-based estimator, and the
+// ByteCard facade — the three systems Figure 5/6/7 compare. Estimation cost
+// is intentionally paid inside optimizer calls so that estimation overhead
+// (the sample-based method's weakness at low latency quantiles) shows up in
+// end-to-end latency.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Fraction of `table`'s rows satisfying the conjunction, in [0, 1].
+  virtual double EstimateSelectivity(const Table& table,
+                                     const Conjunction& filters) = 0;
+
+  // Estimated COUNT(*) of the join of `table_subset` (indices into
+  // query.tables) under their filters and the query's join edges.
+  virtual double EstimateJoinCardinality(
+      const BoundQuery& query, const std::vector<int>& table_subset) = 0;
+
+  // Estimated number of distinct group keys the query's GROUP BY produces.
+  virtual double EstimateGroupNdv(const BoundQuery& query) = 0;
+};
+
+struct TableScanPlan {
+  ReaderKind reader = ReaderKind::kSingleStage;
+  std::vector<int> filter_order;  // multi-stage column order
+  double estimated_selectivity = 1.0;
+};
+
+struct PhysicalPlan {
+  std::vector<TableScanPlan> scans;  // one per query table
+  std::vector<int> join_order;       // left-deep order over table indices
+  int64_t group_ndv_hint = 0;        // 0 = no hint (engine default sizing)
+  bool use_sip = true;               // sideways information passing enabled
+  double estimation_ms = 0.0;        // time spent inside the estimator
+};
+
+struct OptimizerOptions {
+  // Use the multi-stage reader when estimated selectivity falls at or below
+  // this fraction (paper §5.1.2 threshold).
+  double multi_stage_selectivity_threshold = 0.15;
+  // Column-order enumeration early-stop (paper §5.1.1): once the chosen
+  // prefix is at least this selective, later stages see so few rows that
+  // further conjunction probing cannot pay off; remaining filters keep
+  // their individual-selectivity order.
+  double column_order_early_stop = 0.02;
+  // Pre-size aggregation hash tables from estimated group NDV.
+  bool use_ndv_hint = true;
+  // Pick join order from estimated join cardinalities (greedy left-deep).
+  bool optimize_join_order = true;
+  // Sideways information passing: probe-side scans receive a Bloom filter of
+  // the build side's join keys (paper §3.1.2).
+  bool enable_sip = true;
+};
+
+// Cost-based planner: reader selection, multi-stage column ordering,
+// join-order selection, and aggregation hash-table pre-sizing, all driven by
+// the injected CardinalityEstimator.
+class Optimizer {
+ public:
+  Optimizer() {}
+  explicit Optimizer(OptimizerOptions options) : options_(options) {}
+
+  PhysicalPlan Plan(const BoundQuery& query,
+                    CardinalityEstimator* estimator) const;
+
+ private:
+  TableScanPlan PlanScan(const BoundTableRef& ref,
+                         CardinalityEstimator* estimator) const;
+  std::vector<int> PlanJoinOrder(const BoundQuery& query,
+                                 CardinalityEstimator* estimator) const;
+
+  OptimizerOptions options_;
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_OPTIMIZER_H_

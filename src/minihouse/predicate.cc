@@ -1,0 +1,150 @@
+#include "minihouse/predicate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "minihouse/table.h"
+
+namespace bytecard::minihouse {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kIn:
+      return "IN";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+bool ColumnPredicate::Matches(int64_t value) const {
+  switch (op) {
+    case CompareOp::kEq:
+      return value == operand;
+    case CompareOp::kNe:
+      return value != operand;
+    case CompareOp::kLt:
+      return value < operand;
+    case CompareOp::kLe:
+      return value <= operand;
+    case CompareOp::kGt:
+      return value > operand;
+    case CompareOp::kGe:
+      return value >= operand;
+    case CompareOp::kBetween:
+      return value >= operand && value <= operand2;
+    case CompareOp::kIn:
+      return std::find(in_list.begin(), in_list.end(), value) !=
+             in_list.end();
+  }
+  return false;
+}
+
+void EvaluateOnBlock(const ColumnPredicate& pred,
+                     const std::vector<int64_t>& values,
+                     std::vector<uint8_t>* selection) {
+  BC_DCHECK(selection->size() == values.size());
+  // Branch once on the operator, then run a tight loop per case.
+  switch (pred.op) {
+    case CompareOp::kEq:
+      for (size_t i = 0; i < values.size(); ++i) {
+        (*selection)[i] &= static_cast<uint8_t>(values[i] == pred.operand);
+      }
+      break;
+    case CompareOp::kNe:
+      for (size_t i = 0; i < values.size(); ++i) {
+        (*selection)[i] &= static_cast<uint8_t>(values[i] != pred.operand);
+      }
+      break;
+    case CompareOp::kLt:
+      for (size_t i = 0; i < values.size(); ++i) {
+        (*selection)[i] &= static_cast<uint8_t>(values[i] < pred.operand);
+      }
+      break;
+    case CompareOp::kLe:
+      for (size_t i = 0; i < values.size(); ++i) {
+        (*selection)[i] &= static_cast<uint8_t>(values[i] <= pred.operand);
+      }
+      break;
+    case CompareOp::kGt:
+      for (size_t i = 0; i < values.size(); ++i) {
+        (*selection)[i] &= static_cast<uint8_t>(values[i] > pred.operand);
+      }
+      break;
+    case CompareOp::kGe:
+      for (size_t i = 0; i < values.size(); ++i) {
+        (*selection)[i] &= static_cast<uint8_t>(values[i] >= pred.operand);
+      }
+      break;
+    case CompareOp::kBetween:
+      for (size_t i = 0; i < values.size(); ++i) {
+        (*selection)[i] &= static_cast<uint8_t>(values[i] >= pred.operand &&
+                                                values[i] <= pred.operand2);
+      }
+      break;
+    case CompareOp::kIn:
+      for (size_t i = 0; i < values.size(); ++i) {
+        (*selection)[i] &= static_cast<uint8_t>(pred.Matches(values[i]));
+      }
+      break;
+  }
+}
+
+std::vector<uint8_t> EvaluateOnColumn(const Column& column,
+                                      const ColumnPredicate& pred) {
+  const int64_t n = column.num_rows();
+  std::vector<uint8_t> selection(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    selection[i] = static_cast<uint8_t>(pred.Matches(column.NumericAt(i)));
+  }
+  return selection;
+}
+
+void EvaluateConjunction(const Conjunction& conjuncts, const Table& table,
+                         std::vector<uint8_t>* selection) {
+  const int64_t n = table.num_rows();
+  if (static_cast<int64_t>(selection->size()) != n) {
+    selection->assign(n, 1);
+  }
+  for (const ColumnPredicate& pred : conjuncts) {
+    const Column& col = table.column(pred.column);
+    for (int64_t i = 0; i < n; ++i) {
+      if ((*selection)[i] != 0 && !pred.Matches(col.NumericAt(i))) {
+        (*selection)[i] = 0;
+      }
+    }
+  }
+}
+
+std::string PredicateToString(const ColumnPredicate& pred) {
+  std::ostringstream os;
+  os << pred.column_name << " " << CompareOpName(pred.op) << " ";
+  if (pred.op == CompareOp::kIn) {
+    os << "(";
+    for (size_t i = 0; i < pred.in_list.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << pred.in_list[i];
+    }
+    os << ")";
+  } else if (pred.op == CompareOp::kBetween) {
+    os << pred.operand << " AND " << pred.operand2;
+  } else {
+    os << pred.operand;
+  }
+  return os.str();
+}
+
+}  // namespace bytecard::minihouse

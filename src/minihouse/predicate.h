@@ -1,0 +1,55 @@
+#ifndef BYTECARD_MINIHOUSE_PREDICATE_H_
+#define BYTECARD_MINIHOUSE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minihouse/column.h"
+
+namespace bytecard::minihouse {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kIn, kBetween };
+
+const char* CompareOpName(CompareOp op);
+
+// A single filter on one column. All operands are in the column's numeric
+// domain (int64 value, string dictionary code, or ordered double code) —
+// the analyzer performs the conversion.
+struct ColumnPredicate {
+  int column = -1;          // index into the owning table's schema
+  std::string column_name;  // kept for display and featurization
+  CompareOp op = CompareOp::kEq;
+  int64_t operand = 0;      // primary operand (low bound for kBetween)
+  int64_t operand2 = 0;     // high bound for kBetween
+  std::vector<int64_t> in_list;  // operands for kIn
+
+  bool Matches(int64_t value) const;
+};
+
+// A conjunction of per-column filters on one table (the only filter shape the
+// workloads use; OR queries are rewritten by inclusion-exclusion upstream,
+// as in the paper).
+using Conjunction = std::vector<ColumnPredicate>;
+
+// Vectorized evaluation over a block of values: clears selection bits for
+// non-matching rows. `selection` has one entry per row of the block.
+void EvaluateOnBlock(const ColumnPredicate& pred,
+                     const std::vector<int64_t>& values,
+                     std::vector<uint8_t>* selection);
+
+// Full-column evaluation (used by the ground-truth oracle and by the
+// sample-based estimator). Produces a fresh selection vector over all rows.
+std::vector<uint8_t> EvaluateOnColumn(const Column& column,
+                                      const ColumnPredicate& pred);
+
+// Applies a whole conjunction to a table-sized selection vector.
+void EvaluateConjunction(const Conjunction& conjuncts,
+                         const class Table& table,
+                         std::vector<uint8_t>* selection);
+
+std::string PredicateToString(const ColumnPredicate& pred);
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_PREDICATE_H_

@@ -1,0 +1,64 @@
+#ifndef BYTECARD_MINIHOUSE_QUERY_H_
+#define BYTECARD_MINIHOUSE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "minihouse/predicate.h"
+#include "minihouse/table.h"
+
+namespace bytecard::minihouse {
+
+// Aggregate functions supported by the execution engine.
+enum class AggFunc {
+  kCountStar,
+  kCount,          // COUNT(col)
+  kCountDistinct,  // COUNT(DISTINCT col)
+  kSum,
+  kAvg,
+};
+
+// A table occurrence in a query with its pushed-down filter conjunction.
+struct BoundTableRef {
+  const Table* table = nullptr;
+  std::string alias;
+  Conjunction filters;
+};
+
+// Equi-join predicate between two table occurrences (indices into
+// BoundQuery::tables).
+struct JoinEdge {
+  int left_table = -1;
+  int left_column = -1;
+  int right_table = -1;
+  int right_column = -1;
+};
+
+struct GroupKeyRef {
+  int table = -1;
+  int column = -1;
+};
+
+struct AggSpecRef {
+  AggFunc func = AggFunc::kCountStar;
+  int table = -1;   // -1 for COUNT(*)
+  int column = -1;  // -1 for COUNT(*)
+};
+
+// The analyzer's output: a fully bound query over the catalog. This is the
+// structure every estimator featurizes (the paper's featurizeAST path) and
+// the executor runs.
+struct BoundQuery {
+  std::vector<BoundTableRef> tables;
+  std::vector<JoinEdge> joins;
+  std::vector<GroupKeyRef> group_by;
+  std::vector<AggSpecRef> aggs;
+  std::string sql;  // original text when parsed from SQL; may be empty
+
+  bool IsSingleTable() const { return tables.size() == 1; }
+  int num_tables() const { return static_cast<int>(tables.size()); }
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_QUERY_H_

@@ -1,0 +1,189 @@
+#include "minihouse/reader.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace bytecard::minihouse {
+
+namespace {
+
+ScanResult SingleStageScan(const Table& table, const Conjunction& filters,
+                           const std::vector<int>& output_columns,
+                           const ScanOptions& options, IoStats* io) {
+  ScanResult result;
+  result.materialized.resize(output_columns.size());
+  const int64_t num_blocks =
+      (table.num_rows() + kBlockRows - 1) / kBlockRows;
+
+  std::vector<int64_t> block;
+  std::vector<std::vector<int64_t>> out_blocks(output_columns.size());
+  std::vector<uint8_t> selection;
+
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    const int64_t base = b * kBlockRows;
+    const int64_t rows = table.column(0).BlockRowCount(b);
+    selection.assign(rows, 1);
+
+    // SIP first when present: one-pass readers interleave it with the
+    // other predicates over the same block.
+    if (options.sip.bloom != nullptr && options.sip.column >= 0) {
+      table.column(options.sip.column).ReadBlock(b, &block, io);
+      for (int64_t i = 0; i < rows; ++i) {
+        if (selection[i] != 0 && !options.sip.bloom->MayContain(block[i])) {
+          selection[i] = 0;
+        }
+      }
+    }
+    // Read filter columns and apply predicates.
+    for (const ColumnPredicate& pred : filters) {
+      table.column(pred.column).ReadBlock(b, &block, io);
+      EvaluateOnBlock(pred, block, &selection);
+    }
+    // Read output columns unconditionally: the single-stage reader constructs
+    // tuples in the same pass, before knowing what survived.
+    for (size_t c = 0; c < output_columns.size(); ++c) {
+      // A column can be both a filter and an output column; it is still read
+      // once per role in a real one-pass reader only if distinct — here we
+      // avoid double-charging by checking membership.
+      bool already_read =
+          options.sip.bloom != nullptr &&
+          options.sip.column == output_columns[c];
+      for (const ColumnPredicate& pred : filters) {
+        if (pred.column == output_columns[c]) {
+          already_read = true;
+          break;
+        }
+      }
+      table.column(output_columns[c])
+          .ReadBlock(b, &out_blocks[c], already_read ? nullptr : io);
+    }
+    for (int64_t i = 0; i < rows; ++i) {
+      if (selection[i] == 0) continue;
+      result.row_ids.push_back(base + i);
+      for (size_t c = 0; c < output_columns.size(); ++c) {
+        result.materialized[c].push_back(out_blocks[c][i]);
+      }
+    }
+  }
+  return result;
+}
+
+ScanResult MultiStageScan(const Table& table, const Conjunction& filters,
+                          const std::vector<int>& output_columns,
+                          const ScanOptions& options, IoStats* io) {
+  ScanResult result;
+  result.materialized.resize(output_columns.size());
+  const int64_t num_blocks =
+      (table.num_rows() + kBlockRows - 1) / kBlockRows;
+
+  std::vector<int> order = options.filter_order;
+  if (order.empty()) {
+    order.resize(filters.size());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  BC_CHECK(order.size() == filters.size());
+
+  // Per-block surviving selections; empty vector == block fully eliminated.
+  std::vector<std::vector<uint8_t>> block_selection(num_blocks);
+  std::vector<uint8_t> alive(num_blocks, 1);
+  std::vector<int64_t> block;
+
+  // SIP stage first: the semi-join filter is typically the most selective
+  // predicate available, so it runs before any filter column.
+  if (options.sip.bloom != nullptr && options.sip.column >= 0) {
+    const Column& col = table.column(options.sip.column);
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      col.ReadBlock(b, &block, io);
+      if (block_selection[b].empty()) {
+        block_selection[b].assign(block.size(), 1);
+      }
+      bool any = false;
+      for (size_t i = 0; i < block.size(); ++i) {
+        if (block_selection[b][i] != 0 &&
+            !options.sip.bloom->MayContain(block[i])) {
+          block_selection[b][i] = 0;
+        }
+        any = any || block_selection[b][i] != 0;
+      }
+      if (!any) alive[b] = 0;
+    }
+  }
+
+  // Filtering stages: each stage touches only blocks still alive.
+  for (int stage = 0; stage < static_cast<int>(order.size()); ++stage) {
+    const ColumnPredicate& pred = filters[order[stage]];
+    const Column& col = table.column(pred.column);
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      if (!alive[b]) continue;
+      col.ReadBlock(b, &block, io);
+      if (block_selection[b].empty()) {
+        block_selection[b].assign(block.size(), 1);
+      }
+      EvaluateOnBlock(pred, block, &block_selection[b]);
+      bool any = false;
+      for (uint8_t s : block_selection[b]) {
+        if (s != 0) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) alive[b] = 0;
+    }
+  }
+
+  // Materialization stage: tuples are reconstructed for surviving blocks
+  // only, but reconstruction touches every needed column — output columns
+  // AND filter columns (their values are part of the tuple). This re-read of
+  // filter columns is exactly why multi-stage loses to single-stage on
+  // non-selective predicates (paper §5.1.2).
+  std::vector<int> materialize_columns = output_columns;
+  for (const ColumnPredicate& pred : filters) {
+    if (std::find(materialize_columns.begin(), materialize_columns.end(),
+                  pred.column) == materialize_columns.end()) {
+      materialize_columns.push_back(pred.column);
+    }
+  }
+  std::vector<std::vector<int64_t>> out_blocks(output_columns.size());
+  std::vector<int64_t> scratch;
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    if (!alive[b]) continue;
+    const int64_t base = b * kBlockRows;
+    const int64_t rows = table.column(0).BlockRowCount(b);
+    if (block_selection[b].empty()) block_selection[b].assign(rows, 1);
+    for (size_t c = 0; c < materialize_columns.size(); ++c) {
+      std::vector<int64_t>* dest =
+          c < output_columns.size() ? &out_blocks[c] : &scratch;
+      table.column(materialize_columns[c]).ReadBlock(b, dest, io);
+    }
+    for (int64_t i = 0; i < rows; ++i) {
+      if (block_selection[b][i] == 0) continue;
+      result.row_ids.push_back(base + i);
+      for (size_t c = 0; c < output_columns.size(); ++c) {
+        result.materialized[c].push_back(out_blocks[c][i]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+ScanResult ScanTable(const Table& table, const Conjunction& filters,
+                     const std::vector<int>& output_columns,
+                     const ScanOptions& options, IoStats* io) {
+  if (table.num_rows() == 0) {
+    ScanResult empty;
+    empty.materialized.resize(output_columns.size());
+    return empty;
+  }
+  const bool has_sip = options.sip.bloom != nullptr && options.sip.column >= 0;
+  if (options.reader == ReaderKind::kSingleStage ||
+      (filters.empty() && !has_sip)) {
+    return SingleStageScan(table, filters, output_columns, options, io);
+  }
+  return MultiStageScan(table, filters, output_columns, options, io);
+}
+
+}  // namespace bytecard::minihouse

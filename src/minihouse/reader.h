@@ -1,0 +1,69 @@
+#ifndef BYTECARD_MINIHOUSE_READER_H_
+#define BYTECARD_MINIHOUSE_READER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bloom.h"
+#include "minihouse/io_stats.h"
+#include "minihouse/predicate.h"
+#include "minihouse/table.h"
+
+namespace bytecard::minihouse {
+
+// Materialization strategy (paper §3.1.2 and §5.1). ByteHouse started with a
+// one-stage reader and, with ByteCard's estimates, added a multi-stage reader
+// plus a dynamic choice between them.
+enum class ReaderKind {
+  kSingleStage,  // read every needed column once, filter in one pass
+  kMultiStage,   // filter column-by-column, then materialize surviving blocks
+};
+
+// Sideways information passing (paper §3.1.2): a join build side publishes a
+// Bloom filter of its key values; the probe-side scan applies it to `column`
+// as its most selective stage, eliminating non-joining rows (and, in the
+// multi-stage reader, whole blocks) before other columns are even read.
+struct SemiJoinFilter {
+  int column = -1;
+  const BloomFilter* bloom = nullptr;  // not owned; must outlive the scan
+};
+
+struct ScanOptions {
+  ReaderKind reader = ReaderKind::kSingleStage;
+  // For the multi-stage reader: evaluation order as indices into the filter
+  // conjunction. Empty means textual order.
+  std::vector<int> filter_order;
+  // Optional SIP filter; runs before (multi-stage) or alongside
+  // (single-stage) the filter conjunction.
+  SemiJoinFilter sip;
+};
+
+// Output of a table scan: surviving row ids plus materialized tuples for the
+// requested output columns (column-major, one vector per output column).
+struct ScanResult {
+  std::vector<int64_t> row_ids;
+  std::vector<std::vector<int64_t>> materialized;
+  int64_t rows_matched() const {
+    return static_cast<int64_t>(row_ids.size());
+  }
+};
+
+// Scans `table` with `filters`, materializing `output_columns`.
+//
+// Single-stage: every needed column (filter and output) is read exactly once,
+// block by block; all predicates are applied in one pass. I/O is independent
+// of selectivity — the right choice when most rows survive.
+//
+// Multi-stage: stage k reads filter column k only for blocks that still hold
+// at least one candidate row; a final materialization stage re-reads all
+// needed columns for surviving blocks to build tuples. Very cheap when an
+// early column kills whole blocks; for non-selective filters it pays roughly
+// one extra pass over the filter columns — the regression the paper's dynamic
+// reader selection avoids.
+ScanResult ScanTable(const Table& table, const Conjunction& filters,
+                     const std::vector<int>& output_columns,
+                     const ScanOptions& options, IoStats* io);
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_READER_H_

@@ -1,0 +1,61 @@
+#ifndef BYTECARD_MINIHOUSE_SCHEMA_H_
+#define BYTECARD_MINIHOUSE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bytecard::minihouse {
+
+// Physical column types. kArray stands in for ByteHouse's complex types
+// (Array/Map): it is storable and scannable but excluded from model training
+// by the Model Preprocessor's column-selection step.
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kString,  // dictionary-encoded; rows store int64 codes into the dictionary
+  kArray,   // complex type: unsupported by CardEst models
+};
+
+// The machine-learning-facing type produced by the Model Preprocessor's
+// preliminary type-mapping (paper §4.4.1).
+enum class MlType {
+  kCategorical,
+  kContinuous,
+  kUnsupported,
+};
+
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  bool operator==(const ColumnDef& other) const = default;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Returns -1 when the name is absent.
+  int FindColumn(const std::string& name) const {
+    for (int i = 0; i < num_columns(); ++i) {
+      if (columns_[i].name == name) return i;
+    }
+    return -1;
+  }
+
+  void AddColumn(ColumnDef def) { columns_.push_back(std::move(def)); }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_SCHEMA_H_

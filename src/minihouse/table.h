@@ -1,0 +1,52 @@
+#ifndef BYTECARD_MINIHOUSE_TABLE_H_
+#define BYTECARD_MINIHOUSE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minihouse/column.h"
+#include "minihouse/schema.h"
+
+namespace bytecard::minihouse {
+
+// A stored table: schema + columns. Tables are immutable once built (the
+// generators build them column-wise); query processing treats them as
+// read-only, matching the paper's separation of data ingestion from query
+// execution.
+class Table {
+ public:
+  Table(std::string name, TableSchema schema);
+
+  const std::string& name() const { return name_; }
+  const TableSchema& schema() const { return schema_; }
+
+  int num_columns() const { return schema_.num_columns(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  Column* mutable_column(int i) { return &columns_[i]; }
+  const Column& column(int i) const { return columns_[i]; }
+
+  // Returns the column by name or an error.
+  Result<const Column*> FindColumn(const std::string& name) const;
+  int FindColumnIndex(const std::string& name) const {
+    return schema_.FindColumn(name);
+  }
+
+  // Recomputes num_rows_ from column 0 and checks all columns agree.
+  // Call once after bulk-building the columns.
+  Status Seal();
+
+  int64_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  TableSchema schema_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_TABLE_H_

@@ -1,0 +1,27 @@
+#ifndef BYTECARD_SQL_ANALYZER_H_
+#define BYTECARD_SQL_ANALYZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "minihouse/database.h"
+#include "minihouse/query.h"
+#include "sql/ast.h"
+
+namespace bytecard::sql {
+
+// Binds a parsed statement against the catalog, producing the executable /
+// featurizable BoundQuery: aliases resolved, columns mapped to indices,
+// literals converted into each column's numeric domain (int64 values, string
+// dictionary codes, ordered double codes), join predicates separated from
+// filters, and per-table filter conjunctions formed.
+Result<minihouse::BoundQuery> Analyze(const SelectStatement& stmt,
+                                      const minihouse::Database& db);
+
+// Convenience: parse + analyze.
+Result<minihouse::BoundQuery> AnalyzeSql(const std::string& sql,
+                                         const minihouse::Database& db);
+
+}  // namespace bytecard::sql
+
+#endif  // BYTECARD_SQL_ANALYZER_H_

@@ -1,0 +1,79 @@
+#ifndef BYTECARD_SQL_AST_H_
+#define BYTECARD_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "minihouse/predicate.h"
+
+namespace bytecard::sql {
+
+// Abstract syntax tree for the analytical SQL subset MiniHouse speaks:
+//
+//   SELECT <items> FROM <tables> [WHERE <conjuncts>] [GROUP BY <cols>]
+//
+// with items among COUNT(*), COUNT(c), COUNT(DISTINCT c), SUM(c), AVG(c),
+// and bare columns; WHERE is a conjunction of column-vs-literal filters and
+// column-vs-column equi-joins. This is the workload shape of JOB-light /
+// STATS-CEB plus the paper's Hybrid aggregation extensions.
+
+struct ColumnRef {
+  std::string table;  // alias or table name; may be empty if unambiguous
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+struct Literal {
+  enum class Kind { kInt, kFloat, kString };
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string string_value;
+};
+
+// column <op> literal(s). For kBetween operands has two entries; for kIn, N.
+struct AstFilter {
+  ColumnRef column;
+  minihouse::CompareOp op = minihouse::CompareOp::kEq;
+  std::vector<Literal> operands;
+};
+
+// column = column across tables.
+struct AstJoin {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+struct AstSelectItem {
+  enum class Kind {
+    kColumn,
+    kCountStar,
+    kCount,
+    kCountDistinct,
+    kSum,
+    kAvg,
+  };
+  Kind kind = Kind::kCountStar;
+  ColumnRef column;  // unused for kCountStar
+};
+
+struct AstTableRef {
+  std::string table;
+  std::string alias;  // empty if none
+};
+
+struct SelectStatement {
+  std::vector<AstSelectItem> items;
+  std::vector<AstTableRef> tables;
+  std::vector<AstFilter> filters;
+  std::vector<AstJoin> joins;
+  std::vector<ColumnRef> group_by;
+  std::string text;  // original SQL
+};
+
+}  // namespace bytecard::sql
+
+#endif  // BYTECARD_SQL_AST_H_

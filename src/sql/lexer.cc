@@ -1,0 +1,132 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace bytecard::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kKeywords = new std::set<std::string>{
+      "SELECT", "FROM",    "WHERE", "GROUP", "BY",  "AND",
+      "COUNT",  "DISTINCT", "SUM",  "AVG",   "IN",  "BETWEEN",
+      "AS",     "NOT",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      const std::string word = sql.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') is_float = true;
+        ++j;
+      }
+      const std::string num = sql.substr(i, j - i);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = num;
+      tokens.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = sql.substr(i + 1, j - i - 1);
+      tokens.push_back(std::move(tok));
+      i = j + 1;
+      continue;
+    }
+
+    // Two-char operators first.
+    if (i + 1 < n) {
+      const std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+        tok.type = TokenType::kSymbol;
+        tok.text = (two == "<>") ? "!=" : two;
+        tokens.push_back(std::move(tok));
+        i += 2;
+        continue;
+      }
+    }
+    if (c == ',' || c == '(' || c == ')' || c == '.' || c == '=' ||
+        c == '<' || c == '>' || c == '*' || c == ';') {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at " +
+                                   std::to_string(i));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace bytecard::sql

@@ -1,0 +1,35 @@
+#ifndef BYTECARD_SQL_LEXER_H_
+#define BYTECARD_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bytecard::sql {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,  // upper-cased reserved word
+  kInteger,
+  kFloat,
+  kString,   // quoted literal, quotes stripped
+  kSymbol,   // punctuation / operator, e.g. "," "(" ")" "." "=" "<=" "!="
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // keyword/symbol text, identifier, or literal body
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int position = 0;   // byte offset for error messages
+};
+
+// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+// reported upper-cased. Fails on unterminated strings or stray characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace bytecard::sql
+
+#endif  // BYTECARD_SQL_LEXER_H_

@@ -1,0 +1,20 @@
+#ifndef BYTECARD_SQL_PARSER_H_
+#define BYTECARD_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace bytecard::sql {
+
+// Parses one SELECT statement into an AST. See ast.h for the grammar.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+// Renders a statement back to SQL (used by the featurizeSQLQuery path and by
+// the workload generator to emit query text).
+std::string ToSql(const SelectStatement& stmt);
+
+}  // namespace bytecard::sql
+
+#endif  // BYTECARD_SQL_PARSER_H_

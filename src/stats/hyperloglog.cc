@@ -1,0 +1,93 @@
+#include "stats/hyperloglog.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bytecard::stats {
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  BC_CHECK(precision >= 4 && precision <= 18);
+  registers_.assign(size_t{1} << precision, 0);
+}
+
+uint64_t HyperLogLog::Mix(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const uint64_t index = hash >> (64 - precision_);
+  const uint64_t rest = hash << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits (1-based).
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
+  registers_[index] =
+      std::max<uint8_t>(registers_[index], static_cast<uint8_t>(rank));
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+
+  double sum = 0.0;
+  int64_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+
+  // Small-range correction: linear counting.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  BC_CHECK(precision_ == other.precision_);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+void HyperLogLog::Serialize(BufferWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(precision_));
+  writer->WriteU64(registers_.size());
+  for (uint8_t r : registers_) writer->WriteU32(r);
+}
+
+Result<HyperLogLog> HyperLogLog::Deserialize(BufferReader* reader) {
+  uint32_t precision = 0;
+  BC_RETURN_IF_ERROR(reader->ReadU32(&precision));
+  if (precision < 4 || precision > 18) {
+    return Status::InvalidModel("bad HLL precision");
+  }
+  HyperLogLog hll(static_cast<int>(precision));
+  uint64_t n = 0;
+  BC_RETURN_IF_ERROR(reader->ReadU64(&n));
+  if (n != (uint64_t{1} << precision)) {
+    return Status::InvalidModel("HLL register count mismatch");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t r = 0;
+    BC_RETURN_IF_ERROR(reader->ReadU32(&r));
+    hll.registers_[i] = static_cast<uint8_t>(r);
+  }
+  return hll;
+}
+
+}  // namespace bytecard::stats

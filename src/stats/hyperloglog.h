@@ -1,0 +1,43 @@
+#ifndef BYTECARD_STATS_HYPERLOGLOG_H_
+#define BYTECARD_STATS_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace bytecard::stats {
+
+// HyperLogLog distinct-count sketch (Flajolet et al. 2007, with the linear-
+// counting small-range correction from Heule et al. 2013). This is the
+// sketch-based NDV baseline the paper's ByteHouse used before RBX; its known
+// weakness — no guarantees under predicates/sampling, staleness under
+// updates — is exactly what Figure 6b exploits.
+class HyperLogLog {
+ public:
+  // `precision` p gives 2^p registers; standard error ~ 1.04 / sqrt(2^p).
+  explicit HyperLogLog(int precision = 12);
+
+  void AddHash(uint64_t hash);
+  void Add(int64_t value) { AddHash(Mix(static_cast<uint64_t>(value))); }
+
+  double Estimate() const;
+
+  // Merges another sketch built with the same precision.
+  void Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<HyperLogLog> Deserialize(BufferReader* reader);
+
+ private:
+  static uint64_t Mix(uint64_t x);
+
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace bytecard::stats
+
+#endif  // BYTECARD_STATS_HYPERLOGLOG_H_

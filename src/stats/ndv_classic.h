@@ -1,0 +1,44 @@
+#ifndef BYTECARD_STATS_NDV_CLASSIC_H_
+#define BYTECARD_STATS_NDV_CLASSIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bytecard::stats {
+
+// Frequency counts of a sample: freq[i] = f_{i+1} = number of distinct
+// values occurring exactly i+1 times in the sample. The shared input of
+// every sample-scale-up NDV estimator (and of RBX's frequency profile).
+struct SampleFrequencies {
+  std::vector<int64_t> freq;  // f_1, f_2, ...
+  int64_t sample_size = 0;    // n
+  int64_t population_size = 0;  // N
+
+  int64_t sample_distinct() const {
+    int64_t d = 0;
+    for (int64_t f : freq) d += f;
+    return d;
+  }
+};
+
+// Builds frequency counts from raw sampled values.
+SampleFrequencies ComputeFrequencies(const std::vector<int64_t>& sample,
+                                     int64_t population_size);
+
+// Chao (1984) lower-bound estimator: d + f1^2 / (2 f2).
+double ChaoEstimate(const SampleFrequencies& s);
+
+// Guaranteed-Error Estimator (Charikar et al. 2000): d + (sqrt(N/n) - 1) f1.
+double GeeEstimate(const SampleFrequencies& s);
+
+// Naive scale-up: d * N / n (assumes every unseen row adds distinct mass
+// proportionally). The weakest heuristic; included as a baseline floor.
+double ScaleUpEstimate(const SampleFrequencies& s);
+
+// Shlosser (1981) estimator, strong under skew; the usual heuristic choice
+// for Bernoulli samples with rate q = n/N.
+double ShlosserEstimate(const SampleFrequencies& s);
+
+}  // namespace bytecard::stats
+
+#endif  // BYTECARD_STATS_NDV_CLASSIC_H_

@@ -1,0 +1,72 @@
+#include "stats/sampler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bytecard::stats {
+
+TableSample TableSample::Build(const minihouse::Table& table, double rate,
+                               int64_t max_rows, Rng* rng) {
+  TableSample sample;
+  sample.table_rows_ = table.num_rows();
+  if (table.num_rows() == 0 || rate <= 0.0) return sample;
+
+  int64_t want = static_cast<int64_t>(rate * static_cast<double>(table.num_rows()));
+  want = std::clamp<int64_t>(want, 1, std::min(max_rows, table.num_rows()));
+
+  // Floyd's algorithm would avoid the permutation, but table sizes here are
+  // modest; a partial Fisher-Yates over row ids keeps it simple and exact.
+  std::vector<int64_t> rows(table.num_rows());
+  for (int64_t i = 0; i < table.num_rows(); ++i) rows[i] = i;
+  for (int64_t i = 0; i < want; ++i) {
+    const int64_t j =
+        i + static_cast<int64_t>(rng->Uniform(table.num_rows() - i));
+    std::swap(rows[i], rows[j]);
+  }
+  rows.resize(want);
+  std::sort(rows.begin(), rows.end());
+
+  sample.num_rows_ = want;
+  sample.columns_.resize(table.num_columns());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (table.schema().column(c).type == minihouse::DataType::kArray) {
+      continue;  // complex types stay unsampled (unsupported by estimators)
+    }
+    auto& dst = sample.columns_[c];
+    dst.reserve(want);
+    const minihouse::Column& col = table.column(c);
+    for (int64_t r : rows) dst.push_back(col.NumericAt(r));
+  }
+  return sample;
+}
+
+int64_t TableSample::CountMatches(
+    const minihouse::Conjunction& filters) const {
+  int64_t count = 0;
+  for (int64_t i = 0; i < num_rows_; ++i) {
+    bool pass = true;
+    for (const minihouse::ColumnPredicate& pred : filters) {
+      if (!pred.Matches(columns_[pred.column][i])) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) ++count;
+  }
+  return count;
+}
+
+std::vector<uint8_t> TableSample::Matches(
+    const minihouse::Conjunction& filters) const {
+  std::vector<uint8_t> sel(num_rows_, 1);
+  for (const minihouse::ColumnPredicate& pred : filters) {
+    const auto& col = columns_[pred.column];
+    for (int64_t i = 0; i < num_rows_; ++i) {
+      if (sel[i] != 0 && !pred.Matches(col[i])) sel[i] = 0;
+    }
+  }
+  return sel;
+}
+
+}  // namespace bytecard::stats

@@ -1,0 +1,645 @@
+#include "workload/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace bytecard::workload {
+
+namespace {
+
+using minihouse::ColumnDef;
+using minihouse::Database;
+using minihouse::DataType;
+using minihouse::Table;
+using minihouse::TableSchema;
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(100, static_cast<int64_t>(base * scale));
+}
+
+// Maps a Zipf-popularity rank onto the key domain through a per-table
+// bijection (odd multiplier modulo the domain size). Every table keeps its
+// own skewed fanout distribution (breaking join uniformity), but popularity
+// ranks are decorrelated ACROSS tables — matching real schemas, where a
+// movie with many cast entries is not automatically the movie with the most
+// keywords. Without this, expected join fanouts compound multiplicatively
+// and the join-size tail becomes astronomically heavy.
+int64_t PermutedKey(uint64_t rank, int64_t domain, uint64_t table_salt) {
+  const uint64_t mult = (table_salt * 2654435761ULL) | 1ULL;
+  return static_cast<int64_t>((rank * mult + table_salt) %
+                              static_cast<uint64_t>(domain));
+}
+
+std::unique_ptr<Table> MakeTable(const std::string& name,
+                                 std::vector<ColumnDef> columns) {
+  return std::make_unique<Table>(name, TableSchema(std::move(columns)));
+}
+
+// ---------------------------------------------------------------------------
+// IMDB-like (JOB-light star around `title`)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Table> MakeTitle(int64_t rows, Rng* rng) {
+  auto table = MakeTable("title", {{"id", DataType::kInt64},
+                                   {"kind_id", DataType::kInt64},
+                                   {"production_year", DataType::kInt64},
+                                   {"phonetic_code", DataType::kInt64},
+                                   {"season_nr", DataType::kInt64}});
+  ZipfDistribution kind_dist(7, 1.1);
+  ZipfDistribution season_dist(31, 1.4);
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t kind = static_cast<int64_t>(kind_dist.Sample(rng));
+    // production_year depends on BOTH kind (TV kinds skew recent) and the
+    // title's popularity rank (low ids = classics with many satellite rows):
+    // year-range filters therefore shift the join-key distribution, which
+    // learned models capture and histograms cannot.
+    const double rank_year =
+        1915.0 + 95.0 * static_cast<double>(i) / static_cast<double>(rows);
+    const double mean_year = rank_year + 6.0 * static_cast<double>(kind);
+    int64_t year = static_cast<int64_t>(mean_year + rng->NextGaussian() * 9.0);
+    year = std::clamp<int64_t>(year, 1900, 2025);
+    // phonetic_code tracks year (another in-table correlation).
+    const int64_t phonetic =
+        std::clamp<int64_t>((year - 1900) * 8 + rng->UniformInt(-40, 40), 0, 999);
+    table->mutable_column(0)->AppendInt(i);
+    table->mutable_column(1)->AppendInt(kind);
+    table->mutable_column(2)->AppendInt(year);
+    table->mutable_column(3)->AppendInt(phonetic);
+    table->mutable_column(4)->AppendInt(
+        kind >= 4 ? static_cast<int64_t>(season_dist.Sample(rng)) : 0);
+  }
+  return table;
+}
+
+std::unique_ptr<Table> MakeMovieSatellite(
+    const std::string& name, int64_t rows, int64_t num_titles,
+    const std::vector<std::pair<std::string, int64_t>>& attr_domains,
+    double attr_skew, Rng* rng) {
+  std::vector<ColumnDef> columns = {{"movie_id", DataType::kInt64}};
+  for (const auto& [attr, _] : attr_domains) {
+    columns.push_back({attr, DataType::kInt64});
+  }
+  auto table = MakeTable(name, columns);
+
+  // Popularity-skewed FK: a mixture of the shared ranking (popular classics
+  // are popular in every satellite — moderate cross-table fanout
+  // correlation) and a per-table permuted ranking (each satellite also has
+  // its own hot keys). Within-table skew breaks join uniformity; the
+  // mixture keeps the cross-table tail heavy but bounded.
+  ZipfDistribution movie_dist(static_cast<uint64_t>(num_titles), 1.1);
+  const uint64_t salt = std::hash<std::string>{}(name);
+  std::vector<ZipfDistribution> attr_dists;
+  for (const auto& [_, domain] : attr_domains) {
+    attr_dists.emplace_back(static_cast<uint64_t>(domain), attr_skew);
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    const uint64_t rank = movie_dist.Sample(rng);
+    const bool shared = rng->NextDouble() < 0.4;
+    const int64_t movie = shared ? static_cast<int64_t>(rank)
+                                 : PermutedKey(rank, num_titles, salt);
+    table->mutable_column(0)->AppendInt(movie);
+    const bool popular = movie < num_titles / 16;
+    for (size_t a = 0; a < attr_dists.size(); ++a) {
+      int64_t value = static_cast<int64_t>(attr_dists[a].Sample(rng));
+      // Attributes correlate with the movie's popularity: filters on them
+      // shift the join-key distribution (e.g. lead roles concentrate on
+      // popular movies) — the filter/fanout interaction Selinger misses.
+      if (popular) value /= 2;
+      table->mutable_column(static_cast<int>(a) + 1)->AppendInt(value);
+    }
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// STATS-like (Stack-Exchange schema)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Table> MakeUsers(int64_t rows, Rng* rng) {
+  auto table = MakeTable("users", {{"id", DataType::kInt64},
+                                   {"reputation", DataType::kInt64},
+                                   {"up_votes", DataType::kInt64},
+                                   {"down_votes", DataType::kInt64},
+                                   {"creation_year", DataType::kInt64}});
+  for (int64_t i = 0; i < rows; ++i) {
+    // Long-tailed reputation; up/down votes strongly correlated with it —
+    // the classic independence-assumption killer.
+    const double rep_raw = std::exp(rng->NextDouble() * 9.0);
+    const int64_t rep = 1 + static_cast<int64_t>(rep_raw);
+    const int64_t up =
+        static_cast<int64_t>(rep * (0.1 + rng->NextDouble() * 0.4));
+    const int64_t down =
+        static_cast<int64_t>(up * (0.05 + rng->NextDouble() * 0.2));
+    table->mutable_column(0)->AppendInt(i);
+    table->mutable_column(1)->AppendInt(rep);
+    table->mutable_column(2)->AppendInt(up);
+    table->mutable_column(3)->AppendInt(down);
+    table->mutable_column(4)->AppendInt(rng->UniformInt(2008, 2014));
+  }
+  return table;
+}
+
+std::unique_ptr<Table> MakePosts(int64_t rows, int64_t num_users, Rng* rng) {
+  auto table = MakeTable("posts", {{"id", DataType::kInt64},
+                                   {"owner_user_id", DataType::kInt64},
+                                   {"score", DataType::kInt64},
+                                   {"view_count", DataType::kInt64},
+                                   {"answer_count", DataType::kInt64},
+                                   {"post_type", DataType::kInt64}});
+  ZipfDistribution owner_dist(static_cast<uint64_t>(num_users), 1.0);
+  ZipfDistribution score_dist(120, 1.6);
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t owner =
+        PermutedKey(owner_dist.Sample(rng), num_users, 0x70757374);
+    const int64_t score = static_cast<int64_t>(score_dist.Sample(rng)) - 2;
+    // view_count tracks score (superlinear), answer_count tracks post_type.
+    const int64_t views = std::max<int64_t>(
+        0, static_cast<int64_t>((score + 3) * (20 + rng->UniformInt(0, 60))));
+    const int64_t post_type = rng->NextDouble() < 0.6 ? 1 : 2;
+    const int64_t answers =
+        post_type == 1 ? rng->UniformInt(0, 8) : 0;
+    table->mutable_column(0)->AppendInt(i);
+    table->mutable_column(1)->AppendInt(owner);
+    table->mutable_column(2)->AppendInt(score);
+    table->mutable_column(3)->AppendInt(views);
+    table->mutable_column(4)->AppendInt(answers);
+    table->mutable_column(5)->AppendInt(post_type);
+  }
+  return table;
+}
+
+std::unique_ptr<Table> MakeFkPair(
+    const std::string& name, int64_t rows, const std::string& fk1,
+    int64_t dom1, const std::string& fk2, int64_t dom2,
+    const std::string& attr, int64_t attr_domain, double attr_skew,
+    Rng* rng) {
+  auto table = MakeTable(name, {{fk1, DataType::kInt64},
+                                {fk2, DataType::kInt64},
+                                {attr, DataType::kInt64}});
+  ZipfDistribution d1(static_cast<uint64_t>(dom1), 1.1);
+  ZipfDistribution d2(static_cast<uint64_t>(dom2), 1.0);
+  ZipfDistribution da(static_cast<uint64_t>(attr_domain), attr_skew);
+  const uint64_t salt = std::hash<std::string>{}(name);
+  for (int64_t i = 0; i < rows; ++i) {
+    const uint64_t rank1 = d1.Sample(rng);
+    const int64_t fk1 = rng->NextDouble() < 0.4
+                            ? static_cast<int64_t>(rank1)
+                            : PermutedKey(rank1, dom1, salt);
+    const uint64_t rank2 = d2.Sample(rng);
+    const int64_t fk2 = rng->NextDouble() < 0.4
+                            ? static_cast<int64_t>(rank2)
+                            : PermutedKey(rank2, dom2, salt ^ 0x9e37);
+    table->mutable_column(0)->AppendInt(fk1);
+    table->mutable_column(1)->AppendInt(fk2);
+    int64_t attr = static_cast<int64_t>(da.Sample(rng));
+    // Attribute correlates with the referenced post's popularity.
+    if (fk1 < dom1 / 16) attr /= 2;
+    table->mutable_column(2)->AppendInt(attr);
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// AEOLUS-like (advertising analytics)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Table> MakeAdvertisers(int64_t rows, Rng* rng) {
+  auto table = MakeTable("advertisers", {{"id", DataType::kInt64},
+                                         {"industry", DataType::kInt64},
+                                         {"tier", DataType::kInt64}});
+  ZipfDistribution industry_dist(20, 1.0);
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t industry = static_cast<int64_t>(industry_dist.Sample(rng));
+    table->mutable_column(0)->AppendInt(i);
+    table->mutable_column(1)->AppendInt(industry);
+    // Tier tracks industry (big industries concentrate in tier 0).
+    table->mutable_column(2)->AppendInt(industry < 4 ? 0
+                                        : industry < 12
+                                            ? rng->UniformInt(0, 1)
+                                            : rng->UniformInt(1, 2));
+  }
+  return table;
+}
+
+std::unique_ptr<Table> MakeCampaigns(int64_t rows, int64_t num_advertisers,
+                                     Rng* rng) {
+  auto table = MakeTable("campaigns", {{"id", DataType::kInt64},
+                                       {"advertiser_id", DataType::kInt64},
+                                       {"budget_tier", DataType::kInt64},
+                                       {"objective", DataType::kInt64}});
+  ZipfDistribution adv_dist(static_cast<uint64_t>(num_advertisers), 1.1);
+  ZipfDistribution obj_dist(6, 1.2);
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t adv = static_cast<int64_t>(adv_dist.Sample(rng));
+    table->mutable_column(0)->AppendInt(i);
+    table->mutable_column(1)->AppendInt(adv);
+    // Budget tier tracks the campaign's event volume (head campaigns are the
+    // big-budget ones): a budget_tier filter therefore selects campaigns
+    // with far-above-uniform join fanout, which breaks Selinger's
+    // join-uniformity assumption while the BN's (id-bucket, tier) edge
+    // captures it.
+    table->mutable_column(2)->AppendInt(i < rows / 10
+                                            ? rng->UniformInt(2, 3)
+                                            : rng->UniformInt(0, 2));
+    table->mutable_column(3)->AppendInt(
+        static_cast<int64_t>(obj_dist.Sample(rng)));
+  }
+  return table;
+}
+
+std::unique_ptr<Table> MakeRegions(int64_t rows, Rng* rng) {
+  auto table = MakeTable("regions", {{"id", DataType::kInt64},
+                                     {"country", DataType::kString},
+                                     {"tz", DataType::kInt64}});
+  // Order-preserving dictionary of country codes.
+  std::vector<std::string> countries;
+  for (char a = 'A'; a <= 'Z'; ++a) {
+    for (char b = 'A'; b <= 'Z'; b += 7) {
+      countries.push_back(std::string(1, a) + b);
+    }
+  }
+  std::sort(countries.begin(), countries.end());
+  table->mutable_column(1)->SetDictionary(countries);
+  for (int64_t i = 0; i < rows; ++i) {
+    table->mutable_column(0)->AppendInt(i);
+    table->mutable_column(1)->AppendCode(
+        static_cast<int64_t>(rng->Uniform(countries.size())));
+    table->mutable_column(2)->AppendInt(rng->UniformInt(0, 23));
+  }
+  return table;
+}
+
+std::unique_ptr<Table> MakeCreatives(int64_t rows, int64_t num_campaigns,
+                                     Rng* rng) {
+  auto table = MakeTable("creatives", {{"id", DataType::kInt64},
+                                       {"campaign_id", DataType::kInt64},
+                                       {"content_type", DataType::kInt64},
+                                       {"duration", DataType::kInt64}});
+  ZipfDistribution camp_dist(static_cast<uint64_t>(num_campaigns), 1.0);
+  for (int64_t i = 0; i < rows; ++i) {
+    const uint64_t camp_rank = camp_dist.Sample(rng);
+    const int64_t camp = rng->NextDouble() < 0.4
+                             ? static_cast<int64_t>(camp_rank)
+                             : PermutedKey(camp_rank, num_campaigns, 0xc4ea);
+    const int64_t content = (camp % 4) * 2 + rng->UniformInt(0, 1);
+    table->mutable_column(0)->AppendInt(i);
+    table->mutable_column(1)->AppendInt(camp);
+    table->mutable_column(2)->AppendInt(content);
+    // Duration depends on content type: video types run long.
+    table->mutable_column(3)->AppendInt(
+        content >= 4 ? rng->UniformInt(30, 120) : rng->UniformInt(5, 30));
+  }
+  return table;
+}
+
+std::unique_ptr<Table> MakeAdEvents(int64_t rows, int64_t num_campaigns,
+                                    int64_t num_regions, Rng* rng) {
+  // Rows are generated, then physically ordered by event_date below —
+  // event logs land in time order, which is what makes block skipping on
+  // date ranges (and the multi-stage column-order choice) meaningful.
+  auto table = MakeTable("ad_events", {{"ad_id", DataType::kInt64},
+                                       {"campaign_id", DataType::kInt64},
+                                       {"platform", DataType::kInt64},
+                                       {"content_type", DataType::kInt64},
+                                       {"region_id", DataType::kInt64},
+                                       {"event_date", DataType::kInt64},
+                                       {"cost", DataType::kFloat64},
+                                       {"tags", DataType::kArray}});
+  // ad_id: very high NDV with mild skew — the column family that pushed the
+  // paper to add RBX calibration.
+  ZipfDistribution ad_dist(static_cast<uint64_t>(std::max<int64_t>(2, rows / 2)),
+                           0.5);
+  ZipfDistribution camp_dist(static_cast<uint64_t>(num_campaigns), 1.0);
+  ZipfDistribution region_dist(static_cast<uint64_t>(num_regions), 1.2);
+  ZipfDistribution platform_dist(5, 1.0);
+  for (int64_t i = 0; i < rows; ++i) {
+    const uint64_t camp_rank = camp_dist.Sample(rng);
+    // Popularity mixture (see PermutedKey): big campaigns are big both here
+    // and in creatives, with table-local hot keys on top.
+    const int64_t camp = rng->NextDouble() < 0.4
+                             ? static_cast<int64_t>(camp_rank)
+                             : PermutedKey(camp_rank, num_campaigns, 0xade7);
+    // Big-budget campaigns concentrate on the premium platforms, so platform
+    // filters shift the join-key distribution (filter/fanout correlation).
+    int64_t platform = static_cast<int64_t>(platform_dist.Sample(rng));
+    if (camp < num_campaigns / 16 && rng->NextDouble() < 0.7) {
+      platform = rng->UniformInt(0, 1);
+    }
+    // The paper's Fig. 3 dependency: ContentType | TargetPlatform is highly
+    // concentrated (each platform favors ~2 of 8 content types).
+    int64_t content = platform * 2 + (rng->NextDouble() < 0.85
+                                          ? rng->UniformInt(0, 1)
+                                          : rng->UniformInt(-2, 3));
+    content = std::clamp<int64_t>(content, 0, 9);
+    // Event date clusters per campaign (flights).
+    const int64_t flight_start = (camp * 37) % 300;
+    const int64_t date = flight_start + rng->UniformInt(0, 64);
+
+    table->mutable_column(0)->AppendInt(
+        static_cast<int64_t>(ad_dist.Sample(rng)));
+    table->mutable_column(1)->AppendInt(camp);
+    table->mutable_column(2)->AppendInt(platform);
+    table->mutable_column(3)->AppendInt(content);
+    // Campaigns target a handful of regions: region filters therefore
+    // reshape the campaign-key distribution (and vice versa).
+    const int64_t region =
+        rng->NextDouble() < 0.6
+            ? (camp * 13 + rng->UniformInt(0, 2)) % num_regions
+            : static_cast<int64_t>(region_dist.Sample(rng));
+    table->mutable_column(4)->AppendInt(region);
+    table->mutable_column(5)->AppendInt(date);
+    // Cost depends on platform (CPM differs per platform).
+    table->mutable_column(6)->AppendDouble(
+        std::exp(rng->NextGaussian() * 0.5) * (1.0 + 0.8 * platform));
+    table->mutable_column(7)->AppendArray(
+        {rng->UniformInt(0, 9), rng->UniformInt(0, 9)});
+  }
+
+  // Physically cluster by event_date (see above).
+  std::vector<int64_t> order(rows);
+  std::iota(order.begin(), order.end(), 0);
+  const minihouse::Column& date_col = table->column(5);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int64_t a, int64_t b) {
+                     return date_col.NumericAt(a) < date_col.NumericAt(b);
+                   });
+  auto sorted = MakeTable("ad_events", {{"ad_id", DataType::kInt64},
+                                        {"campaign_id", DataType::kInt64},
+                                        {"platform", DataType::kInt64},
+                                        {"content_type", DataType::kInt64},
+                                        {"region_id", DataType::kInt64},
+                                        {"event_date", DataType::kInt64},
+                                        {"cost", DataType::kFloat64},
+                                        {"tags", DataType::kArray}});
+  for (int64_t r : order) {
+    for (int c = 0; c < 6; ++c) {
+      sorted->mutable_column(c)->AppendInt(table->column(c).ints()[r]);
+    }
+    sorted->mutable_column(6)->AppendDouble(table->column(6).doubles()[r]);
+    sorted->mutable_column(7)->AppendArray({});
+  }
+  return sorted;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> GenerateImdb(double scale, uint64_t seed) {
+  Rng rng(seed);
+  auto db = std::make_unique<Database>();
+  const int64_t titles = Scaled(30000, scale);
+
+  auto title = MakeTitle(titles, &rng);
+  BC_RETURN_IF_ERROR(title->Seal());
+  BC_RETURN_IF_ERROR(db->AddTable(std::move(title)));
+
+  struct Sat {
+    const char* name;
+    int64_t rows;
+    std::vector<std::pair<std::string, int64_t>> attrs;
+    double skew;
+  };
+  const std::vector<Sat> satellites = {
+      {"movie_companies", Scaled(60000, scale),
+       {{"company_id", 8000}, {"company_type_id", 2}}, 1.1},
+      {"cast_info", Scaled(90000, scale),
+       {{"person_id", 30000}, {"role_id", 12}}, 1.2},
+      {"movie_info", Scaled(60000, scale), {{"info_type_id", 110}}, 1.3},
+      {"movie_info_idx", Scaled(40000, scale), {{"info_type_id", 6}}, 1.0},
+      {"movie_keyword", Scaled(60000, scale), {{"keyword_id", 10000}}, 1.25},
+  };
+  for (const Sat& sat : satellites) {
+    auto table =
+        MakeMovieSatellite(sat.name, sat.rows, titles, sat.attrs, sat.skew,
+                           &rng);
+    BC_RETURN_IF_ERROR(table->Seal());
+    BC_RETURN_IF_ERROR(db->AddTable(std::move(table)));
+  }
+  return db;
+}
+
+Result<std::unique_ptr<Database>> GenerateStats(double scale, uint64_t seed) {
+  Rng rng(seed);
+  auto db = std::make_unique<Database>();
+  const int64_t num_users = Scaled(15000, scale);
+  const int64_t num_posts = Scaled(30000, scale);
+
+  auto users = MakeUsers(num_users, &rng);
+  BC_RETURN_IF_ERROR(users->Seal());
+  BC_RETURN_IF_ERROR(db->AddTable(std::move(users)));
+
+  auto posts = MakePosts(num_posts, num_users, &rng);
+  BC_RETURN_IF_ERROR(posts->Seal());
+  BC_RETURN_IF_ERROR(db->AddTable(std::move(posts)));
+
+  struct Pair {
+    const char* name;
+    int64_t rows;
+    const char* fk1;
+    int64_t dom1;
+    const char* fk2;
+    int64_t dom2;
+    const char* attr;
+    int64_t attr_domain;
+    double skew;
+  };
+  const std::vector<Pair> pairs = {
+      {"comments", Scaled(50000, scale), "post_id", num_posts, "user_id",
+       num_users, "score", 11, 1.8},
+      {"votes", Scaled(40000, scale), "post_id", num_posts, "user_id",
+       num_users, "vote_type", 15, 1.5},
+      {"postHistory", Scaled(35000, scale), "post_id", num_posts, "user_id",
+       num_users, "history_type", 20, 1.4},
+  };
+  for (const Pair& p : pairs) {
+    auto table = MakeFkPair(p.name, p.rows, p.fk1, p.dom1, p.fk2, p.dom2,
+                            p.attr, p.attr_domain, p.skew, &rng);
+    BC_RETURN_IF_ERROR(table->Seal());
+    BC_RETURN_IF_ERROR(db->AddTable(std::move(table)));
+  }
+
+  // badges(user_id, date_year)
+  {
+    auto table = MakeTable("badges", {{"user_id", DataType::kInt64},
+                                      {"date_year", DataType::kInt64}});
+    ZipfDistribution user_dist(static_cast<uint64_t>(num_users), 1.1);
+    const int64_t rows = Scaled(20000, scale);
+    for (int64_t i = 0; i < rows; ++i) {
+      table->mutable_column(0)->AppendInt(
+          PermutedKey(user_dist.Sample(&rng), num_users, 0xbad6e5));
+      table->mutable_column(1)->AppendInt(rng.UniformInt(2008, 2014));
+    }
+    BC_RETURN_IF_ERROR(table->Seal());
+    BC_RETURN_IF_ERROR(db->AddTable(std::move(table)));
+  }
+  // postLinks(post_id, related_post_id, link_type)
+  {
+    auto table = MakeTable("postLinks", {{"post_id", DataType::kInt64},
+                                         {"related_post_id", DataType::kInt64},
+                                         {"link_type", DataType::kInt64}});
+    ZipfDistribution post_dist(static_cast<uint64_t>(num_posts), 1.0);
+    const int64_t rows = Scaled(12000, scale);
+    for (int64_t i = 0; i < rows; ++i) {
+      table->mutable_column(0)->AppendInt(
+          PermutedKey(post_dist.Sample(&rng), num_posts, 0x715b));
+      table->mutable_column(1)->AppendInt(rng.UniformInt(0, num_posts - 1));
+      table->mutable_column(2)->AppendInt(rng.NextDouble() < 0.8 ? 1 : 3);
+    }
+    BC_RETURN_IF_ERROR(table->Seal());
+    BC_RETURN_IF_ERROR(db->AddTable(std::move(table)));
+  }
+  // tags(id, count, excerpt_post_id)
+  {
+    auto table = MakeTable("tags", {{"id", DataType::kInt64},
+                                    {"count", DataType::kInt64},
+                                    {"excerpt_post_id", DataType::kInt64}});
+    ZipfDistribution count_dist(5000, 1.5);
+    const int64_t rows = Scaled(3000, scale);
+    for (int64_t i = 0; i < rows; ++i) {
+      table->mutable_column(0)->AppendInt(i);
+      table->mutable_column(1)->AppendInt(
+          static_cast<int64_t>(count_dist.Sample(&rng)));
+      table->mutable_column(2)->AppendInt(rng.UniformInt(0, num_posts - 1));
+    }
+    BC_RETURN_IF_ERROR(table->Seal());
+    BC_RETURN_IF_ERROR(db->AddTable(std::move(table)));
+  }
+  return db;
+}
+
+Result<std::unique_ptr<Database>> GenerateAeolus(double scale, uint64_t seed) {
+  Rng rng(seed);
+  auto db = std::make_unique<Database>();
+  const int64_t num_advertisers = Scaled(500, std::sqrt(scale));
+  const int64_t num_campaigns = Scaled(3000, std::sqrt(scale));
+  const int64_t num_regions = 200;
+
+  auto advertisers = MakeAdvertisers(num_advertisers, &rng);
+  BC_RETURN_IF_ERROR(advertisers->Seal());
+  BC_RETURN_IF_ERROR(db->AddTable(std::move(advertisers)));
+
+  auto campaigns = MakeCampaigns(num_campaigns, num_advertisers, &rng);
+  BC_RETURN_IF_ERROR(campaigns->Seal());
+  BC_RETURN_IF_ERROR(db->AddTable(std::move(campaigns)));
+
+  auto regions = MakeRegions(num_regions, &rng);
+  BC_RETURN_IF_ERROR(regions->Seal());
+  BC_RETURN_IF_ERROR(db->AddTable(std::move(regions)));
+
+  auto creatives = MakeCreatives(Scaled(8000, scale), num_campaigns, &rng);
+  BC_RETURN_IF_ERROR(creatives->Seal());
+  BC_RETURN_IF_ERROR(db->AddTable(std::move(creatives)));
+
+  auto events =
+      MakeAdEvents(Scaled(70000, scale), num_campaigns, num_regions, &rng);
+  BC_RETURN_IF_ERROR(events->Seal());
+  BC_RETURN_IF_ERROR(db->AddTable(std::move(events)));
+  return db;
+}
+
+Result<std::unique_ptr<Database>> GenerateDataset(const std::string& name,
+                                                  double scale,
+                                                  uint64_t seed) {
+  if (name == "imdb") return GenerateImdb(scale, seed);
+  if (name == "stats") return GenerateStats(scale, seed);
+  if (name == "aeolus") return GenerateAeolus(scale, seed);
+  return Status::InvalidArgument("unknown dataset '" + name + "'");
+}
+
+std::vector<SchemaJoinEdge> SchemaJoins(const std::string& dataset) {
+  if (dataset == "imdb") {
+    return {
+        {"movie_companies", "movie_id", "title", "id"},
+        {"cast_info", "movie_id", "title", "id"},
+        {"movie_info", "movie_id", "title", "id"},
+        {"movie_info_idx", "movie_id", "title", "id"},
+        {"movie_keyword", "movie_id", "title", "id"},
+    };
+  }
+  if (dataset == "stats") {
+    return {
+        {"posts", "owner_user_id", "users", "id"},
+        {"comments", "post_id", "posts", "id"},
+        {"comments", "user_id", "users", "id"},
+        {"badges", "user_id", "users", "id"},
+        {"votes", "post_id", "posts", "id"},
+        {"votes", "user_id", "users", "id"},
+        {"postHistory", "post_id", "posts", "id"},
+        {"postHistory", "user_id", "users", "id"},
+        {"postLinks", "post_id", "posts", "id"},
+        {"tags", "excerpt_post_id", "posts", "id"},
+    };
+  }
+  if (dataset == "aeolus") {
+    return {
+        {"ad_events", "campaign_id", "campaigns", "id"},
+        {"campaigns", "advertiser_id", "advertisers", "id"},
+        {"ad_events", "region_id", "regions", "id"},
+        {"creatives", "campaign_id", "campaigns", "id"},
+    };
+  }
+  return {};
+}
+
+Result<minihouse::BoundQuery> FullJoinTemplate(const Database& db,
+                                               const std::string& dataset) {
+  minihouse::BoundQuery query;
+  const std::vector<SchemaJoinEdge> edges = SchemaJoins(dataset);
+  if (edges.empty()) {
+    return Status::InvalidArgument("unknown dataset '" + dataset + "'");
+  }
+
+  auto table_index = [&](const std::string& name) -> Result<int> {
+    for (int i = 0; i < query.num_tables(); ++i) {
+      if (query.tables[i].table->name() == name) return i;
+    }
+    BC_ASSIGN_OR_RETURN(const Table* table, db.FindTable(name));
+    minihouse::BoundTableRef ref;
+    ref.table = table;
+    ref.alias = name;
+    query.tables.push_back(std::move(ref));
+    return query.num_tables() - 1;
+  };
+
+  // Keep only a spanning tree of the schema join graph: denormalization
+  // follows FK paths; cyclic edges (e.g. "comment author is also the post
+  // author") would over-constrain the join.
+  std::map<std::string, std::string> parent;
+  std::function<std::string(std::string)> find_root =
+      [&](std::string x) -> std::string {
+    while (parent.count(x) > 0 && parent[x] != x) x = parent[x];
+    return x;
+  };
+  for (const SchemaJoinEdge& edge : edges) {
+    const std::string ra = find_root(edge.left_table);
+    const std::string rb = find_root(edge.right_table);
+    if (ra == rb && !ra.empty() && parent.count(edge.left_table) > 0 &&
+        parent.count(edge.right_table) > 0) {
+      continue;  // would close a cycle
+    }
+    parent.try_emplace(edge.left_table, edge.left_table);
+    parent.try_emplace(edge.right_table, edge.right_table);
+    parent[find_root(edge.left_table)] = find_root(edge.right_table);
+
+    BC_ASSIGN_OR_RETURN(const int lt, table_index(edge.left_table));
+    BC_ASSIGN_OR_RETURN(const int rt, table_index(edge.right_table));
+    const int lc =
+        query.tables[lt].table->FindColumnIndex(edge.left_column);
+    const int rc =
+        query.tables[rt].table->FindColumnIndex(edge.right_column);
+    if (lc < 0 || rc < 0) {
+      return Status::Internal("schema join column missing");
+    }
+    query.joins.push_back(minihouse::JoinEdge{lt, lc, rt, rc});
+  }
+  query.aggs.push_back(
+      minihouse::AggSpecRef{minihouse::AggFunc::kCountStar, -1, -1});
+  return query;
+}
+
+}  // namespace bytecard::workload

@@ -1,0 +1,64 @@
+#ifndef BYTECARD_WORKLOAD_DATAGEN_H_
+#define BYTECARD_WORKLOAD_DATAGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minihouse/database.h"
+#include "minihouse/query.h"
+
+namespace bytecard::workload {
+
+// Synthetic stand-ins for the paper's three datasets. Real IMDB/STATS data
+// and the proprietary AEOLUS workload are unavailable here; these generators
+// reproduce the properties that drive cardinality-estimation difficulty —
+// schema/join graph shape, Zipf-skewed foreign keys (join-uniformity
+// violations), strong cross-column correlations (independence violations),
+// and high-NDV columns (the RBX-hard case). All generation is seeded and
+// deterministic so exact true cardinalities are reproducible.
+//
+// `scale` linearly multiplies row counts (scale 1.0 is a laptop-friendly
+// base; the Figure 6 benches sweep it).
+
+// IMDB-like: the 6-table JOB-light star around `title` (movie_companies,
+// cast_info, movie_info, movie_info_idx, movie_keyword join on movie_id).
+Result<std::unique_ptr<minihouse::Database>> GenerateImdb(double scale,
+                                                          uint64_t seed);
+
+// STATS-like: the 8-table Stack-Exchange schema of STATS-CEB (users, posts,
+// comments, badges, votes, postHistory, postLinks, tags).
+Result<std::unique_ptr<minihouse::Database>> GenerateStats(double scale,
+                                                           uint64_t seed);
+
+// AEOLUS-like: a 5-table advertising-analytics schema (ad_events fact +
+// campaigns, advertisers, creatives, regions) with heavy skew, a
+// Platform->ContentType dependency (the paper's Fig. 3 example), an Array
+// column (exercises column selection), and very high-NDV id columns.
+Result<std::unique_ptr<minihouse::Database>> GenerateAeolus(double scale,
+                                                            uint64_t seed);
+
+// Dispatch by dataset name ("imdb" | "stats" | "aeolus").
+Result<std::unique_ptr<minihouse::Database>> GenerateDataset(
+    const std::string& name, double scale, uint64_t seed);
+
+// The dataset's schema-level join edges, as "t1.col = t2.col" SQL conjuncts
+// joined with table list — used for join-pattern collection, the full-join
+// denormalization template, and join-template enumeration.
+struct SchemaJoinEdge {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+std::vector<SchemaJoinEdge> SchemaJoins(const std::string& dataset);
+
+// A BoundQuery joining every table of the dataset along SchemaJoins (no
+// filters) — the denormalization template for DeepDB/BayesCard training.
+Result<minihouse::BoundQuery> FullJoinTemplate(
+    const minihouse::Database& db, const std::string& dataset);
+
+}  // namespace bytecard::workload
+
+#endif  // BYTECARD_WORKLOAD_DATAGEN_H_

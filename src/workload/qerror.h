@@ -1,0 +1,55 @@
+#ifndef BYTECARD_WORKLOAD_QERROR_H_
+#define BYTECARD_WORKLOAD_QERROR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bytecard::workload {
+
+// Q-Error: max(est/true, true/est) with both sides floored at 1 (the
+// standard CardEst metric; its theoretical lower bound is 1).
+inline double QError(double estimate, double truth) {
+  const double e = std::max(estimate, 1.0);
+  const double t = std::max(truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+// Quantile of an unsorted sample (nearest-rank on a sorted copy).
+inline double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t idx = static_cast<size_t>(pos);
+  if (idx + 1 >= values.size()) return values.back();
+  const double frac = pos - static_cast<double>(idx);
+  return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+}
+
+// The summary statistics the paper's violin plots (Figure 7) communicate.
+struct QuantileSummary {
+  double min = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+inline QuantileSummary Summarize(const std::vector<double>& values) {
+  QuantileSummary s;
+  if (values.empty()) return s;
+  s.min = Quantile(values, 0.0);
+  s.p25 = Quantile(values, 0.25);
+  s.p50 = Quantile(values, 0.5);
+  s.p75 = Quantile(values, 0.75);
+  s.p90 = Quantile(values, 0.9);
+  s.p99 = Quantile(values, 0.99);
+  s.max = Quantile(values, 1.0);
+  return s;
+}
+
+}  // namespace bytecard::workload
+
+#endif  // BYTECARD_WORKLOAD_QERROR_H_

@@ -1,0 +1,485 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace bytecard::workload {
+
+namespace {
+
+using minihouse::BoundQuery;
+using minihouse::ColumnPredicate;
+using minihouse::CompareOp;
+using minihouse::Database;
+using minihouse::DataType;
+using minihouse::Table;
+
+// ---------------------------------------------------------------------------
+// Template enumeration
+// ---------------------------------------------------------------------------
+
+std::vector<SchemaJoinEdge> SpanningEdges(
+    const std::vector<SchemaJoinEdge>& all_edges,
+    const std::set<std::string>& tables) {
+  std::map<std::string, std::string> parent;
+  auto find_root = [&](std::string x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const std::string& t : tables) parent[t] = t;
+  std::vector<SchemaJoinEdge> edges;
+  for (const SchemaJoinEdge& e : all_edges) {
+    if (tables.count(e.left_table) == 0 || tables.count(e.right_table) == 0) {
+      continue;
+    }
+    const std::string ra = find_root(e.left_table);
+    const std::string rb = find_root(e.right_table);
+    if (ra == rb) continue;
+    parent[ra] = rb;
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+bool IsConnected(const std::vector<SchemaJoinEdge>& all_edges,
+                 const std::set<std::string>& tables) {
+  return SpanningEdges(all_edges, tables).size() == tables.size() - 1;
+}
+
+}  // namespace
+
+std::vector<JoinTemplate> EnumerateJoinTemplates(const std::string& dataset,
+                                                 int max_tables,
+                                                 int max_templates) {
+  const std::vector<SchemaJoinEdge> all_edges = SchemaJoins(dataset);
+  std::set<std::string> universe;
+  for (const SchemaJoinEdge& e : all_edges) {
+    universe.insert(e.left_table);
+    universe.insert(e.right_table);
+  }
+  const std::vector<std::string> tables(universe.begin(), universe.end());
+  const int n = static_cast<int>(tables.size());
+
+  // Enumerate all subsets (n <= 8 everywhere), keep connected ones, order by
+  // size then lexicographically — deterministic template ids.
+  std::vector<JoinTemplate> templates;
+  std::vector<std::pair<int, uint32_t>> ordered;  // (size, mask)
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size < 2 || size > max_tables) continue;
+    ordered.push_back({size, mask});
+  }
+  std::sort(ordered.begin(), ordered.end());
+
+  for (const auto& [size, mask] : ordered) {
+    (void)size;
+    std::set<std::string> subset;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.insert(tables[i]);
+    }
+    if (!IsConnected(all_edges, subset)) continue;
+    JoinTemplate tmpl;
+    tmpl.tables.assign(subset.begin(), subset.end());
+    tmpl.edges = SpanningEdges(all_edges, subset);
+    templates.push_back(std::move(tmpl));
+  }
+  if (static_cast<int>(templates.size()) <= max_templates) return templates;
+
+  // Cap while keeping size coverage: the paper's workloads exercise the full
+  // joined-table range (e.g. STATS-CEB reaches 8 tables), so reserve one
+  // template per size from the largest down, then fill smallest-first.
+  std::vector<JoinTemplate> selected;
+  std::vector<bool> taken(templates.size(), false);
+  for (int size = max_tables; size >= 2; --size) {
+    for (size_t i = 0; i < templates.size(); ++i) {
+      if (!taken[i] && static_cast<int>(templates[i].tables.size()) == size) {
+        taken[i] = true;
+        selected.push_back(templates[i]);
+        break;
+      }
+    }
+    if (static_cast<int>(selected.size()) >= max_templates) break;
+  }
+  for (size_t i = 0;
+       i < templates.size() &&
+       static_cast<int>(selected.size()) < max_templates;
+       ++i) {
+    if (!taken[i]) {
+      taken[i] = true;
+      selected.push_back(templates[i]);
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const JoinTemplate& a, const JoinTemplate& b) {
+              if (a.tables.size() != b.tables.size()) {
+                return a.tables.size() < b.tables.size();
+              }
+              return a.tables < b.tables;
+            });
+  return selected;
+}
+
+// ---------------------------------------------------------------------------
+// Query generation helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<BoundQuery> BindTemplate(const Database& db, const JoinTemplate& tmpl) {
+  BoundQuery query;
+  for (const std::string& name : tmpl.tables) {
+    BC_ASSIGN_OR_RETURN(const Table* table, db.FindTable(name));
+    minihouse::BoundTableRef ref;
+    ref.table = table;
+    ref.alias = name;
+    query.tables.push_back(std::move(ref));
+  }
+  auto index_of = [&](const std::string& name) {
+    for (int i = 0; i < query.num_tables(); ++i) {
+      if (query.tables[i].alias == name) return i;
+    }
+    return -1;
+  };
+  for (const SchemaJoinEdge& e : tmpl.edges) {
+    const int lt = index_of(e.left_table);
+    const int rt = index_of(e.right_table);
+    const int lc = query.tables[lt].table->FindColumnIndex(e.left_column);
+    const int rc = query.tables[rt].table->FindColumnIndex(e.right_column);
+    if (lc < 0 || rc < 0) return Status::Internal("bad template edge");
+    query.joins.push_back(minihouse::JoinEdge{lt, lc, rt, rc});
+  }
+  return query;
+}
+
+// Columns usable in generated predicates: int64 or string, and not a join
+// key of this query occurrence.
+std::vector<int> PredicateColumns(const BoundQuery& query, int table_idx) {
+  std::set<int> join_cols;
+  for (const minihouse::JoinEdge& e : query.joins) {
+    if (e.left_table == table_idx) join_cols.insert(e.left_column);
+    if (e.right_table == table_idx) join_cols.insert(e.right_column);
+  }
+  std::vector<int> columns;
+  const Table& table = *query.tables[table_idx].table;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const DataType type = table.schema().column(c).type;
+    if (type != DataType::kInt64 && type != DataType::kString) continue;
+    if (join_cols.count(c) > 0) continue;
+    columns.push_back(c);
+  }
+  return columns;
+}
+
+ColumnPredicate MakePredicate(const Table& table, int column, Rng* rng) {
+  const minihouse::Column& col = table.column(column);
+  ColumnPredicate pred;
+  pred.column = column;
+  pred.column_name = table.schema().column(column).name;
+  const int64_t anchor =
+      col.NumericAt(static_cast<int64_t>(rng->Uniform(table.num_rows())));
+
+  if (table.schema().column(column).type == DataType::kString) {
+    // Strings: equality/IN only (JOB-light has no string ranges).
+    if (rng->NextDouble() < 0.7) {
+      pred.op = CompareOp::kEq;
+      pred.operand = anchor;
+    } else {
+      pred.op = CompareOp::kIn;
+      std::unordered_set<int64_t> values = {anchor};
+      // Bounded draws: low-NDV columns may not have 3 distinct values.
+      for (int attempt = 0; attempt < 32 && values.size() < 3; ++attempt) {
+        values.insert(col.NumericAt(
+            static_cast<int64_t>(rng->Uniform(table.num_rows()))));
+      }
+      pred.in_list.assign(values.begin(), values.end());
+      std::sort(pred.in_list.begin(), pred.in_list.end());
+    }
+    return pred;
+  }
+
+  const double p = rng->NextDouble();
+  if (p < 0.3) {
+    pred.op = CompareOp::kEq;
+    pred.operand = anchor;
+  } else if (p < 0.5) {
+    pred.op = CompareOp::kLe;
+    pred.operand = anchor;
+  } else if (p < 0.7) {
+    pred.op = CompareOp::kGe;
+    pred.operand = anchor;
+  } else if (p < 0.9) {
+    const int64_t anchor2 =
+        col.NumericAt(static_cast<int64_t>(rng->Uniform(table.num_rows())));
+    pred.op = CompareOp::kBetween;
+    pred.operand = std::min(anchor, anchor2);
+    pred.operand2 = std::max(anchor, anchor2);
+  } else {
+    pred.op = CompareOp::kIn;
+    std::unordered_set<int64_t> values = {anchor};
+    // Bounded draws: low-NDV columns may not have 4 distinct values.
+    for (int attempt = 0; attempt < 32 && values.size() < 4; ++attempt) {
+      values.insert(col.NumericAt(
+          static_cast<int64_t>(rng->Uniform(table.num_rows()))));
+    }
+    pred.in_list.assign(values.begin(), values.end());
+    std::sort(pred.in_list.begin(), pred.in_list.end());
+  }
+  return pred;
+}
+
+std::string OperandToSql(const Table& table, const ColumnPredicate& pred,
+                         int64_t value) {
+  if (table.schema().column(pred.column).type == DataType::kString) {
+    const auto& dict = table.column(pred.column).dictionary();
+    if (value >= 0 && value < static_cast<int64_t>(dict.size())) {
+      return "'" + dict[value] + "'";
+    }
+    return "'?'";
+  }
+  return std::to_string(value);
+}
+
+std::string RenderSql(const BoundQuery& query) {
+  std::ostringstream os;
+  os << "SELECT ";
+  bool first_item = true;
+  for (const minihouse::GroupKeyRef& g : query.group_by) {
+    if (!first_item) os << ", ";
+    first_item = false;
+    os << query.tables[g.table].alias << "."
+       << query.tables[g.table].table->schema().column(g.column).name;
+  }
+  for (const minihouse::AggSpecRef& a : query.aggs) {
+    if (!first_item) os << ", ";
+    first_item = false;
+    switch (a.func) {
+      case minihouse::AggFunc::kCountStar:
+        os << "COUNT(*)";
+        break;
+      case minihouse::AggFunc::kCount:
+      case minihouse::AggFunc::kCountDistinct:
+      case minihouse::AggFunc::kSum:
+      case minihouse::AggFunc::kAvg: {
+        const char* fn = a.func == minihouse::AggFunc::kSum   ? "SUM"
+                         : a.func == minihouse::AggFunc::kAvg ? "AVG"
+                                                              : "COUNT";
+        os << fn << "(";
+        if (a.func == minihouse::AggFunc::kCountDistinct) os << "DISTINCT ";
+        os << query.tables[a.table].alias << "."
+           << query.tables[a.table].table->schema().column(a.column).name
+           << ")";
+        break;
+      }
+    }
+  }
+  os << " FROM ";
+  for (int t = 0; t < query.num_tables(); ++t) {
+    if (t > 0) os << ", ";
+    os << query.tables[t].table->name();
+    if (query.tables[t].alias != query.tables[t].table->name()) {
+      os << " " << query.tables[t].alias;
+    }
+  }
+  bool first_cond = true;
+  auto conj = [&]() -> std::ostream& {
+    os << (first_cond ? " WHERE " : " AND ");
+    first_cond = false;
+    return os;
+  };
+  for (const minihouse::JoinEdge& e : query.joins) {
+    conj() << query.tables[e.left_table].alias << "."
+           << query.tables[e.left_table].table->schema().column(e.left_column).name
+           << " = " << query.tables[e.right_table].alias << "."
+           << query.tables[e.right_table]
+                  .table->schema()
+                  .column(e.right_column)
+                  .name;
+  }
+  for (int t = 0; t < query.num_tables(); ++t) {
+    const Table& table = *query.tables[t].table;
+    for (const ColumnPredicate& pred : query.tables[t].filters) {
+      conj() << query.tables[t].alias << "." << pred.column_name << " ";
+      if (pred.op == CompareOp::kIn) {
+        os << "IN (";
+        for (size_t i = 0; i < pred.in_list.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << OperandToSql(table, pred, pred.in_list[i]);
+        }
+        os << ")";
+      } else if (pred.op == CompareOp::kBetween) {
+        os << "BETWEEN " << OperandToSql(table, pred, pred.operand) << " AND "
+           << OperandToSql(table, pred, pred.operand2);
+      } else {
+        os << minihouse::CompareOpName(pred.op) << " "
+           << OperandToSql(table, pred, pred.operand);
+      }
+    }
+  }
+  if (!query.group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < query.group_by.size(); ++i) {
+      if (i > 0) os << ", ";
+      const minihouse::GroupKeyRef& g = query.group_by[i];
+      os << query.tables[g.table].alias << "."
+         << query.tables[g.table].table->schema().column(g.column).name;
+    }
+  }
+  return os.str();
+}
+
+void AddRandomFilters(BoundQuery* query, const QueryGenOptions& options,
+                      Rng* rng) {
+  for (int t = 0; t < query->num_tables(); ++t) {
+    if (rng->NextDouble() > options.predicate_probability) continue;
+    std::vector<int> columns = PredicateColumns(*query, t);
+    if (columns.empty()) continue;
+    rng->Shuffle(&columns);
+    const int want = 1 + static_cast<int>(rng->Uniform(std::min<size_t>(
+                             options.max_predicates_per_table,
+                             columns.size())));
+    for (int i = 0; i < want; ++i) {
+      query->tables[t].filters.push_back(
+          MakePredicate(*query->tables[t].table, columns[i], rng));
+    }
+  }
+}
+
+}  // namespace
+
+Result<WorkloadQuery> GenerateCountQuery(const Database& db,
+                                         const JoinTemplate& tmpl,
+                                         const QueryGenOptions& options,
+                                         Rng* rng) {
+  BC_ASSIGN_OR_RETURN(BoundQuery query, BindTemplate(db, tmpl));
+  AddRandomFilters(&query, options, rng);
+  query.aggs.push_back(
+      minihouse::AggSpecRef{minihouse::AggFunc::kCountStar, -1, -1});
+
+  WorkloadQuery wq;
+  wq.num_tables = query.num_tables();
+  wq.sql = RenderSql(query);
+  query.sql = wq.sql;
+  wq.query = std::move(query);
+  return wq;
+}
+
+Result<WorkloadQuery> GenerateAggregateQuery(const Database& db,
+                                             const JoinTemplate& tmpl,
+                                             const QueryGenOptions& options,
+                                             Rng* rng) {
+  BC_ASSIGN_OR_RETURN(BoundQuery query, BindTemplate(db, tmpl));
+  AddRandomFilters(&query, options, rng);
+
+  // Group keys: sampled per-column distinct estimate biases the choice
+  // toward categorical columns, with an occasional high-NDV key (the
+  // hash-table-resize-stress case of Figure 6b).
+  const int num_keys =
+      options.min_group_keys +
+      static_cast<int>(rng->Uniform(
+          options.max_group_keys - options.min_group_keys + 1));
+  std::vector<std::pair<int, int>> candidates;  // (table, column)
+  for (int t = 0; t < query.num_tables(); ++t) {
+    for (int c : PredicateColumns(query, t)) {
+      candidates.push_back({t, c});
+    }
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("template has no group-key candidates");
+  }
+  rng->Shuffle(&candidates);
+
+  auto sampled_ndv = [&](int t, int c) {
+    const Table& table = *query.tables[t].table;
+    std::unordered_set<int64_t> seen;
+    const int64_t probes = std::min<int64_t>(400, table.num_rows());
+    for (int64_t i = 0; i < probes; ++i) {
+      seen.insert(table.column(c).NumericAt(
+          static_cast<int64_t>(rng->Uniform(table.num_rows()))));
+    }
+    return static_cast<int>(seen.size());
+  };
+
+  const bool want_high_ndv = rng->NextDouble() < 0.3;
+  for (const auto& [t, c] : candidates) {
+    if (static_cast<int>(query.group_by.size()) >= num_keys) break;
+    const int ndv = sampled_ndv(t, c);
+    const bool low_card = ndv <= 64;
+    if (want_high_ndv ? !low_card : low_card) {
+      query.group_by.push_back(minihouse::GroupKeyRef{t, c});
+    }
+  }
+  // Backfill if the bias filter left us short.
+  for (const auto& [t, c] : candidates) {
+    if (static_cast<int>(query.group_by.size()) >= num_keys) break;
+    const bool already =
+        std::any_of(query.group_by.begin(), query.group_by.end(),
+                    [&](const minihouse::GroupKeyRef& g) {
+                      return g.table == t && g.column == c;
+                    });
+    if (!already) query.group_by.push_back(minihouse::GroupKeyRef{t, c});
+  }
+
+  // Aggregates: COUNT(*) plus an occasional SUM/AVG/COUNT DISTINCT.
+  query.aggs.push_back(
+      minihouse::AggSpecRef{minihouse::AggFunc::kCountStar, -1, -1});
+  if (rng->NextDouble() < 0.6 && !candidates.empty()) {
+    const auto& [t, c] = candidates[rng->Uniform(candidates.size())];
+    const double p = rng->NextDouble();
+    const minihouse::AggFunc func = p < 0.4   ? minihouse::AggFunc::kSum
+                                    : p < 0.8 ? minihouse::AggFunc::kAvg
+                                              : minihouse::AggFunc::kCountDistinct;
+    query.aggs.push_back(minihouse::AggSpecRef{func, t, c});
+  }
+
+  WorkloadQuery wq;
+  wq.aggregate = true;
+  wq.num_tables = query.num_tables();
+  wq.num_group_keys = static_cast<int>(query.group_by.size());
+  wq.sql = RenderSql(query);
+  query.sql = wq.sql;
+  wq.query = std::move(query);
+  return wq;
+}
+
+Result<NdvProbe> GenerateNdvProbe(const Database& db,
+                                  const std::string& table_name,
+                                  const QueryGenOptions& options, Rng* rng) {
+  BC_ASSIGN_OR_RETURN(const Table* table, db.FindTable(table_name));
+  if (table->num_rows() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  std::vector<int> columns;
+  for (int c = 0; c < table->num_columns(); ++c) {
+    const DataType type = table->schema().column(c).type;
+    if (type == DataType::kInt64 || type == DataType::kString) {
+      columns.push_back(c);
+    }
+  }
+  if (columns.size() < 1) {
+    return Status::InvalidArgument("no NDV-probe columns");
+  }
+  NdvProbe probe;
+  probe.table = table_name;
+  probe.column = columns[rng->Uniform(columns.size())];
+
+  const int num_filters = static_cast<int>(
+      rng->Uniform(std::min<size_t>(options.max_predicates_per_table + 1,
+                                    columns.size())));
+  std::vector<int> filter_columns;
+  for (int c : columns) {
+    if (c != probe.column) filter_columns.push_back(c);
+  }
+  rng->Shuffle(&filter_columns);
+  for (int i = 0; i < num_filters && i < static_cast<int>(filter_columns.size());
+       ++i) {
+    probe.filters.push_back(MakePredicate(*table, filter_columns[i], rng));
+  }
+  return probe;
+}
+
+}  // namespace bytecard::workload

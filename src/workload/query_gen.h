@@ -1,0 +1,75 @@
+#ifndef BYTECARD_WORKLOAD_QUERY_GEN_H_
+#define BYTECARD_WORKLOAD_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "minihouse/database.h"
+#include "minihouse/query.h"
+#include "workload/datagen.h"
+
+namespace bytecard::workload {
+
+// A join template: a connected set of tables plus the spanning-tree join
+// edges over them (always acyclic, so the truth oracle applies).
+struct JoinTemplate {
+  std::vector<std::string> tables;
+  std::vector<SchemaJoinEdge> edges;
+};
+
+// Enumerates the dataset's join templates: all connected subgraphs of the
+// schema join graph with 1..max_tables tables, deterministic order, capped
+// at max_templates. The caps reproduce Table 5's template counts (23 for
+// JOB-Hybrid, 70 for STATS-Hybrid).
+std::vector<JoinTemplate> EnumerateJoinTemplates(const std::string& dataset,
+                                                 int max_tables,
+                                                 int max_templates);
+
+// One generated workload query.
+struct WorkloadQuery {
+  minihouse::BoundQuery query;
+  std::string sql;
+  bool aggregate = false;      // has GROUP BY
+  int num_tables = 0;
+  int num_group_keys = 0;
+};
+
+struct QueryGenOptions {
+  int max_predicates_per_table = 2;
+  double predicate_probability = 0.7;  // per table
+  int min_group_keys = 1;
+  int max_group_keys = 2;
+  uint64_t seed = 2024;
+};
+
+// Generates one COUNT(*) cardinality-probe query on `tmpl`: random
+// per-table conjunctions anchored at live data values.
+Result<WorkloadQuery> GenerateCountQuery(const minihouse::Database& db,
+                                         const JoinTemplate& tmpl,
+                                         const QueryGenOptions& options,
+                                         Rng* rng);
+
+// Generates one executable aggregation query (the Hybrid extension):
+// GROUP BY over low-cardinality columns with COUNT(*)/SUM/AVG aggregates
+// and at least one selective filter so execution stays laptop-scale.
+Result<WorkloadQuery> GenerateAggregateQuery(const minihouse::Database& db,
+                                             const JoinTemplate& tmpl,
+                                             const QueryGenOptions& options,
+                                             Rng* rng);
+
+// Random single-table NDV probe: COUNT(DISTINCT col) with a filter
+// conjunction (the Table 1/2 "NDV Est." row's query shape).
+struct NdvProbe {
+  std::string table;
+  int column = -1;
+  minihouse::Conjunction filters;
+};
+Result<NdvProbe> GenerateNdvProbe(const minihouse::Database& db,
+                                  const std::string& table_name,
+                                  const QueryGenOptions& options, Rng* rng);
+
+}  // namespace bytecard::workload
+
+#endif  // BYTECARD_WORKLOAD_QUERY_GEN_H_

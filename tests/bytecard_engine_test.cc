@@ -1,0 +1,207 @@
+// The Inference Engine abstraction: load -> validate -> initContext ->
+// featurize -> estimate, for all three concrete engines.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bytecard/inference_engine.h"
+#include "test_util.h"
+
+namespace bytecard {
+namespace {
+
+using cardest::BayesNetModel;
+using cardest::BnTrainOptions;
+using minihouse::CompareOp;
+
+std::string TrainBnArtifact(const minihouse::Table& table) {
+  BnTrainOptions options;
+  options.max_train_rows = 0;
+  auto model = BayesNetModel::Train(table, options);
+  BC_CHECK_OK(model.status());
+  BufferWriter writer;
+  model.value().Serialize(&writer);
+  return writer.Release();
+}
+
+class BnEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testutil::BuildToyDatabase(10000);
+    artifact_ = TrainBnArtifact(*db_->FindTable("fact").value());
+  }
+  std::unique_ptr<minihouse::Database> db_;
+  std::string artifact_;
+};
+
+TEST_F(BnEngineTest, FullLifecycle) {
+  BnCountEngine engine;
+  ASSERT_TRUE(engine.LoadModel(artifact_).ok());
+  ASSERT_TRUE(engine.Validate().ok());
+  ASSERT_TRUE(engine.InitContext().ok());
+
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  minihouse::ColumnPredicate pred;
+  pred.column = 1;
+  pred.op = CompareOp::kLt;
+  pred.operand = 10;
+  query.tables[0].filters.push_back(pred);
+
+  auto features = engine.FeaturizeAst(query);
+  ASSERT_TRUE(features.ok());
+  auto estimate = engine.Estimate(features.value());
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate.value(), 2000.0, 400.0);  // 0.2 * 10000
+  EXPECT_GT(engine.ModelSizeBytes(), 0);
+}
+
+TEST_F(BnEngineTest, EstimateBeforeInitContextFails) {
+  BnCountEngine engine;
+  ASSERT_TRUE(engine.LoadModel(artifact_).ok());
+  FeatureVector features;
+  EXPECT_FALSE(engine.Estimate(features).ok());
+}
+
+TEST_F(BnEngineTest, LoadCorruptArtifactFails) {
+  BnCountEngine engine;
+  EXPECT_FALSE(engine.LoadModel("garbage bytes").ok());
+  EXPECT_FALSE(engine.LoadModel(artifact_.substr(0, 10)).ok());
+}
+
+TEST_F(BnEngineTest, ReloadInvalidatesContext) {
+  BnCountEngine engine;
+  ASSERT_TRUE(engine.LoadModel(artifact_).ok());
+  ASSERT_TRUE(engine.InitContext().ok());
+  ASSERT_TRUE(engine.LoadModel(artifact_).ok());  // reload
+  FeatureVector features;
+  EXPECT_FALSE(engine.Estimate(features).ok());  // stale context dropped
+  ASSERT_TRUE(engine.InitContext().ok());
+  EXPECT_TRUE(engine.Estimate(features).ok());
+}
+
+TEST_F(BnEngineTest, FeaturizeSqlQueryPath) {
+  BnCountEngine engine;
+  ASSERT_TRUE(engine.LoadModel(artifact_).ok());
+  ASSERT_TRUE(engine.InitContext().ok());
+  auto features = engine.FeaturizeSqlQuery(
+      "SELECT COUNT(*) FROM fact WHERE value < 10", *db_);
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  auto estimate = engine.Estimate(features.value());
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate.value(), 2000.0, 400.0);
+}
+
+TEST_F(BnEngineTest, FeaturizeAstWrongTableFails) {
+  BnCountEngine engine;
+  ASSERT_TRUE(engine.LoadModel(artifact_).ok());
+  minihouse::BoundQuery query;
+  minihouse::BoundTableRef ref;
+  ref.table = db_->FindTable("dim").value();
+  ref.alias = "dim";
+  query.tables.push_back(ref);
+  EXPECT_FALSE(engine.FeaturizeAst(query).ok());
+}
+
+TEST(FactorJoinEngineTest, LifecycleWithBnRegistry) {
+  auto db = testutil::BuildToyDatabase(10000);
+
+  // FactorJoin artifact.
+  const std::vector<std::vector<cardest::JoinKeyRef>> key_groups = {
+      {{"dim", 0}, {"fact", 0}}};
+  auto fj = cardest::FactorJoinModel::Train(*db, key_groups, 16);
+  ASSERT_TRUE(fj.ok());
+  BufferWriter fj_writer;
+  fj.value().Serialize(&fj_writer);
+
+  // BN registry.
+  std::map<std::string, std::unique_ptr<BayesNetModel>> models;
+  std::map<std::string, std::unique_ptr<cardest::BnInferenceContext>> contexts;
+  std::map<std::string, const cardest::BnInferenceContext*> registry;
+  for (const std::string& name : db->TableNames()) {
+    BnTrainOptions options;
+    options.max_train_rows = 0;
+    auto boundaries = fj.value().BoundariesFor(name, 0);
+    if (boundaries.ok()) {
+      options.join_column_boundaries[0] = boundaries.value();
+    }
+    auto model = BayesNetModel::Train(*db->FindTable(name).value(), options);
+    ASSERT_TRUE(model.ok());
+    models[name] = std::make_unique<BayesNetModel>(std::move(model).value());
+    contexts[name] =
+        std::make_unique<cardest::BnInferenceContext>(models[name].get());
+    registry[name] = contexts[name].get();
+  }
+
+  FactorJoinEngine engine(&registry);
+  ASSERT_TRUE(engine.LoadModel(fj_writer.buffer()).ok());
+  ASSERT_TRUE(engine.Validate().ok());
+  ASSERT_TRUE(engine.InitContext().ok());
+
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db);
+  auto features = engine.FeaturizeAst(query);
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features.value().table_subset.size(), 2u);
+  auto estimate = engine.Estimate(features.value());
+  ASSERT_TRUE(estimate.ok());
+  // True join size 10000.
+  EXPECT_GT(estimate.value(), 2500.0);
+  EXPECT_LT(estimate.value(), 40000.0);
+}
+
+TEST(RbxEngineTest, LifecycleAndSampleFeaturization) {
+  cardest::RbxTrainOptions options;
+  options.population_sizes = {20000};
+  options.sample_rates = {0.02, 0.05};
+  options.replicas = 2;
+  options.epochs = 30;
+  auto model = cardest::RbxModel::TrainWorkloadIndependent(options);
+  ASSERT_TRUE(model.ok());
+  BufferWriter writer;
+  model.value().Serialize(&writer);
+
+  RbxNdvEngine engine;
+  ASSERT_TRUE(engine.LoadModel(writer.buffer()).ok());
+  ASSERT_TRUE(engine.Validate().ok());
+  ASSERT_TRUE(engine.InitContext().ok());
+
+  Rng rng(5);
+  std::vector<int64_t> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back(rng.UniformInt(0, 499));
+  const stats::SampleFrequencies freqs =
+      stats::ComputeFrequencies(sample, 50000);
+
+  const FeatureVector features = engine.FeaturizeSample(freqs);
+  auto estimate = engine.Estimate(features);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GE(estimate.value(), freqs.sample_distinct());
+  EXPECT_LE(estimate.value(), 50000.0);
+}
+
+TEST(RbxEngineTest, AstFeaturizationUnimplemented) {
+  RbxNdvEngine engine;
+  minihouse::BoundQuery query;
+  EXPECT_EQ(engine.FeaturizeAst(query).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(RbxEngineTest, WrongFeatureDimensionRejected) {
+  cardest::RbxTrainOptions options;
+  options.population_sizes = {10000};
+  options.sample_rates = {0.05};
+  options.replicas = 1;
+  options.epochs = 5;
+  auto model = cardest::RbxModel::TrainWorkloadIndependent(options);
+  ASSERT_TRUE(model.ok());
+  BufferWriter writer;
+  model.value().Serialize(&writer);
+  RbxNdvEngine engine;
+  ASSERT_TRUE(engine.LoadModel(writer.buffer()).ok());
+  ASSERT_TRUE(engine.InitContext().ok());
+  FeatureVector bad;
+  bad.dense = {1.0, 2.0};
+  EXPECT_FALSE(engine.Estimate(bad).ok());
+}
+
+}  // namespace
+}  // namespace bytecard

@@ -1,0 +1,202 @@
+// The data-update lifecycle of the paper's §4.3/§4.4: Data Ingestor batches
+// -> distribution drift degrades the deployed BN -> Model Monitor flags it
+// -> ModelForge retrains -> Model Loader refresh restores health. Plus the
+// inclusion-exclusion OR estimation of §5.1.2.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bytecard/bytecard.h"
+#include "bytecard/data_ingestor.h"
+#include "test_util.h"
+#include "workload/truth.h"
+
+namespace bytecard {
+namespace {
+
+namespace fs = std::filesystem;
+using minihouse::CompareOp;
+
+minihouse::ColumnPredicate Pred(int column, CompareOp op, int64_t operand,
+                                int64_t operand2 = 0) {
+  minihouse::ColumnPredicate pred;
+  pred.column = column;
+  pred.op = op;
+  pred.operand = operand;
+  pred.operand2 = operand2;
+  return pred;
+}
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "bytecard_lifecycle").string();
+    fs::remove_all(dir_);
+    db_ = testutil::BuildToyDatabase(20000);
+
+    ByteCard::Options options;
+    options.rbx.population_sizes = {10000};
+    options.rbx.sample_rates = {0.05};
+    options.rbx.replicas = 1;
+    options.rbx.epochs = 10;
+    auto bc = ByteCard::Bootstrap(*db_, {testutil::ToyJoinQuery(*db_)}, dir_,
+                                  options);
+    ASSERT_TRUE(bc.ok()) << bc.status().ToString();
+    bytecard_ = std::move(bc).value();
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<minihouse::Database> db_;
+  std::unique_ptr<ByteCard> bytecard_;
+};
+
+// --- DataIngestor -------------------------------------------------------------
+
+TEST_F(LifecycleTest, StationaryBatchPreservesDistribution) {
+  minihouse::Table* fact = db_->FindMutableTable("fact").value();
+  const int64_t before_rows = fact->num_rows();
+
+  // Fraction of rows with value < 10 (truly 0.2) before ingestion.
+  auto fraction = [&]() {
+    std::vector<uint8_t> sel;
+    minihouse::EvaluateConjunction({Pred(1, CompareOp::kLt, 10)}, *fact,
+                                   &sel);
+    int64_t count = 0;
+    for (uint8_t s : sel) count += s;
+    return static_cast<double>(count) / fact->num_rows();
+  };
+  const double before = fraction();
+
+  DataIngestor ingestor(db_.get());
+  Rng rng(3);
+  auto event = ingestor.IngestStationaryBatch("fact", 5000, &rng);
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  EXPECT_EQ(event.value().rows_added, 5000);
+  EXPECT_EQ(event.value().total_rows, before_rows + 5000);
+  EXPECT_EQ(fact->num_rows(), before_rows + 5000);
+  EXPECT_NEAR(fraction(), before, 0.02);
+}
+
+TEST_F(LifecycleTest, IngestorTracksPendingRows) {
+  DataIngestor ingestor(db_.get());
+  Rng rng(5);
+  EXPECT_EQ(ingestor.PendingRows("fact"), 0);
+  ASSERT_TRUE(ingestor.IngestStationaryBatch("fact", 1000, &rng).ok());
+  ASSERT_TRUE(ingestor.IngestStationaryBatch("fact", 500, &rng).ok());
+  ASSERT_TRUE(ingestor.IngestStationaryBatch("dim", 50, &rng).ok());
+  EXPECT_EQ(ingestor.PendingRows("fact"), 1500);
+  EXPECT_EQ(ingestor.PendingRows("dim"), 50);
+  ingestor.MarkTrained("fact");
+  EXPECT_EQ(ingestor.PendingRows("fact"), 0);
+  EXPECT_EQ(ingestor.PendingRows("dim"), 50);
+  EXPECT_EQ(ingestor.events().size(), 3u);
+}
+
+TEST_F(LifecycleTest, IngestorValidation) {
+  DataIngestor ingestor(db_.get());
+  Rng rng(7);
+  EXPECT_FALSE(ingestor.IngestStationaryBatch("nope", 10, &rng).ok());
+  EXPECT_FALSE(ingestor.IngestStationaryBatch("fact", 0, &rng).ok());
+  EXPECT_FALSE(ingestor.IngestDriftedBatch("fact", 10, -1, 5, &rng).ok());
+}
+
+// --- Drift -> monitor -> retrain -> refresh ---------------------------------------
+
+TEST_F(LifecycleTest, DriftDegradesRetrainRestores) {
+  minihouse::Table* fact = db_->FindMutableTable("fact").value();
+
+  // 1. Healthy at bootstrap.
+  auto before = bytecard_->ProbeTable(*fact);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before.value().healthy);
+
+  // 2. Heavy drift: triple the table with value-shifted rows.
+  DataIngestor ingestor(db_.get());
+  Rng rng(11);
+  ASSERT_TRUE(
+      ingestor.IngestDriftedBatch("fact", 40000, /*drift_column=*/1,
+                                  /*drift_offset=*/500, &rng)
+          .ok());
+
+  // The stale model still believes the old distribution: estimates for the
+  // drifted region are near zero although half the table now lives there.
+  const double stale = bytecard_->EstimateSelectivity(
+      *fact, {Pred(1, CompareOp::kGe, 500)});
+  EXPECT_LT(stale, 0.05);
+
+  // 3. The monitor notices (probes anchored at live data hit the new region).
+  ModelMonitor::Options strict;
+  strict.qerror_threshold = 5.0;
+  strict.probes = 40;
+  *bytecard_->mutable_monitor() = ModelMonitor(strict);
+  auto degraded = bytecard_->ProbeTable(*fact);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_FALSE(degraded.value().healthy);
+
+  // 4. Retrain via the forge, pick the artifact up via the loader.
+  ASSERT_TRUE(bytecard_->RetrainTable(*fact).ok());
+  auto applied = bytecard_->RefreshModels();
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_GE(applied.value(), 1);
+
+  // 5. Fresh model passes probing, which restores its health flag; after
+  // that, estimates come from the BN again and see the new region.
+  auto restored = bytecard_->ProbeTable(*fact);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored.value().healthy);
+  const double fresh = bytecard_->EstimateSelectivity(
+      *fact, {Pred(1, CompareOp::kGe, 500)});
+  EXPECT_GT(fresh, 0.3);
+}
+
+TEST_F(LifecycleTest, RefreshWithoutNewArtifactsIsNoop) {
+  auto applied = bytecard_->RefreshModels();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value(), 0);
+}
+
+TEST_F(LifecycleTest, ProbeUnknownTableFails) {
+  minihouse::Table unknown("ghost", minihouse::TableSchema());
+  EXPECT_FALSE(bytecard_->ProbeTable(unknown).ok());
+}
+
+// --- Inclusion-exclusion OR estimation ----------------------------------------------
+
+TEST_F(LifecycleTest, DisjunctionViaInclusionExclusion) {
+  const minihouse::Table* fact = db_->FindTable("fact").value();
+
+  // (value < 10) OR (value >= 40): disjoint, truly 0.2 + 0.2 of 20000.
+  const std::vector<minihouse::Conjunction> disjoint = {
+      {Pred(1, CompareOp::kLt, 10)}, {Pred(1, CompareOp::kGe, 40)}};
+  const double est_disjoint =
+      bytecard_->EstimateCountDisjunction(*fact, disjoint);
+  EXPECT_NEAR(est_disjoint, 8000.0, 1500.0);
+
+  // (value < 30) OR (value BETWEEN 20 AND 39): overlapping; union is
+  // value < 40 -> 0.8. Naive summing would give 1.0; inclusion-exclusion
+  // must subtract the overlap.
+  const std::vector<minihouse::Conjunction> overlapping = {
+      {Pred(1, CompareOp::kLt, 30)},
+      {Pred(1, CompareOp::kBetween, 20, 39)}};
+  const double est_overlap =
+      bytecard_->EstimateCountDisjunction(*fact, overlapping);
+  EXPECT_NEAR(est_overlap, 16000.0, 2500.0);
+  EXPECT_LT(est_overlap, 19000.0);  // clearly below the naive sum (20000)
+}
+
+TEST_F(LifecycleTest, DisjunctionDegenerateCases) {
+  const minihouse::Table* fact = db_->FindTable("fact").value();
+  EXPECT_EQ(bytecard_->EstimateCountDisjunction(*fact, {}), 0.0);
+  // Single disjunct reduces to plain conjunction estimation.
+  const std::vector<minihouse::Conjunction> one = {
+      {Pred(1, CompareOp::kLt, 10)}};
+  EXPECT_NEAR(bytecard_->EstimateCountDisjunction(*fact, one),
+              bytecard_->EstimateSelectivity(*fact, one[0]) * 20000.0,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace bytecard

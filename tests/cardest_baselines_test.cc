@@ -1,0 +1,239 @@
+// Baseline estimators: denormalization, MSCN, SPN (DeepDB), BayesCard.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "cardest/baselines/bayescard.h"
+#include "cardest/baselines/denorm.h"
+#include "cardest/baselines/mscn.h"
+#include "cardest/baselines/spn.h"
+#include "common/rng.h"
+#include "test_util.h"
+#include "workload/truth.h"
+
+namespace bytecard::cardest {
+namespace {
+
+using minihouse::ColumnPredicate;
+using minihouse::CompareOp;
+
+ColumnPredicate Pred(int column, CompareOp op, int64_t operand) {
+  ColumnPredicate pred;
+  pred.column = column;
+  pred.op = op;
+  pred.operand = operand;
+  return pred;
+}
+
+// --- Denormalization ----------------------------------------------------------
+
+TEST(DenormTest, JoinsAndCapsRows) {
+  auto db = testutil::BuildToyDatabase(5000);
+  const minihouse::BoundQuery full_join = testutil::ToyJoinQuery(*db);
+  auto denorm = BuildDenormalizedSample(full_join, 100000, 2000, 7);
+  ASSERT_TRUE(denorm.ok()) << denorm.status().ToString();
+  const minihouse::Table& t = *denorm.value();
+  EXPECT_LE(t.num_rows(), 2000);
+  EXPECT_GT(t.num_rows(), 0);
+  // Columns from both tables, prefixed by alias.
+  EXPECT_GE(t.FindColumnIndex("fact_dim_id"), 0);
+  EXPECT_GE(t.FindColumnIndex("dim_category"), 0);
+  // Join key equality holds row by row.
+  const int fk = t.FindColumnIndex("fact_dim_id");
+  const int pk = t.FindColumnIndex("dim_id");
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    ASSERT_EQ(t.column(fk).NumericAt(r), t.column(pk).NumericAt(r));
+  }
+}
+
+TEST(DenormTest, RejectsDisconnectedJoin) {
+  auto db = testutil::BuildToyDatabase(500);
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db);
+  query.joins.clear();
+  EXPECT_FALSE(BuildDenormalizedSample(query, 1000, 1000, 7).ok());
+}
+
+// --- MSCN ------------------------------------------------------------------------
+
+class MscnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testutil::BuildToyDatabase(10000);
+    // Training workload: single-table fact queries with range filters.
+    Rng rng(3);
+    std::vector<minihouse::BoundQuery> queries;
+    std::vector<double> counts;
+    for (int i = 0; i < 120; ++i) {
+      minihouse::BoundQuery query;
+      minihouse::BoundTableRef ref;
+      ref.table = db_->FindTable("fact").value();
+      ref.alias = "fact";
+      ref.filters.push_back(
+          Pred(1, CompareOp::kLe, rng.UniformInt(0, 49)));
+      query.tables.push_back(ref);
+      auto truth = workload::TrueCount(query);
+      ASSERT_TRUE(truth.ok());
+      queries.push_back(query);
+      counts.push_back(static_cast<double>(truth.value()));
+    }
+    MscnModel::TrainOptions options;
+    options.epochs = 150;
+    auto model = MscnModel::Train(*db_, queries, counts, options);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = std::make_unique<MscnModel>(std::move(model).value());
+  }
+
+  std::unique_ptr<minihouse::Database> db_;
+  std::unique_ptr<MscnModel> model_;
+};
+
+TEST_F(MscnTest, FeatureVectorFixedWidth) {
+  minihouse::BoundQuery q1 = testutil::ToyJoinQuery(*db_);
+  minihouse::BoundQuery q2 = testutil::ToyJoinQuery(*db_);
+  q2.tables[0].filters.push_back(Pred(1, CompareOp::kLe, 10));
+  q2.tables[0].filters.push_back(Pred(2, CompareOp::kEq, 1));
+  EXPECT_EQ(model_->Featurize(q1).size(), model_->Featurize(q2).size());
+}
+
+TEST_F(MscnTest, LearnsMonotoneRangeBehaviour) {
+  // Wider range => larger estimate, roughly tracking truth.
+  minihouse::BoundQuery narrow;
+  minihouse::BoundTableRef ref;
+  ref.table = db_->FindTable("fact").value();
+  ref.alias = "fact";
+  ref.filters.push_back(Pred(1, CompareOp::kLe, 5));
+  narrow.tables.push_back(ref);
+
+  minihouse::BoundQuery wide = narrow;
+  wide.tables[0].filters[0].operand = 45;
+
+  const double narrow_est = model_->EstimateCount(narrow);
+  const double wide_est = model_->EstimateCount(wide);
+  EXPECT_LT(narrow_est, wide_est);
+  // In-distribution accuracy within a reasonable factor.
+  auto truth = workload::TrueCount(wide);
+  ASSERT_TRUE(truth.ok());
+  const double q = std::max(wide_est / truth.value(),
+                            static_cast<double>(truth.value()) / wide_est);
+  EXPECT_LT(q, 5.0);
+}
+
+TEST_F(MscnTest, SerializationRoundTrip) {
+  BufferWriter writer;
+  model_->Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto restored = MscnModel::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  EXPECT_EQ(restored.value().EstimateCount(query),
+            model_->EstimateCount(query));
+}
+
+TEST(MscnTrainTest, RejectsMismatchedLabels) {
+  auto db = testutil::BuildToyDatabase(100);
+  MscnModel::TrainOptions options;
+  EXPECT_FALSE(MscnModel::Train(*db, {}, {}, options).ok());
+}
+
+// --- SPN -------------------------------------------------------------------------
+
+class SpnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testutil::BuildToyDatabase(15000);
+    SpnModel::TrainOptions options;
+    options.min_instances = 1024;
+    auto model = SpnModel::Train(*db_->FindTable("fact").value(), options);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = std::make_unique<SpnModel>(std::move(model).value());
+  }
+  std::unique_ptr<minihouse::Database> db_;
+  std::unique_ptr<SpnModel> model_;
+};
+
+TEST_F(SpnTest, UnconstrainedProbabilityIsOne) {
+  EXPECT_NEAR(model_->EstimateSelectivity({}), 1.0, 1e-6);
+}
+
+TEST_F(SpnTest, SingleColumnSelectivity) {
+  const double sel = model_->EstimateSelectivity({Pred(1, CompareOp::kLt, 10)});
+  EXPECT_NEAR(sel, 0.2, 0.05);
+}
+
+TEST_F(SpnTest, CorrelatedConjunction) {
+  const double sel = model_->EstimateSelectivity(
+      {Pred(1, CompareOp::kLt, 10), Pred(2, CompareOp::kEq, 0)});
+  // True 0.2; independence would say 0.04. SPN should stay well above that.
+  EXPECT_GT(sel, 0.08);
+}
+
+TEST_F(SpnTest, CountScalesByRows) {
+  const double sel = model_->EstimateSelectivity({Pred(1, CompareOp::kLt, 10)});
+  EXPECT_NEAR(model_->EstimateCount({Pred(1, CompareOp::kLt, 10)}),
+              sel * 15000.0, 1.0);
+}
+
+TEST_F(SpnTest, SerializationRoundTrip) {
+  BufferWriter writer;
+  model_->Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto restored = SpnModel::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  const minihouse::Conjunction filters = {Pred(1, CompareOp::kLe, 20)};
+  EXPECT_NEAR(restored.value().EstimateSelectivity(filters),
+              model_->EstimateSelectivity(filters), 1e-12);
+  EXPECT_EQ(restored.value().num_nodes(), model_->num_nodes());
+}
+
+TEST(SpnTrainTest, EmptyTableRejected) {
+  minihouse::TableSchema schema({{"a", minihouse::DataType::kInt64}});
+  minihouse::Table table("empty", schema);
+  ASSERT_TRUE(table.Seal().ok());
+  SpnModel::TrainOptions options;
+  EXPECT_FALSE(SpnModel::Train(table, options).ok());
+}
+
+// --- BayesCard -------------------------------------------------------------------
+
+TEST(BayesCardTest, TrainsOverDenormalizedJoin) {
+  auto db = testutil::BuildToyDatabase(8000);
+  const minihouse::BoundQuery full_join = testutil::ToyJoinQuery(*db);
+  BayesCardModel::TrainOptions options;
+  options.max_base_rows = 4000;
+  options.max_output_rows = 20000;
+  auto model = BayesCardModel::Train(full_join, options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  // Unfiltered estimate approximates the true join size (8000).
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db);
+  const double estimate = model.value().EstimateCount(query);
+  EXPECT_GT(estimate, 2000.0);
+  EXPECT_LT(estimate, 40000.0);
+
+  // Filtered estimate shrinks.
+  minihouse::BoundQuery filtered = query;
+  filtered.tables[0].filters.push_back(Pred(1, CompareOp::kLt, 10));
+  EXPECT_LT(model.value().EstimateCount(filtered), estimate);
+}
+
+TEST(BayesCardTest, SerializationRoundTrip) {
+  auto db = testutil::BuildToyDatabase(3000);
+  const minihouse::BoundQuery full_join = testutil::ToyJoinQuery(*db);
+  BayesCardModel::TrainOptions options;
+  options.max_base_rows = 1500;
+  auto model = BayesCardModel::Train(full_join, options);
+  ASSERT_TRUE(model.ok());
+  BufferWriter writer;
+  model.value().Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto restored = BayesCardModel::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db);
+  EXPECT_NEAR(restored.value().EstimateCount(query),
+              model.value().EstimateCount(query), 1e-6);
+}
+
+}  // namespace
+}  // namespace bytecard::cardest

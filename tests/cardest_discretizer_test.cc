@@ -1,0 +1,161 @@
+// Discretizer: bin construction, predicate weight vectors, serialization.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "cardest/discretizer.h"
+
+namespace bytecard::cardest {
+namespace {
+
+using minihouse::ColumnPredicate;
+using minihouse::CompareOp;
+
+ColumnPredicate Pred(CompareOp op, int64_t operand, int64_t operand2 = 0) {
+  ColumnPredicate pred;
+  pred.column = 0;
+  pred.op = op;
+  pred.operand = operand;
+  pred.operand2 = operand2;
+  return pred;
+}
+
+TEST(DiscretizerTest, ValueAlignedWhenNdvFits) {
+  const Discretizer d = Discretizer::Build({5, 3, 5, 9, 3, 1}, 16);
+  EXPECT_EQ(d.num_bins(), 4);  // {1, 3, 5, 9}
+  EXPECT_EQ(d.BinOf(1), 0);
+  EXPECT_EQ(d.BinOf(3), 1);
+  EXPECT_EQ(d.BinOf(5), 2);
+  EXPECT_EQ(d.BinOf(9), 3);
+}
+
+TEST(DiscretizerTest, EquiHeightWhenNdvExceedsBins) {
+  std::vector<int64_t> values(10000);
+  std::iota(values.begin(), values.end(), 0);
+  const Discretizer d = Discretizer::Build(values, 10);
+  EXPECT_LE(d.num_bins(), 11);
+  EXPECT_GE(d.num_bins(), 9);
+  // Bins ordered and contiguous by construction.
+  for (int b = 1; b < d.num_bins(); ++b) {
+    EXPECT_GT(d.bins()[b].lo, d.bins()[b - 1].hi);
+  }
+}
+
+TEST(DiscretizerTest, BinOfClampsOutOfRange) {
+  const Discretizer d = Discretizer::Build({10, 20, 30}, 8);
+  EXPECT_EQ(d.BinOf(-100), 0);
+  EXPECT_EQ(d.BinOf(1000), d.num_bins() - 1);
+}
+
+TEST(DiscretizerTest, EqWeightsExactForValueAligned) {
+  const Discretizer d = Discretizer::Build({1, 2, 3}, 8);
+  const std::vector<double> w = d.PredicateWeights(Pred(CompareOp::kEq, 2));
+  EXPECT_EQ(w, (std::vector<double>{0.0, 1.0, 0.0}));
+}
+
+TEST(DiscretizerTest, EqOnAbsentValueIsZero) {
+  const Discretizer d = Discretizer::Build({1, 3, 5}, 8);
+  const std::vector<double> w = d.PredicateWeights(Pred(CompareOp::kEq, 100));
+  for (double x : w) EXPECT_EQ(x, 0.0);
+}
+
+TEST(DiscretizerTest, NeComplementsEq) {
+  const Discretizer d = Discretizer::Build({1, 2, 3}, 8);
+  const std::vector<double> eq = d.PredicateWeights(Pred(CompareOp::kEq, 2));
+  const std::vector<double> ne = d.PredicateWeights(Pred(CompareOp::kNe, 2));
+  for (size_t b = 0; b < eq.size(); ++b) {
+    EXPECT_DOUBLE_EQ(eq[b] + ne[b], 1.0);
+  }
+}
+
+TEST(DiscretizerTest, RangeWeightsCoverAndInterpolate) {
+  std::vector<int64_t> values(1000);
+  std::iota(values.begin(), values.end(), 0);
+  const Discretizer d = Discretizer::Build(values, 10);
+  const std::vector<double> w =
+      d.PredicateWeights(Pred(CompareOp::kBetween, 0, 499));
+  // Expected mass ~ half the rows.
+  double mass = 0.0;
+  for (int b = 0; b < d.num_bins(); ++b) {
+    mass += w[b] * static_cast<double>(d.bins()[b].hi - d.bins()[b].lo + 1);
+  }
+  EXPECT_NEAR(mass / 1000.0, 0.5, 0.05);
+}
+
+TEST(DiscretizerTest, InequalityWeights) {
+  const Discretizer d = Discretizer::Build({1, 2, 3, 4}, 8);
+  EXPECT_EQ(d.PredicateWeights(Pred(CompareOp::kLe, 2)),
+            (std::vector<double>{1.0, 1.0, 0.0, 0.0}));
+  EXPECT_EQ(d.PredicateWeights(Pred(CompareOp::kLt, 2)),
+            (std::vector<double>{1.0, 0.0, 0.0, 0.0}));
+  EXPECT_EQ(d.PredicateWeights(Pred(CompareOp::kGe, 3)),
+            (std::vector<double>{0.0, 0.0, 1.0, 1.0}));
+  EXPECT_EQ(d.PredicateWeights(Pred(CompareOp::kGt, 3)),
+            (std::vector<double>{0.0, 0.0, 0.0, 1.0}));
+}
+
+TEST(DiscretizerTest, InWeightsSumEqs) {
+  const Discretizer d = Discretizer::Build({1, 2, 3, 4}, 8);
+  ColumnPredicate in = Pred(CompareOp::kIn, 0);
+  in.in_list = {1, 4};
+  EXPECT_EQ(d.PredicateWeights(in),
+            (std::vector<double>{1.0, 0.0, 0.0, 1.0}));
+}
+
+TEST(DiscretizerTest, ExtremeOperandsDoNotOverflow) {
+  const Discretizer d = Discretizer::Build({0, 1, 2}, 8);
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  // Lt(kMin) matches nothing, Gt(kMax) matches nothing; no UB.
+  for (double w : d.PredicateWeights(Pred(CompareOp::kLt, kMin))) {
+    EXPECT_EQ(w, 0.0);
+  }
+  for (double w : d.PredicateWeights(Pred(CompareOp::kGt, kMax))) {
+    EXPECT_EQ(w, 0.0);
+  }
+  // Ge(kMin) matches everything.
+  for (double w : d.PredicateWeights(Pred(CompareOp::kGe, kMin))) {
+    EXPECT_EQ(w, 1.0);
+  }
+}
+
+TEST(DiscretizerTest, BoundaryModeAlignsWithExternalBuckets) {
+  const std::vector<int64_t> bounds = {10, 20,
+                                       std::numeric_limits<int64_t>::max()};
+  const std::vector<int64_t> values = {1, 5, 15, 15, 25, 100};
+  const Discretizer d = Discretizer::BuildWithBoundaries(bounds, values);
+  EXPECT_EQ(d.num_bins(), 3);
+  EXPECT_EQ(d.BinOf(5), 0);
+  EXPECT_EQ(d.BinOf(10), 0);
+  EXPECT_EQ(d.BinOf(11), 1);
+  EXPECT_EQ(d.BinOf(1000000), 2);
+  // Distinct counts from the observed values: {1,5}=2, {15}=1, {25,100}=2.
+  EXPECT_EQ(d.bins()[0].distinct, 2);
+  EXPECT_EQ(d.bins()[1].distinct, 1);
+  EXPECT_EQ(d.bins()[2].distinct, 2);
+}
+
+TEST(DiscretizerTest, SerializationRoundTrip) {
+  std::vector<int64_t> values(500);
+  std::iota(values.begin(), values.end(), -250);
+  const Discretizer d = Discretizer::Build(values, 16);
+  BufferWriter writer;
+  d.Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto restored = Discretizer::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().num_bins(), d.num_bins());
+  for (int64_t v = -250; v < 250; v += 17) {
+    EXPECT_EQ(restored.value().BinOf(v), d.BinOf(v));
+  }
+}
+
+TEST(DiscretizerTest, EmptyInput) {
+  const Discretizer d = Discretizer::Build({}, 8);
+  EXPECT_EQ(d.num_bins(), 0);
+}
+
+}  // namespace
+}  // namespace bytecard::cardest

@@ -1,0 +1,251 @@
+// Join buckets, query factor graphs, and the FactorJoin estimator.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "cardest/factorjoin/factor_graph.h"
+#include "cardest/factorjoin/factor_join.h"
+#include "test_util.h"
+#include "workload/truth.h"
+
+namespace bytecard::cardest {
+namespace {
+
+using minihouse::CompareOp;
+
+// --- JoinBucketizer / BucketStats ---------------------------------------------
+
+TEST(JoinBucketizerTest, CoversFullDomain) {
+  minihouse::Column col(minihouse::DataType::kInt64);
+  for (int64_t v = 0; v < 1000; ++v) col.AppendInt(v);
+  const JoinBucketizer buckets = JoinBucketizer::Build({&col}, 10);
+  EXPECT_GE(buckets.num_buckets(), 9);
+  EXPECT_EQ(buckets.upper_bounds().back(),
+            std::numeric_limits<int64_t>::max());
+  // Every value (even outside the observed domain) lands in a valid bucket.
+  for (int64_t v : {-100LL, 0LL, 500LL, 999LL, 1000000LL}) {
+    const int b = buckets.BucketOf(v);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, buckets.num_buckets());
+  }
+}
+
+TEST(JoinBucketizerTest, SharedAcrossColumns) {
+  minihouse::Column a(minihouse::DataType::kInt64);
+  minihouse::Column b(minihouse::DataType::kInt64);
+  for (int64_t v = 0; v < 500; ++v) a.AppendInt(v);
+  for (int64_t v = 250; v < 750; ++v) b.AppendInt(v);
+  const JoinBucketizer buckets = JoinBucketizer::Build({&a, &b}, 8);
+  // Union domain [0, 750) split into ~8 equi-height buckets.
+  EXPECT_GE(buckets.num_buckets(), 7);
+}
+
+TEST(BucketStatsTest, CountsAndMaxFrequency) {
+  minihouse::Column col(minihouse::DataType::kInt64);
+  // value 0 appears 10 times, values 1..9 once each.
+  for (int i = 0; i < 10; ++i) col.AppendInt(0);
+  for (int64_t v = 1; v < 10; ++v) col.AppendInt(v);
+  const JoinBucketizer buckets = JoinBucketizer::Build({&col}, 2);
+  const BucketStats stats = BucketStats::Build(col, buckets);
+  double total = 0.0;
+  double max_freq = 0.0;
+  for (size_t b = 0; b < stats.count.size(); ++b) {
+    total += stats.count[b];
+    max_freq = std::max(max_freq, stats.max_freq[b]);
+  }
+  EXPECT_EQ(total, 19.0);
+  EXPECT_EQ(max_freq, 10.0);
+}
+
+TEST(BucketStatsTest, SerializationRoundTrip) {
+  minihouse::Column col(minihouse::DataType::kInt64);
+  for (int64_t v = 0; v < 100; ++v) col.AppendInt(v % 13);
+  const JoinBucketizer buckets = JoinBucketizer::Build({&col}, 4);
+  const BucketStats stats = BucketStats::Build(col, buckets);
+  BufferWriter writer;
+  buckets.Serialize(&writer);
+  stats.Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto buckets2 = JoinBucketizer::Deserialize(&reader);
+  auto stats2 = BucketStats::Deserialize(&reader);
+  ASSERT_TRUE(buckets2.ok());
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(buckets2.value().upper_bounds(), buckets.upper_bounds());
+  EXPECT_EQ(stats2.value().count, stats.count);
+  EXPECT_EQ(stats2.value().max_freq, stats.max_freq);
+}
+
+// --- Factor graph -------------------------------------------------------------
+
+TEST(FactorGraphTest, KeyGroupsMergeTransitively) {
+  auto db = testutil::BuildToyDatabase();
+  // Three-table chain on the same key: t0.c0 = t1.c0, t1.c0 = t2.c0.
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db);
+  minihouse::BoundTableRef extra = query.tables[0];
+  extra.alias = "fact2";
+  query.tables.push_back(extra);
+  query.joins.push_back({1, 0, 2, 0});  // dim.id = fact2.dim_id
+
+  const auto groups = BuildQueryKeyGroups(query, {0, 1, 2});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members.size(), 3u);
+  EXPECT_TRUE(groups[0].Contains(0, 0));
+  EXPECT_TRUE(groups[0].Contains(1, 0));
+  EXPECT_TRUE(groups[0].Contains(2, 0));
+}
+
+TEST(FactorGraphTest, SubsetRestrictsGroups) {
+  auto db = testutil::BuildToyDatabase();
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db);
+  const auto all = BuildQueryKeyGroups(query, {0, 1});
+  EXPECT_EQ(all.size(), 1u);
+  const auto only_left = BuildQueryKeyGroups(query, {0});
+  EXPECT_TRUE(only_left.empty());
+}
+
+TEST(FactorGraphTest, SpanningOrderConnects) {
+  auto db = testutil::BuildToyDatabase();
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db);
+  const std::vector<int> order = JoinSpanningOrder(query, {1, 0});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // starts from the first subset element
+  EXPECT_EQ(order[1], 0);
+}
+
+// --- FactorJoin end to end ------------------------------------------------------
+
+class FactorJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testutil::BuildToyDatabase(20000);
+
+    // Key group: fact.dim_id (col 0) <-> dim.id (col 0).
+    const std::vector<std::vector<JoinKeyRef>> key_groups = {
+        {{"dim", 0}, {"fact", 0}}};
+    auto model = FactorJoinModel::Train(*db_, key_groups, 16);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = std::make_unique<FactorJoinModel>(std::move(model).value());
+
+    // Per-table BNs with join-column bins aligned to the join buckets.
+    for (const std::string& name : db_->TableNames()) {
+      const minihouse::Table* table = db_->FindTable(name).value();
+      BnTrainOptions options;
+      options.max_train_rows = 0;
+      auto boundaries = model_->BoundariesFor(name, 0);
+      if (boundaries.ok()) {
+        options.join_column_boundaries[0] = boundaries.value();
+      }
+      auto bn = BayesNetModel::Train(*table, options);
+      ASSERT_TRUE(bn.ok());
+      bns_[name] = std::make_unique<BayesNetModel>(std::move(bn).value());
+      contexts_[name] =
+          std::make_unique<BnInferenceContext>(bns_[name].get());
+      context_ptrs_[name] = contexts_[name].get();
+    }
+    estimator_ = std::make_unique<FactorJoinEstimator>(model_.get(),
+                                                       &context_ptrs_);
+  }
+
+  double QErrorOf(const minihouse::BoundQuery& query) {
+    std::vector<int> subset(query.num_tables());
+    std::iota(subset.begin(), subset.end(), 0);
+    const double estimate = estimator_->EstimateJoinCount(query, subset);
+    auto truth = workload::TrueCount(query);
+    BC_CHECK_OK(truth.status());
+    const double t = std::max<double>(1.0, truth.value());
+    const double e = std::max(1.0, estimate);
+    return std::max(e / t, t / e);
+  }
+
+  std::unique_ptr<minihouse::Database> db_;
+  std::unique_ptr<FactorJoinModel> model_;
+  std::map<std::string, std::unique_ptr<BayesNetModel>> bns_;
+  std::map<std::string, std::unique_ptr<BnInferenceContext>> contexts_;
+  std::map<std::string, const BnInferenceContext*> context_ptrs_;
+  std::unique_ptr<FactorJoinEstimator> estimator_;
+};
+
+TEST_F(FactorJoinTest, GroupLookup) {
+  EXPECT_EQ(model_->GroupOf("fact", 0), 0);
+  EXPECT_EQ(model_->GroupOf("dim", 0), 0);
+  EXPECT_EQ(model_->GroupOf("fact", 1), -1);
+  EXPECT_TRUE(model_->BoundariesFor("fact", 0).ok());
+  EXPECT_FALSE(model_->BoundariesFor("fact", 1).ok());
+}
+
+TEST_F(FactorJoinTest, SingleTableDelegatesToBn) {
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  const double estimate = estimator_->EstimateJoinCount(query, {0});
+  EXPECT_NEAR(estimate, 20000.0, 500.0);
+}
+
+TEST_F(FactorJoinTest, UnfilteredJoinAccurate) {
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  EXPECT_LT(QErrorOf(query), 2.5);
+}
+
+TEST_F(FactorJoinTest, FilteredJoinWithinBound) {
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  minihouse::ColumnPredicate pred;
+  pred.column = 2;  // dim.flag == 1 (ids < 20 — the zipf-popular head!)
+  pred.op = CompareOp::kEq;
+  pred.operand = 1;
+  query.tables[1].filters.push_back(pred);
+  EXPECT_LT(QErrorOf(query), 4.0);
+}
+
+TEST_F(FactorJoinTest, FilterOnFactSide) {
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  minihouse::ColumnPredicate pred;
+  pred.column = 1;  // fact.value < 10 (selectivity 0.2)
+  pred.op = CompareOp::kLt;
+  pred.operand = 10;
+  query.tables[0].filters.push_back(pred);
+  EXPECT_LT(QErrorOf(query), 4.0);
+}
+
+TEST_F(FactorJoinTest, BeatsNaiveCrossProduct) {
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  std::vector<int> subset = {0, 1};
+  const double estimate = estimator_->EstimateJoinCount(query, subset);
+  const double cross = 20000.0 * 100.0;
+  EXPECT_LT(estimate, cross / 10.0);
+}
+
+TEST_F(FactorJoinTest, ModelSerializationRoundTrip) {
+  BufferWriter writer;
+  model_->Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto restored = FactorJoinModel::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().num_groups(), model_->num_groups());
+  FactorJoinEstimator estimator2(&restored.value(), &context_ptrs_);
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  EXPECT_NEAR(estimator2.EstimateJoinCount(query, {0, 1}),
+              estimator_->EstimateJoinCount(query, {0, 1}), 1e-6);
+}
+
+TEST_F(FactorJoinTest, MissingBnFallsBackGracefully) {
+  std::map<std::string, const BnInferenceContext*> empty;
+  FactorJoinEstimator bare(model_.get(), &empty);
+  minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
+  const double estimate = bare.EstimateJoinCount(query, {0, 1});
+  EXPECT_GT(estimate, 0.0);  // unfiltered bucket stats still give a bound
+  auto truth = workload::TrueCount(query);
+  ASSERT_TRUE(truth.ok());
+  // Upper-bound flavor: should not underestimate by much.
+  EXPECT_GT(estimate, static_cast<double>(truth.value()) * 0.1);
+}
+
+TEST(FactorJoinTrainTest, RejectsBadKeyGroup) {
+  auto db = testutil::BuildToyDatabase(1000);
+  const std::vector<std::vector<JoinKeyRef>> bad_column = {{{"fact", 99}}};
+  EXPECT_FALSE(FactorJoinModel::Train(*db, bad_column, 8).ok());
+  const std::vector<std::vector<JoinKeyRef>> bad_table = {{{"nope", 0}}};
+  EXPECT_FALSE(FactorJoinModel::Train(*db, bad_table, 8).ok());
+}
+
+}  // namespace
+}  // namespace bytecard::cardest

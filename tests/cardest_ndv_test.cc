@@ -1,0 +1,306 @@
+// Frequency profile, MLP training mechanics, and the RBX NDV estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cardest/ndv/freq_profile.h"
+#include "cardest/ndv/mlp.h"
+#include "cardest/ndv/rbx.h"
+#include "common/rng.h"
+
+namespace bytecard::cardest {
+namespace {
+
+// --- Frequency profile ----------------------------------------------------------
+
+TEST(FreqProfileTest, DimensionsAndBasicFields) {
+  stats::SampleFrequencies freqs;
+  freqs.freq = {10, 5, 2};  // f1=10, f2=5, f3=2
+  freqs.sample_size = 26;
+  freqs.population_size = 1000;
+  const std::vector<double> profile = BuildFrequencyProfile(freqs);
+  ASSERT_EQ(profile.size(), static_cast<size_t>(kFrequencyProfileDim));
+  EXPECT_DOUBLE_EQ(profile[0], std::log1p(10.0));
+  EXPECT_DOUBLE_EQ(profile[1], std::log1p(5.0));
+  EXPECT_DOUBLE_EQ(profile[2], std::log1p(2.0));
+  EXPECT_DOUBLE_EQ(profile[13], std::log1p(17.0));  // d = 10+5+2
+  EXPECT_DOUBLE_EQ(profile[14], std::log1p(26.0));
+  EXPECT_DOUBLE_EQ(profile[15], std::log1p(1000.0));
+  EXPECT_DOUBLE_EQ(profile[16], 26.0 / 1000.0);
+}
+
+TEST(FreqProfileTest, GeometricTailBuckets) {
+  stats::SampleFrequencies freqs;
+  freqs.freq.assign(200, 0);
+  freqs.freq[9] = 3;    // f10 -> range (9..16]
+  freqs.freq[99] = 7;   // f100 -> range (65..128]
+  freqs.freq[199] = 2;  // f200 -> tail (128, inf)
+  freqs.sample_size = 30 + 700 + 400;
+  freqs.population_size = 10000;
+  const std::vector<double> profile = BuildFrequencyProfile(freqs);
+  EXPECT_DOUBLE_EQ(profile[8], std::log1p(3.0));   // (9..16]
+  EXPECT_DOUBLE_EQ(profile[11], std::log1p(7.0));  // (64..128]
+  EXPECT_DOUBLE_EQ(profile[12], std::log1p(2.0));  // tail
+}
+
+TEST(FreqProfileTest, EmptySample) {
+  stats::SampleFrequencies freqs;
+  freqs.population_size = 100;
+  const std::vector<double> profile = BuildFrequencyProfile(freqs);
+  for (int i = 0; i < 14; ++i) EXPECT_EQ(profile[i], 0.0);
+}
+
+// --- Mlp ------------------------------------------------------------------------
+
+TEST(MlpTest, CreateShapes) {
+  const Mlp mlp = Mlp::Create({4, 8, 1}, 3);
+  EXPECT_EQ(mlp.input_dim(), 4);
+  EXPECT_EQ(mlp.num_layers(), 2);
+  EXPECT_EQ(mlp.num_parameters(), 4 * 8 + 8 + 8 * 1 + 1);
+}
+
+TEST(MlpTest, DeterministicInit) {
+  const Mlp a = Mlp::Create({3, 4, 1}, 7);
+  const Mlp b = Mlp::Create({3, 4, 1}, 7);
+  EXPECT_EQ(a.Predict({1.0, 2.0, 3.0}), b.Predict({1.0, 2.0, 3.0}));
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  // y = 2 x0 - x1 + 0.5
+  Rng rng(5);
+  std::vector<std::vector<double>> inputs;
+  std::vector<double> targets;
+  for (int i = 0; i < 600; ++i) {
+    const double x0 = rng.NextDouble() * 2.0 - 1.0;
+    const double x1 = rng.NextDouble() * 2.0 - 1.0;
+    inputs.push_back({x0, x1});
+    targets.push_back(2.0 * x0 - x1 + 0.5);
+  }
+  Mlp mlp = Mlp::Create({2, 16, 16, 1}, 11);
+  Mlp::TrainConfig config;
+  config.epochs = 200;
+  config.learning_rate = 3e-3;
+  const double loss = mlp.Train(inputs, targets, config);
+  EXPECT_LT(loss, 0.01);
+  EXPECT_NEAR(mlp.Predict({0.5, -0.5}), 2.0, 0.25);
+}
+
+TEST(MlpTest, LearnsNonlinearFunction) {
+  // y = |x| requires a hidden layer.
+  Rng rng(6);
+  std::vector<std::vector<double>> inputs;
+  std::vector<double> targets;
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.NextDouble() * 4.0 - 2.0;
+    inputs.push_back({x});
+    targets.push_back(std::fabs(x));
+  }
+  Mlp mlp = Mlp::Create({1, 16, 16, 1}, 13);
+  Mlp::TrainConfig config;
+  config.epochs = 300;
+  config.learning_rate = 3e-3;
+  mlp.Train(inputs, targets, config);
+  EXPECT_NEAR(mlp.Predict({1.5}), 1.5, 0.3);
+  EXPECT_NEAR(mlp.Predict({-1.5}), 1.5, 0.3);
+}
+
+TEST(MlpTest, AsymmetricPenaltyBiasesUpward) {
+  // Noisy constant target: with a heavy underestimation penalty the learned
+  // constant shifts above the mean.
+  Rng rng(7);
+  std::vector<std::vector<double>> inputs;
+  std::vector<double> targets;
+  for (int i = 0; i < 500; ++i) {
+    inputs.push_back({1.0});
+    targets.push_back(rng.NextGaussian());  // mean 0
+  }
+  Mlp symmetric = Mlp::Create({1, 8, 1}, 17);
+  Mlp biased = Mlp::Create({1, 8, 1}, 17);
+  Mlp::TrainConfig config;
+  config.epochs = 150;
+  symmetric.Train(inputs, targets, config);
+  config.underestimation_penalty = 8.0;
+  biased.Train(inputs, targets, config);
+  EXPECT_GT(biased.Predict({1.0}), symmetric.Predict({1.0}));
+}
+
+TEST(MlpTest, SerializationRoundTrip) {
+  Mlp mlp = Mlp::Create({3, 8, 4, 1}, 19);
+  BufferWriter writer;
+  mlp.Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto restored = Mlp::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  const std::vector<double> x = {0.1, -0.2, 0.3};
+  EXPECT_EQ(restored.value().Predict(x), mlp.Predict(x));
+}
+
+TEST(MlpTest, CorruptArtifactRejected) {
+  Mlp mlp = Mlp::Create({3, 8, 1}, 21);
+  BufferWriter writer;
+  mlp.Serialize(&writer);
+  std::string bytes = writer.buffer();
+  bytes.resize(bytes.size() - 16);
+  BufferReader reader(bytes);
+  EXPECT_FALSE(Mlp::Deserialize(&reader).ok());
+}
+
+TEST(MlpTest, ValidateWeightsFindsNonFinite) {
+  Mlp mlp = Mlp::Create({2, 4, 1}, 23);
+  EXPECT_TRUE(mlp.ValidateWeights().ok());
+}
+
+// --- RBX ------------------------------------------------------------------------
+
+TEST(RbxSyntheticTest, ExamplesSpanFamilies) {
+  Rng rng(31);
+  for (int family = 0; family < kRbxFamilies; ++family) {
+    const NdvTrainingExample example =
+        MakeSyntheticExample(family, 20000, 0.02, &rng);
+    EXPECT_GT(example.true_ndv, 0) << "family " << family;
+    EXPECT_LE(example.true_ndv, 20000);
+    EXPECT_GT(example.frequencies.sample_size, 0);
+    EXPECT_EQ(example.frequencies.population_size, 20000);
+    // Sample distinct can never exceed true NDV.
+    EXPECT_LE(example.frequencies.sample_distinct(), example.true_ndv);
+  }
+}
+
+TEST(RbxSyntheticTest, NearUniqueFamilyHasHighNdv) {
+  Rng rng(33);
+  const NdvTrainingExample example =
+      MakeSyntheticExample(4, 20000, 0.02, &rng);
+  EXPECT_GT(example.true_ndv, 15000);
+}
+
+class RbxTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RbxTrainOptions options;
+    options.population_sizes = {20000, 60000};
+    options.sample_rates = {0.01, 0.03, 0.1};
+    options.replicas = 3;
+    options.epochs = 60;
+    auto model = RbxModel::TrainWorkloadIndependent(options);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    model_ = new RbxModel(std::move(model).value());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+  static RbxModel* model_;
+};
+
+RbxModel* RbxTest::model_ = nullptr;
+
+TEST_F(RbxTest, EstimatesWithinClampRange) {
+  Rng rng(41);
+  const NdvTrainingExample example =
+      MakeSyntheticExample(1, 30000, 0.02, &rng);
+  const double estimate = model_->EstimateNdv(example.frequencies);
+  EXPECT_GE(estimate, example.frequencies.sample_distinct());
+  EXPECT_LE(estimate, 30000.0);
+}
+
+TEST_F(RbxTest, BeatsNaiveScaleUpOnAverage) {
+  // Q-error of RBX vs the naive d*N/n scale-up across held-out columns.
+  Rng rng(43);
+  double rbx_log_q = 0.0;
+  double naive_log_q = 0.0;
+  const int trials = 25;
+  for (int i = 0; i < trials; ++i) {
+    const NdvTrainingExample example =
+        MakeSyntheticExample(i % kRbxFamilies, 40000, 0.02, &rng);
+    const double truth = static_cast<double>(example.true_ndv);
+    auto log_q = [&](double est) {
+      const double e = std::max(est, 1.0);
+      return std::fabs(std::log(e / truth));
+    };
+    rbx_log_q += log_q(model_->EstimateNdv(example.frequencies));
+    naive_log_q += log_q(stats::ScaleUpEstimate(example.frequencies));
+  }
+  EXPECT_LT(rbx_log_q, naive_log_q);
+}
+
+TEST_F(RbxTest, WorkloadIndependence) {
+  // One model, two very different distribution families — both must stay
+  // within a sane error band without retraining.
+  Rng rng(47);
+  for (int family : {0, 2}) {
+    const NdvTrainingExample example =
+        MakeSyntheticExample(family, 50000, 0.05, &rng);
+    const double estimate = model_->EstimateNdv(example.frequencies);
+    const double truth = static_cast<double>(example.true_ndv);
+    const double q = std::max(estimate / truth, truth / estimate);
+    EXPECT_LT(q, 12.0) << "family " << family;
+  }
+}
+
+TEST_F(RbxTest, SerializationRoundTrip) {
+  BufferWriter writer;
+  model_->Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto restored = RbxModel::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  Rng rng(51);
+  const NdvTrainingExample example =
+      MakeSyntheticExample(0, 10000, 0.05, &rng);
+  EXPECT_EQ(restored.value().EstimateNdv(example.frequencies),
+            model_->EstimateNdv(example.frequencies));
+}
+
+TEST_F(RbxTest, FineTuneImprovesProblematicColumns) {
+  // High-NDV columns (family 4) are the documented weak case; fine-tuning
+  // with the asymmetric penalty should not increase their mean log-Q error.
+  Rng rng(53);
+  std::vector<NdvTrainingExample> problematic;
+  for (int i = 0; i < 20; ++i) {
+    problematic.push_back(MakeSyntheticExample(4, 30000, 0.02, &rng));
+  }
+  auto error_on = [&](const RbxModel& model) {
+    Rng eval_rng(57);
+    double total = 0.0;
+    for (int i = 0; i < 15; ++i) {
+      const NdvTrainingExample example =
+          MakeSyntheticExample(4, 30000, 0.02, &eval_rng);
+      const double est = model.EstimateNdv(example.frequencies);
+      total += std::fabs(std::log(
+          std::max(est, 1.0) / static_cast<double>(example.true_ndv)));
+    }
+    return total;
+  };
+
+  RbxModel tuned = *model_;
+  ASSERT_TRUE(tuned.FineTune(problematic, 61).ok());
+  EXPECT_LE(error_on(tuned), error_on(*model_) * 1.05);
+}
+
+TEST_F(RbxTest, FineTuneRequiresExamples) {
+  RbxModel tuned = *model_;
+  EXPECT_FALSE(tuned.FineTune({}, 1).ok());
+}
+
+TEST(RbxTrainTest, TrainOnExplicitExamples) {
+  Rng rng(63);
+  std::vector<NdvTrainingExample> examples;
+  for (int i = 0; i < 40; ++i) {
+    examples.push_back(MakeSyntheticExample(i % kRbxFamilies, 10000, 0.05,
+                                            &rng));
+  }
+  RbxTrainOptions options;
+  options.epochs = 30;
+  auto model = RbxModel::TrainOnExamples(examples, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().network().num_layers(), 7);  // paper architecture
+  EXPECT_TRUE(model.value().Validate().ok());
+}
+
+TEST(RbxTrainTest, EmptyExamplesRejected) {
+  RbxTrainOptions options;
+  EXPECT_FALSE(RbxModel::TrainOnExamples({}, options).ok());
+}
+
+}  // namespace
+}  // namespace bytecard::cardest

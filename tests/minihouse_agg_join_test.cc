@@ -1,0 +1,181 @@
+// Aggregation hash table (resize accounting, pre-sizing) and hash join.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "minihouse/aggregate.h"
+#include "minihouse/join.h"
+
+namespace bytecard::minihouse {
+namespace {
+
+TEST(HashTableTest, FindOrInsertDeduplicates) {
+  AggregationHashTable table(1, 0);
+  int64_t k1 = 7;
+  int64_t k2 = 9;
+  EXPECT_EQ(table.FindOrInsert(&k1), 0);
+  EXPECT_EQ(table.FindOrInsert(&k2), 1);
+  EXPECT_EQ(table.FindOrInsert(&k1), 0);
+  EXPECT_EQ(table.num_groups(), 2);
+}
+
+TEST(HashTableTest, CompositeKeys) {
+  AggregationHashTable table(2, 0);
+  int64_t a[] = {1, 2};
+  int64_t b[] = {1, 3};
+  int64_t c[] = {2, 2};
+  EXPECT_EQ(table.FindOrInsert(a), 0);
+  EXPECT_EQ(table.FindOrInsert(b), 1);
+  EXPECT_EQ(table.FindOrInsert(c), 2);
+  EXPECT_EQ(table.FindOrInsert(a), 0);
+  EXPECT_EQ(table.KeyComponent(1, 1), 3);
+}
+
+TEST(HashTableTest, ResizesWithoutHintAndCountsThem) {
+  AggregationHashTable table(1, 0);
+  for (int64_t k = 0; k < 10000; ++k) table.FindOrInsert(&k);
+  EXPECT_EQ(table.num_groups(), 10000);
+  EXPECT_GT(table.resize_count(), 4);  // grew from 256 slots repeatedly
+}
+
+TEST(HashTableTest, AccurateHintEliminatesResizes) {
+  AggregationHashTable table(1, 10000);
+  for (int64_t k = 0; k < 10000; ++k) table.FindOrInsert(&k);
+  EXPECT_EQ(table.num_groups(), 10000);
+  EXPECT_EQ(table.resize_count(), 0);  // the Figure 6b effect
+}
+
+TEST(HashTableTest, UnderestimatedHintStillCorrect) {
+  AggregationHashTable table(1, 100);
+  for (int64_t k = 0; k < 5000; ++k) table.FindOrInsert(&k);
+  EXPECT_EQ(table.num_groups(), 5000);
+  EXPECT_GT(table.resize_count(), 0);
+  // Every key still found after growth.
+  for (int64_t k = 0; k < 5000; ++k) EXPECT_EQ(table.FindOrInsert(&k), k);
+}
+
+TEST(HashAggregateTest, CountSumAvg) {
+  // columns: key, value
+  std::vector<std::vector<int64_t>> columns = {
+      {1, 1, 2, 2, 2},
+      {10, 20, 30, 40, 50},
+  };
+  const std::vector<AggRequest> aggs = {{AggFunc::kCountStar, -1},
+                                        {AggFunc::kSum, 1},
+                                        {AggFunc::kAvg, 1}};
+  const AggregateResult result = HashAggregate(columns, {0}, aggs, 0);
+  ASSERT_EQ(result.num_groups, 2);
+  // Group order is insertion order: key=1 first.
+  EXPECT_EQ(result.group_keys[0][0], 1);
+  EXPECT_EQ(result.agg_values[0][0], 2.0);   // COUNT
+  EXPECT_EQ(result.agg_values[1][0], 30.0);  // SUM
+  EXPECT_EQ(result.agg_values[2][0], 15.0);  // AVG
+  EXPECT_EQ(result.agg_values[0][1], 3.0);
+  EXPECT_EQ(result.agg_values[1][1], 120.0);
+  EXPECT_EQ(result.agg_values[2][1], 40.0);
+}
+
+TEST(HashAggregateTest, CountDistinctPerGroup) {
+  std::vector<std::vector<int64_t>> columns = {
+      {1, 1, 1, 2},
+      {7, 7, 8, 9},
+  };
+  const std::vector<AggRequest> aggs = {{AggFunc::kCountDistinct, 1}};
+  const AggregateResult result = HashAggregate(columns, {0}, aggs, 0);
+  ASSERT_EQ(result.num_groups, 2);
+  EXPECT_EQ(result.agg_values[0][0], 2.0);
+  EXPECT_EQ(result.agg_values[0][1], 1.0);
+}
+
+TEST(HashAggregateTest, NoGroupByYieldsSingleGroup) {
+  std::vector<std::vector<int64_t>> columns = {{5, 6, 7}};
+  const std::vector<AggRequest> aggs = {{AggFunc::kCountStar, -1}};
+  const AggregateResult result = HashAggregate(columns, {}, aggs, 0);
+  ASSERT_EQ(result.num_groups, 1);
+  EXPECT_EQ(result.agg_values[0][0], 3.0);
+}
+
+TEST(HashAggregateTest, EmptyInput) {
+  std::vector<std::vector<int64_t>> columns = {{}};
+  const std::vector<AggRequest> aggs = {{AggFunc::kCountStar, -1}};
+  const AggregateResult result = HashAggregate(columns, {0}, aggs, 0);
+  EXPECT_EQ(result.num_groups, 0);
+}
+
+// --- HashJoin ---------------------------------------------------------------
+
+Relation MakeRelation(std::vector<std::string> names,
+                      std::vector<std::vector<int64_t>> cols) {
+  Relation rel;
+  rel.column_names = std::move(names);
+  rel.columns = std::move(cols);
+  return rel;
+}
+
+TEST(HashJoinTest, InnerJoinWithDuplicates) {
+  const Relation left = MakeRelation({"l.k", "l.v"}, {{1, 2, 2}, {10, 20, 21}});
+  const Relation right = MakeRelation({"r.k", "r.w"}, {{2, 2, 3}, {7, 8, 9}});
+  Result<Relation> joined = HashJoin(left, right, {0}, {0});
+  ASSERT_TRUE(joined.ok());
+  // keys 2x2 -> 2*2 = 4 matches.
+  EXPECT_EQ(joined.value().num_rows(), 4);
+  EXPECT_EQ(joined.value().column_names.size(), 4u);
+  // Every output row has matching keys.
+  const Relation& out = joined.value();
+  const int lk = out.FindColumn("l.k");
+  const int rk = out.FindColumn("r.k");
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_EQ(out.columns[lk][i], out.columns[rk][i]);
+  }
+}
+
+TEST(HashJoinTest, MultiKeyJoin) {
+  const Relation left =
+      MakeRelation({"a", "b"}, {{1, 1, 2}, {1, 2, 1}});
+  const Relation right =
+      MakeRelation({"c", "d"}, {{1, 2}, {2, 1}});
+  Result<Relation> joined = HashJoin(left, right, {0, 1}, {0, 1});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value().num_rows(), 2);  // (1,2) and (2,1)
+}
+
+TEST(HashJoinTest, NoMatches) {
+  const Relation left = MakeRelation({"k"}, {{1, 2}});
+  const Relation right = MakeRelation({"k"}, {{3, 4}});
+  Result<Relation> joined = HashJoin(left, right, {0}, {0});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value().num_rows(), 0);
+}
+
+TEST(HashJoinTest, KeyArityMismatchRejected) {
+  const Relation left = MakeRelation({"k"}, {{1}});
+  const Relation right = MakeRelation({"k"}, {{1}});
+  EXPECT_FALSE(HashJoin(left, right, {0}, {}).ok());
+  EXPECT_FALSE(HashJoin(left, right, {5}, {0}).ok());
+}
+
+TEST(HashJoinTest, MatchesNestedLoopReference) {
+  Rng rng(99);
+  Relation left = MakeRelation({"k", "v"}, {{}, {}});
+  Relation right = MakeRelation({"k", "w"}, {{}, {}});
+  for (int i = 0; i < 200; ++i) {
+    left.columns[0].push_back(rng.UniformInt(0, 20));
+    left.columns[1].push_back(i);
+  }
+  for (int i = 0; i < 150; ++i) {
+    right.columns[0].push_back(rng.UniformInt(0, 20));
+    right.columns[1].push_back(i);
+  }
+  int64_t expected = 0;
+  for (int64_t a : left.columns[0]) {
+    for (int64_t b : right.columns[0]) {
+      if (a == b) ++expected;
+    }
+  }
+  Result<Relation> joined = HashJoin(left, right, {0}, {0});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value().num_rows(), expected);
+}
+
+}  // namespace
+}  // namespace bytecard::minihouse

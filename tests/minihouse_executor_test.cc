@@ -1,0 +1,151 @@
+// End-to-end query execution through scans, joins, and aggregation.
+
+#include <gtest/gtest.h>
+
+#include "minihouse/executor.h"
+#include "test_util.h"
+
+namespace bytecard::minihouse {
+namespace {
+
+PhysicalPlan TrivialPlan(const BoundQuery& query) {
+  PhysicalPlan plan;
+  plan.scans.resize(query.tables.size());
+  return plan;
+}
+
+TEST(ExecutorTest, SingleTableCount) {
+  auto db = testutil::BuildToyDatabase();
+  BoundQuery query;
+  BoundTableRef ref;
+  ref.table = db->FindTable("fact").value();
+  ref.alias = "fact";
+  ColumnPredicate pred;
+  pred.column = 1;  // value
+  pred.op = CompareOp::kLt;
+  pred.operand = 10;
+  ref.filters.push_back(pred);
+  query.tables.push_back(ref);
+  query.aggs.push_back({AggFunc::kCountStar, -1, -1});
+
+  Result<ExecResult> result = ExecuteQuery(query, TrivialPlan(query));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // value = i % 50, so exactly 10/50 of 2000 rows.
+  EXPECT_EQ(result.value().ScalarCount(), 400);
+}
+
+TEST(ExecutorTest, JoinCountMatchesManualComputation) {
+  auto db = testutil::BuildToyDatabase();
+  BoundQuery query = testutil::ToyJoinQuery(*db);
+
+  Result<ExecResult> result = ExecuteQuery(query, TrivialPlan(query));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Every fact row matches exactly one dim row (dim.id is unique, FK in
+  // range), so the join count equals the fact row count.
+  EXPECT_EQ(result.value().ScalarCount(),
+            db->FindTable("fact").value()->num_rows());
+}
+
+TEST(ExecutorTest, JoinWithDimFilter) {
+  auto db = testutil::BuildToyDatabase();
+  BoundQuery query = testutil::ToyJoinQuery(*db);
+  ColumnPredicate pred;
+  pred.column = 2;  // dim.flag
+  pred.op = CompareOp::kEq;
+  pred.operand = 1;
+  query.tables[1].filters.push_back(pred);
+
+  Result<ExecResult> result = ExecuteQuery(query, TrivialPlan(query));
+  ASSERT_TRUE(result.ok());
+
+  // Reference: count fact rows whose dim_id < 20 (flag == 1 <=> id < 20).
+  const Table* fact = db->FindTable("fact").value();
+  int64_t expected = 0;
+  for (int64_t i = 0; i < fact->num_rows(); ++i) {
+    if (fact->column(0).NumericAt(i) < 20) ++expected;
+  }
+  EXPECT_EQ(result.value().ScalarCount(), expected);
+}
+
+TEST(ExecutorTest, GroupByProducesGroups) {
+  auto db = testutil::BuildToyDatabase();
+  BoundQuery query = testutil::ToyJoinQuery(*db);
+  query.group_by.push_back({1, 1});  // dim.category (5 values)
+  query.aggs.push_back({AggFunc::kSum, 0, 1});  // SUM(fact.value)
+
+  Result<ExecResult> result = ExecuteQuery(query, TrivialPlan(query));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().agg.num_groups, 5);
+
+  // Group COUNTs sum to the join size.
+  double total = 0.0;
+  for (double c : result.value().agg.agg_values[0]) total += c;
+  EXPECT_EQ(static_cast<int64_t>(total),
+            db->FindTable("fact").value()->num_rows());
+}
+
+TEST(ExecutorTest, NdvHintReducesResizes) {
+  auto db = testutil::BuildToyDatabase(20000);
+  BoundQuery query;
+  BoundTableRef ref;
+  ref.table = db->FindTable("fact").value();
+  ref.alias = "fact";
+  query.tables.push_back(ref);
+  query.group_by.push_back({0, 1});  // fact.value: 50 groups
+  query.aggs.push_back({AggFunc::kCountStar, -1, -1});
+
+  PhysicalPlan unhinted = TrivialPlan(query);
+  PhysicalPlan hinted = TrivialPlan(query);
+  hinted.group_ndv_hint = 50;
+
+  Result<ExecResult> r1 = ExecuteQuery(query, unhinted);
+  Result<ExecResult> r2 = ExecuteQuery(query, hinted);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().agg.num_groups, r2.value().agg.num_groups);
+  EXPECT_LE(r2.value().stats.agg_resize_count,
+            r1.value().stats.agg_resize_count);
+  EXPECT_EQ(r2.value().stats.agg_resize_count, 0);
+}
+
+TEST(ExecutorTest, JoinOrderChangesIntermediates) {
+  auto db = testutil::BuildToyDatabase();
+  BoundQuery query = testutil::ToyJoinQuery(*db);
+
+  PhysicalPlan fact_first = TrivialPlan(query);
+  fact_first.join_order = {0, 1};
+  PhysicalPlan dim_first = TrivialPlan(query);
+  dim_first.join_order = {1, 0};
+
+  Result<ExecResult> r1 = ExecuteQuery(query, fact_first);
+  Result<ExecResult> r2 = ExecuteQuery(query, dim_first);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().ScalarCount(), r2.value().ScalarCount());
+}
+
+TEST(ExecutorTest, RejectsEmptyQuery) {
+  BoundQuery query;
+  PhysicalPlan plan;
+  EXPECT_FALSE(ExecuteQuery(query, plan).ok());
+}
+
+TEST(ExecutorTest, RejectsPlanMismatch) {
+  auto db = testutil::BuildToyDatabase();
+  BoundQuery query = testutil::ToyJoinQuery(*db);
+  PhysicalPlan plan;  // no scans for a 2-table query
+  EXPECT_FALSE(ExecuteQuery(query, plan).ok());
+}
+
+TEST(ExecutorTest, TracksIoAndIntermediates) {
+  auto db = testutil::BuildToyDatabase();
+  BoundQuery query = testutil::ToyJoinQuery(*db);
+  Result<ExecResult> result = ExecuteQuery(query, TrivialPlan(query));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().stats.io.blocks_read, 0);
+  EXPECT_EQ(result.value().stats.intermediate_rows,
+            result.value().ScalarCount());
+}
+
+}  // namespace
+}  // namespace bytecard::minihouse

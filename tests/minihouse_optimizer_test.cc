@@ -1,0 +1,233 @@
+// Optimizer decisions under a controllable fake estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "minihouse/optimizer.h"
+#include "test_util.h"
+
+namespace bytecard::minihouse {
+namespace {
+
+// Estimator with scripted answers; also records calls.
+class FakeEstimator : public CardinalityEstimator {
+ public:
+  std::string Name() const override { return "fake"; }
+
+  double EstimateSelectivity(const Table& table,
+                             const Conjunction& filters) override {
+    ++selectivity_calls;
+    (void)table;
+    // Product of per-predicate scripted selectivities; conjunction of the
+    // correlated pair {0, 1} is scripted separately.
+    if (filters.size() == 2 &&
+        ((filters[0].column == 0 && filters[1].column == 1) ||
+         (filters[0].column == 1 && filters[1].column == 0))) {
+      return correlated_pair_selectivity;
+    }
+    double sel = 1.0;
+    for (const ColumnPredicate& pred : filters) {
+      auto it = column_selectivity.find(pred.column);
+      sel *= it == column_selectivity.end() ? 1.0 : it->second;
+    }
+    return sel;
+  }
+
+  double EstimateJoinCardinality(const BoundQuery& query,
+                                 const std::vector<int>& subset) override {
+    ++join_calls;
+    (void)query;
+    double card = 1.0;
+    for (int t : subset) card *= table_card.at(t);
+    return card;
+  }
+
+  double EstimateGroupNdv(const BoundQuery& query) override {
+    (void)query;
+    return group_ndv;
+  }
+
+  std::map<int, double> column_selectivity;
+  double correlated_pair_selectivity = 1.0;
+  std::map<int, double> table_card;
+  double group_ndv = 16.0;
+  int selectivity_calls = 0;
+  int join_calls = 0;
+};
+
+BoundTableRef MakeRef(const Table* table, int num_filters) {
+  BoundTableRef ref;
+  ref.table = table;
+  ref.alias = table->name();
+  for (int c = 0; c < num_filters; ++c) {
+    ColumnPredicate pred;
+    pred.column = c;
+    pred.op = CompareOp::kGe;
+    pred.operand = 0;
+    ref.filters.push_back(pred);
+  }
+  return ref;
+}
+
+TEST(OptimizerTest, SelectiveFiltersPickMultiStage) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 1));
+
+  FakeEstimator estimator;
+  estimator.column_selectivity[0] = 0.01;
+  Optimizer optimizer;
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+  EXPECT_EQ(plan.scans[0].reader, ReaderKind::kMultiStage);
+}
+
+TEST(OptimizerTest, NonSelectiveFiltersPickSingleStage) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 1));
+
+  FakeEstimator estimator;
+  estimator.column_selectivity[0] = 0.9;
+  Optimizer optimizer;
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+  EXPECT_EQ(plan.scans[0].reader, ReaderKind::kSingleStage);
+}
+
+TEST(OptimizerTest, ThresholdBoundaryExactlyAtConfig) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 1));
+
+  FakeEstimator estimator;
+  estimator.column_selectivity[0] = 0.15;  // exactly the default threshold
+  Optimizer optimizer;
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+  EXPECT_EQ(plan.scans[0].reader, ReaderKind::kMultiStage);  // <= threshold
+}
+
+TEST(OptimizerTest, ColumnOrderExploitsCorrelation) {
+  // The paper's §5.1.1 example: col0 and col1 are strongly correlated (their
+  // conjunction is no more selective than col1 alone), col2 is independent.
+  // Individually col1 looks best, but the correlation-aware order puts the
+  // independent filter early once the pair's joint selectivity is known.
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 3));
+
+  FakeEstimator estimator;
+  estimator.column_selectivity[0] = 0.6;
+  estimator.column_selectivity[1] = 0.02;  // best single filter
+  estimator.column_selectivity[2] = 0.05;
+  estimator.correlated_pair_selectivity = 0.02;  // 0&1 together: no gain
+
+  OptimizerOptions options;
+  options.column_order_early_stop = 1e-9;  // never early-stop
+  Optimizer optimizer(options);
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+  ASSERT_EQ(plan.scans[0].reader, ReaderKind::kMultiStage);
+  ASSERT_EQ(plan.scans[0].filter_order.size(), 3u);
+  // Greedy: first pick filter 1 (0.02). Then conjunction {1,0} stays at
+  // 0.02 while {1,2} drops to 0.001 -> filter 2 must precede filter 0.
+  EXPECT_EQ(plan.scans[0].filter_order[0], 1);
+  EXPECT_EQ(plan.scans[0].filter_order[1], 2);
+  EXPECT_EQ(plan.scans[0].filter_order[2], 0);
+}
+
+TEST(OptimizerTest, EarlyStopLimitsEnumerationProbes) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 3));
+
+  FakeEstimator expensive;
+  expensive.column_selectivity = {{0, 0.01}, {1, 0.02}, {2, 0.03}};
+  OptimizerOptions eager;
+  eager.column_order_early_stop = 0.5;  // stop once prefix < 0.5
+  Optimizer optimizer(eager);
+  optimizer.Plan(query, &expensive);
+  const int calls_with_early_stop = expensive.selectivity_calls;
+
+  FakeEstimator exhaustive;
+  exhaustive.column_selectivity = {{0, 0.01}, {1, 0.02}, {2, 0.03}};
+  OptimizerOptions full;
+  full.column_order_early_stop = 1e-12;
+  Optimizer optimizer2(full);
+  optimizer2.Plan(query, &exhaustive);
+  EXPECT_LE(calls_with_early_stop, exhaustive.selectivity_calls);
+}
+
+TEST(OptimizerTest, JoinOrderStartsFromCheapestPair) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  const Table* dim = db->FindTable("dim").value();
+
+  // Chain: t0 - t1 - t2 where (t1, t2) is the cheapest pair.
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 0));
+  query.tables.push_back(MakeRef(dim, 0));
+  query.tables.push_back(MakeRef(fact, 0));
+  query.tables[2].alias = "fact2";
+  query.joins = {{0, 0, 1, 0}, {1, 0, 2, 0}};
+
+  FakeEstimator estimator;
+  estimator.table_card = {{0, 1000.0}, {1, 10.0}, {2, 5.0}};
+  Optimizer optimizer;
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+  ASSERT_EQ(plan.join_order.size(), 3u);
+  // Cheapest pair is (1, 2): 50 vs (0, 1): 10000.
+  EXPECT_TRUE((plan.join_order[0] == 1 && plan.join_order[1] == 2) ||
+              (plan.join_order[0] == 2 && plan.join_order[1] == 1));
+  EXPECT_EQ(plan.join_order[2], 0);
+}
+
+TEST(OptimizerTest, NdvHintFromEstimator) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 0));
+  query.group_by.push_back({0, 1});
+
+  FakeEstimator estimator;
+  estimator.table_card = {{0, 1000.0}};
+  estimator.group_ndv = 42.0;
+  Optimizer optimizer;
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+  EXPECT_EQ(plan.group_ndv_hint, 42);
+}
+
+TEST(OptimizerTest, HintDisabledByOption) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 0));
+  query.group_by.push_back({0, 1});
+
+  FakeEstimator estimator;
+  estimator.table_card = {{0, 1000.0}};
+  OptimizerOptions options;
+  options.use_ndv_hint = false;
+  Optimizer optimizer(options);
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+  EXPECT_EQ(plan.group_ndv_hint, 0);
+}
+
+TEST(OptimizerTest, RecordsEstimationTime) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 2));
+  FakeEstimator estimator;
+  estimator.column_selectivity = {{0, 0.1}, {1, 0.1}};
+  Optimizer optimizer;
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+  EXPECT_GE(plan.estimation_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace bytecard::minihouse

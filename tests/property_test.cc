@@ -1,0 +1,223 @@
+// Parameterized property sweeps over the core estimator invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "minihouse/aggregate.h"
+
+#include "cardest/bayes/bayes_net.h"
+#include "cardest/discretizer.h"
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "test_util.h"
+
+namespace bytecard {
+namespace {
+
+using cardest::BayesNetModel;
+using cardest::BnInferenceContext;
+using cardest::Discretizer;
+using minihouse::ColumnPredicate;
+using minihouse::CompareOp;
+
+ColumnPredicate Pred(int column, CompareOp op, int64_t operand,
+                     int64_t operand2 = 0) {
+  ColumnPredicate pred;
+  pred.column = column;
+  pred.op = op;
+  pred.operand = operand;
+  pred.operand2 = operand2;
+  return pred;
+}
+
+// --- Property: histogram range selectivity is a monotone CDF ------------------
+
+class HistogramMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramMonotoneTest, LeFractionMonotone) {
+  Rng rng(GetParam());
+  std::vector<int64_t> values;
+  ZipfDistribution zipf(500, 0.5 + 0.3 * (GetParam() % 4));
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  const auto hist = stats::EquiHeightHistogram::BuildFromValues(values, 16);
+  double prev = -1.0;
+  for (int64_t v = -10; v <= 510; v += 13) {
+    const double sel = hist.Selectivity(Pred(0, CompareOp::kLe, v));
+    EXPECT_GE(sel, prev - 1e-12);
+    EXPECT_GE(sel, 0.0);
+    EXPECT_LE(sel, 1.0);
+    prev = sel;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Property: discretizer bins partition the observed domain -------------------
+
+class DiscretizerPartitionTest
+    : public ::testing::TestWithParam<std::pair<int, uint64_t>> {};
+
+TEST_P(DiscretizerPartitionTest, EveryValueInExactlyItsBin) {
+  const auto [max_bins, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 3000; ++i) {
+    values.push_back(rng.UniformInt(-1000, 1000));
+  }
+  const Discretizer d = Discretizer::Build(values, max_bins);
+  ASSERT_GT(d.num_bins(), 0);
+  for (int64_t v : values) {
+    const int b = d.BinOf(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, d.num_bins());
+    EXPECT_GE(v, d.bins()[b].lo);
+    EXPECT_LE(v, d.bins()[b].hi);
+  }
+  // Bins are disjoint and ordered.
+  for (int b = 1; b < d.num_bins(); ++b) {
+    EXPECT_GT(d.bins()[b].lo, d.bins()[b - 1].hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DiscretizerPartitionTest,
+    ::testing::Values(std::make_pair(4, 11u), std::make_pair(16, 12u),
+                      std::make_pair(64, 13u), std::make_pair(256, 14u),
+                      std::make_pair(8, 15u), std::make_pair(32, 16u)));
+
+// --- Property: BN estimates behave like probabilities ---------------------------
+
+class BnProbabilityAxiomsTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    db_ = testutil::BuildToyDatabase(8000, GetParam());
+    cardest::BnTrainOptions options;
+    options.seed = GetParam();
+    auto model =
+        BayesNetModel::Train(*db_->FindTable("fact").value(), options);
+    ASSERT_TRUE(model.ok());
+    model_ = std::make_unique<BayesNetModel>(std::move(model).value());
+    context_ = std::make_unique<BnInferenceContext>(model_.get());
+  }
+  std::unique_ptr<minihouse::Database> db_;
+  std::unique_ptr<BayesNetModel> model_;
+  std::unique_ptr<BnInferenceContext> context_;
+};
+
+TEST_P(BnProbabilityAxiomsTest, BoundedAndMonotone) {
+  Rng rng(GetParam() * 31 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t lo = rng.UniformInt(0, 20);
+    const int64_t hi = rng.UniformInt(25, 49);
+    // P(value in [lo, hi]) within [0, 1].
+    const double p_range = context_->EstimateSelectivity(
+        {Pred(1, CompareOp::kBetween, lo, hi)});
+    EXPECT_GE(p_range, 0.0);
+    EXPECT_LE(p_range, 1.0);
+
+    // Adding a conjunct can only shrink the probability.
+    const double p_more = context_->EstimateSelectivity(
+        {Pred(1, CompareOp::kBetween, lo, hi),
+         Pred(2, CompareOp::kLe, rng.UniformInt(0, 4))});
+    EXPECT_LE(p_more, p_range + 1e-9);
+
+    // A wider range can only grow it.
+    const double p_wider = context_->EstimateSelectivity(
+        {Pred(1, CompareOp::kBetween, std::max<int64_t>(0, lo - 5), hi)});
+    EXPECT_GE(p_wider, p_range - 1e-9);
+  }
+}
+
+TEST_P(BnProbabilityAxiomsTest, ComplementSumsToOne) {
+  const int64_t split = 20;
+  const double p_le =
+      context_->EstimateSelectivity({Pred(1, CompareOp::kLe, split)});
+  const double p_gt =
+      context_->EstimateSelectivity({Pred(1, CompareOp::kGt, split)});
+  EXPECT_NEAR(p_le + p_gt, 1.0, 0.02);
+}
+
+TEST_P(BnProbabilityAxiomsTest, MarginalConsistencyAcrossAllNodes) {
+  const minihouse::Conjunction filters = {
+      Pred(1, CompareOp::kLe, 30)};
+  const double z = context_->EstimateSelectivity(filters);
+  for (int column = 0; column < 3; ++column) {
+    auto marginal = context_->MarginalWithEvidence(filters, column);
+    ASSERT_TRUE(marginal.ok());
+    double sum = 0.0;
+    for (double p : marginal.value()) {
+      EXPECT_GE(p, -1e-12);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, z, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnProbabilityAxiomsTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// --- Property: serialization is lossless for every model seed -------------------
+
+class BnSerializationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BnSerializationTest, EstimatesSurviveRoundTrip) {
+  auto db = testutil::BuildToyDatabase(4000, GetParam());
+  cardest::BnTrainOptions options;
+  options.seed = GetParam();
+  auto model = BayesNetModel::Train(*db->FindTable("fact").value(), options);
+  ASSERT_TRUE(model.ok());
+  BufferWriter writer;
+  model.value().Serialize(&writer);
+  BufferReader reader(writer.buffer());
+  auto restored = BayesNetModel::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+
+  const BnInferenceContext a(&model.value());
+  const BnInferenceContext b(&restored.value());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const minihouse::Conjunction filters = {
+        Pred(1, CompareOp::kLe, rng.UniformInt(0, 49)),
+        Pred(2, CompareOp::kGe, rng.UniformInt(0, 4))};
+    EXPECT_EQ(a.EstimateSelectivity(filters), b.EstimateSelectivity(filters));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnSerializationTest,
+                         ::testing::Values(7, 17, 27, 37));
+
+// --- Property: aggregation hash table equals std::map reference ------------------
+
+class HashTableReferenceTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HashTableReferenceTest, MatchesReferenceCounting) {
+  const int64_t hint = GetParam();
+  Rng rng(991);
+  minihouse::AggregationHashTable table(2, hint);
+  std::map<std::pair<int64_t, int64_t>, int64_t> reference;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t key[2] = {rng.UniformInt(0, 40), rng.UniformInt(0, 15)};
+    table.FindOrInsert(key);
+    ++reference[{key[0], key[1]}];
+  }
+  EXPECT_EQ(table.num_groups(), static_cast<int64_t>(reference.size()));
+  // Every reference key maps to some group holding exactly that key.
+  for (const auto& [key, _] : reference) {
+    const int64_t probe[2] = {key.first, key.second};
+    const int64_t g = table.FindOrInsert(probe);
+    EXPECT_EQ(table.KeyComponent(g, 0), key.first);
+    EXPECT_EQ(table.KeyComponent(g, 1), key.second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hints, HashTableReferenceTest,
+                         ::testing::Values(0, 1, 64, 641, 100000));
+
+}  // namespace
+}  // namespace bytecard

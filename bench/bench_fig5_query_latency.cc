@@ -27,6 +27,7 @@ void RunWorkload(const std::string& dataset) {
 
   minihouse::Optimizer optimizer;
   std::map<std::string, std::vector<double>> latencies;
+  std::map<std::string, EstimationProfile> profiles;
 
   for (const auto& wq : ctx.workload.queries) {
     // Execute only the executable slice (aggregation queries were filtered
@@ -46,6 +47,7 @@ void RunWorkload(const std::string& dataset) {
       auto result = minihouse::PlanAndExecute(wq.query, optimizer, estimator);
       BC_CHECK_OK(result.status());
       latencies[estimator->Name()].push_back(timer.ElapsedMillis());
+      profiles[estimator->Name()].Add(result.value().stats);
     }
   }
 
@@ -75,6 +77,13 @@ void RunWorkload(const std::string& dataset) {
     row.push_back("");
     PrintRow(row);
   }
+
+  std::printf("estimation profile (per-plan memo + snapshot serving):\n");
+  std::vector<std::pair<std::string, EstimationProfile>> rows;
+  for (const char* method : {"sketch", "sample", "bytecard"}) {
+    rows.emplace_back(method, profiles[method]);
+  }
+  PrintEstimationProfiles(rows);
 }
 
 void Run() {

@@ -29,6 +29,8 @@ void Run() {
   std::vector<int64_t> resizes_without;
   std::vector<int64_t> resizes_with;
   std::vector<int64_t> resizes_sketch;
+  EstimationProfile bytecard_profile;
+  EstimationProfile sketch_profile;
 
   // Fixed analytical templates whose group NDV grows with the data.
   const std::vector<std::string> sqls = {
@@ -79,6 +81,8 @@ void Run() {
       with += a.value().stats.agg_resize_count;
       without += b.value().stats.agg_resize_count;
       sketch += c.value().stats.agg_resize_count;
+      bytecard_profile.Add(a.value().stats);
+      sketch_profile.Add(c.value().stats);
     }
     resizes_with.push_back(with);
     resizes_without.push_back(without);
@@ -96,6 +100,10 @@ void Run() {
   print("without ByteCard (no hint)", resizes_without);
   print("sketch NDV hint", resizes_sketch);
   print("with ByteCard (RBX hint)", resizes_with);
+
+  std::printf("\nestimation profile (all scales, hinted runs):\n");
+  PrintEstimationProfiles(
+      {{"sketch", sketch_profile}, {"bytecard", bytecard_profile}});
 }
 
 }  // namespace

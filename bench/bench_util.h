@@ -9,11 +9,13 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bytecard/bytecard.h"
 #include "common/logging.h"
 #include "minihouse/database.h"
+#include "minihouse/executor.h"
 #include "stats/traditional_estimator.h"
 #include "workload/datagen.h"
 #include "workload/workload.h"
@@ -123,11 +125,43 @@ inline BenchContext BuildBenchContext(const std::string& dataset,
   return ctx;
 }
 
+// Accumulated estimation-path counters surfaced from ExecStats: how often
+// the planner consulted the estimator, how much the per-query memo saved,
+// how many estimates fell back to the traditional path, and which snapshot
+// version served the last query. One profile per estimator per bench.
+struct EstimationProfile {
+  int64_t queries = 0;
+  int64_t estimator_calls = 0;
+  int64_t memo_hits = 0;
+  int64_t fallback_estimates = 0;
+  uint64_t snapshot_version = 0;  // last observed
+
+  void Add(const minihouse::ExecStats& stats) {
+    ++queries;
+    estimator_calls += stats.estimator_calls;
+    memo_hits += stats.memo_hits;
+    fallback_estimates += stats.fallback_estimates;
+    snapshot_version = stats.snapshot_version;
+  }
+};
+
 // Markdown-ish row printer so bench output diff-compares cleanly.
 inline void PrintRow(const std::vector<std::string>& cells) {
   std::printf("|");
   for (const std::string& cell : cells) std::printf(" %s |", cell.c_str());
   std::printf("\n");
+}
+
+// Prints one estimation-profile row per method, in the given order.
+inline void PrintEstimationProfiles(
+    const std::vector<std::pair<std::string, EstimationProfile>>& profiles) {
+  PrintRow({"method", "est calls", "memo hits", "fallbacks", "snapshot"});
+  for (const auto& [name, p] : profiles) {
+    PrintRow({name, std::to_string(p.estimator_calls),
+              std::to_string(p.memo_hits),
+              std::to_string(p.fallback_estimates),
+              "v" + std::to_string(p.snapshot_version)});
+  }
 }
 
 inline std::string Fmt(double v) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the tree under ThreadSanitizer (or the sanitizer
+# named in $1: thread|address) and runs the suites that exercise shared
+# state — the concurrency tests (snapshot publish vs. estimation races) and
+# the robustness tests (loader/deserializer abuse).
+#
+# Usage: ci/sanitize.sh [thread|address] [build-dir]
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${2:-${REPO_ROOT}/build-${SANITIZER}san}"
+
+case "${SANITIZER}" in
+  thread|address) ;;
+  *)
+    echo "usage: $0 [thread|address] [build-dir]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBYTECARD_SANITIZE="${SANITIZER}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  --target concurrency_test robustness_test
+
+# halt_on_error makes a race fail the ctest run instead of just logging.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
+  -R "ConcurrencyTest|RobustnessTest"
+
+echo "sanitize(${SANITIZER}): OK"

@@ -1,8 +1,7 @@
 #include "bytecard/bytecard.h"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
+#include <utility>
 
 #include "bytecard/model_loader.h"
 #include "bytecard/model_preprocessor.h"
@@ -21,7 +20,8 @@ Result<std::unique_ptr<ByteCard>> ByteCard::Bootstrap(
   bc->storage_dir_ = storage_dir;
   bc->loader_ = std::make_unique<ModelLoader>(storage_dir);
   ModelForgeService forge(storage_dir);
-  ModelLoader& loader = *bc->loader_;
+
+  SnapshotBuilder builder(nullptr, &bc->validator_);
 
   // 1. Model Preprocessor: join-pattern collection from the workload hint.
   const std::vector<std::vector<cardest::JoinKeyRef>> join_patterns =
@@ -35,15 +35,10 @@ Result<std::unique_ptr<ByteCard>> ByteCard::Bootstrap(
   bc->training_stats_.factorjoin_seconds = fj_artifact.train_seconds;
   bc->training_stats_.factorjoin_bytes = fj_artifact.size_bytes;
   bc->training_stats_.artifacts.push_back(fj_artifact);
-
-  bc->fj_engine_ = std::make_unique<FactorJoinEngine>(&bc->bn_contexts_);
   {
-    BC_ASSIGN_OR_RETURN(std::vector<LoadedModel> loaded, loader.PollOnce());
-    for (const LoadedModel& model : loaded) {
-      if (model.kind == "factorjoin") {
-        BC_RETURN_IF_ERROR(bc->fj_engine_->LoadModel(model.bytes));
-      }
-    }
+    BC_ASSIGN_OR_RETURN(std::string fj_bytes,
+                        ReadArtifactBytes(fj_artifact.path));
+    BC_RETURN_IF_ERROR(builder.LoadFactorJoin(fj_bytes));
   }
 
   // 3. Routine per-table BN training through the forge.
@@ -51,7 +46,8 @@ Result<std::unique_ptr<ByteCard>> ByteCard::Bootstrap(
     const minihouse::Table* table = db.FindTable(name).value();
     if (table->num_rows() == 0) continue;
 
-    const cardest::BnTrainOptions bn_options = bc->DeriveBnOptions(*table);
+    const cardest::BnTrainOptions bn_options =
+        bc->DeriveBnOptions(*table, builder.fj_model());
     if (bn_options.columns.empty()) continue;
     BC_ASSIGN_OR_RETURN(ModelArtifact artifact,
                         forge.TrainTableBn(*table, bn_options));
@@ -60,27 +56,8 @@ Result<std::unique_ptr<ByteCard>> ByteCard::Bootstrap(
     bc->training_stats_.artifacts.push_back(artifact);
   }
 
-  // 4. Model Loader pickup + Validator admission + InitContext for BNs.
-  {
-    BC_ASSIGN_OR_RETURN(std::vector<LoadedModel> loaded, loader.PollOnce());
-    for (const LoadedModel& model : loaded) {
-      if (model.kind != "bn") continue;
-      auto engine = std::make_unique<BnCountEngine>();
-      BC_RETURN_IF_ERROR(engine->LoadModel(model.bytes));
-      BC_RETURN_IF_ERROR(
-          bc->validator_.Admit("bn/" + model.name, *engine, nullptr));
-      BC_RETURN_IF_ERROR(engine->InitContext());
-      bc->bn_contexts_[model.name] = engine->context();
-      bc->bn_engines_[model.name] = std::move(engine);
-    }
-  }
-  BC_RETURN_IF_ERROR(
-      bc->validator_.Admit("factorjoin/global", *bc->fj_engine_, nullptr));
-  BC_RETURN_IF_ERROR(bc->fj_engine_->InitContext());
-
-  // 5. RBX: reuse a pre-trained workload-independent artifact when given,
+  // 4. RBX: reuse a pre-trained workload-independent artifact when given,
   // otherwise run the one-off offline training.
-  bc->rbx_engine_ = std::make_unique<RbxNdvEngine>();
   std::string rbx_bytes;
   if (!options.pretrained_rbx_path.empty()) {
     BC_ASSIGN_OR_RETURN(rbx_bytes,
@@ -88,63 +65,84 @@ Result<std::unique_ptr<ByteCard>> ByteCard::Bootstrap(
   } else {
     cardest::RbxTrainOptions rbx_options = options.rbx;
     rbx_options.seed = options.seed ^ 0x5bd1e995;
-    BC_ASSIGN_OR_RETURN(ModelArtifact artifact,
-                        forge.TrainRbx(rbx_options));
+    BC_ASSIGN_OR_RETURN(ModelArtifact artifact, forge.TrainRbx(rbx_options));
     bc->training_stats_.rbx_seconds = artifact.train_seconds;
     bc->training_stats_.artifacts.push_back(artifact);
     BC_ASSIGN_OR_RETURN(rbx_bytes, ReadArtifactBytes(artifact.path));
   }
-  BC_RETURN_IF_ERROR(bc->rbx_engine_->LoadModel(rbx_bytes));
-  bc->training_stats_.rbx_bytes = bc->rbx_engine_->ModelSizeBytes();
-  BC_RETURN_IF_ERROR(
-      bc->validator_.Admit("rbx/global", *bc->rbx_engine_, nullptr));
-  BC_RETURN_IF_ERROR(bc->rbx_engine_->InitContext());
+  BC_RETURN_IF_ERROR(builder.LoadRbx(rbx_bytes));
+  bc->training_stats_.rbx_bytes =
+      static_cast<int64_t>(rbx_bytes.size());
 
-  // RBX was installed directly from the forge's artifact (not via a loader
-  // poll); advance the loader's high-water marks so the next RefreshModels
-  // only reacts to genuinely newer artifacts.
-  BC_RETURN_IF_ERROR(loader.PollOnce().status());
+  // 5. Model Loader pickup + Validator admission + InitContext for BNs. The
+  // single poll runs after all training, so it sees every artifact; marks
+  // are committed only once the snapshot below is actually published.
+  BC_ASSIGN_OR_RETURN(std::vector<LoadedModel> loaded,
+                      bc->loader_->PollOnce());
+  for (const LoadedModel& model : loaded) {
+    if (model.kind != "bn") continue;  // fj/rbx were installed above
+    BC_RETURN_IF_ERROR(builder.LoadBn(model.name, model.bytes));
+  }
 
   // 6. Per-table samples for RBX featurization (§5.2.1).
   {
+    auto samples =
+        std::make_shared<std::map<std::string, stats::TableSample>>();
     Rng rng(options.seed ^ 0x9e3779b9);
     for (const std::string& name : db.TableNames()) {
       const minihouse::Table* table = db.FindTable(name).value();
-      bc->samples_[name] = stats::TableSample::Build(
+      (*samples)[name] = stats::TableSample::Build(
           *table, options.sample_rate, options.sample_max_rows, &rng);
     }
+    bc->samples_ = std::move(samples);
+    builder.SetSamples(bc->samples_);
   }
 
   // 7. Traditional fallback sketches (ByteHouse keeps these regardless).
   if (options.build_fallback_sketches) {
     bc->fallback_statistics_ = stats::SketchStatistics::Build(db, 64);
-    bc->fallback_ = std::make_unique<stats::SketchEstimator>(
+    bc->fallback_ = std::make_shared<stats::SketchEstimator>(
         bc->fallback_statistics_.get());
+    builder.SetFallback(bc->fallback_);
   }
 
-  // 8. Model Monitor probing of each single-table model.
+  // 8. Model Monitor probing of each single-table model; verdicts are baked
+  // into the snapshot.
   if (options.run_monitor) {
-    for (const auto& [name, context] : bc->bn_contexts_) {
+    for (const std::string& name : builder.bn_tables()) {
+      const cardest::BnInferenceContext* context = builder.bn_context(name);
       const minihouse::Table* table = db.FindTable(name).value();
       Result<MonitorReport> report =
           bc->monitor_.EvaluateBnModel(*table, *context);
       if (!report.ok()) bc->monitor_.SetHealth(name, false);
+      builder.SetHealth(name, bc->monitor_.IsHealthy(name));
     }
+  }
+
+  // 9. Publish snapshot v1, then commit the loader's high-water marks for
+  // everything the poll offered (installed directly or via the poll) so the
+  // next RefreshModels only reacts to genuinely newer artifacts.
+  BC_ASSIGN_OR_RETURN(std::shared_ptr<const EstimatorSnapshot> snapshot,
+                      builder.Finish());
+  bc->snapshot_.Publish(std::move(snapshot));
+  for (const LoadedModel& model : loaded) {
+    bc->loader_->CommitLoaded(model.kind, model.name, model.timestamp);
   }
   return bc;
 }
 
 cardest::BnTrainOptions ByteCard::DeriveBnOptions(
-    const minihouse::Table& table) const {
+    const minihouse::Table& table,
+    const cardest::FactorJoinModel* fj_model) const {
   cardest::BnTrainOptions bn_options;
   bn_options.columns = ModelPreprocessor::SelectedColumns(table);
   bn_options.max_bins = options_.bn_max_bins;
   bn_options.max_train_rows = options_.bn_max_train_rows;
   bn_options.seed = options_.seed;
-  if (fj_engine_ != nullptr) {
+  if (fj_model != nullptr) {
     for (int c : bn_options.columns) {
       Result<std::vector<int64_t>> boundaries =
-          fj_engine_->model().BoundariesFor(table.name(), c);
+          fj_model->BoundariesFor(table.name(), c);
       if (boundaries.ok()) {
         bn_options.join_column_boundaries[c] = std::move(boundaries).value();
       }
@@ -154,43 +152,62 @@ cardest::BnTrainOptions ByteCard::DeriveBnOptions(
 }
 
 Result<int> ByteCard::RefreshModels() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (loader_ == nullptr) {
     return Status::Internal("ByteCard was not bootstrapped with a store");
   }
   BC_ASSIGN_OR_RETURN(std::vector<LoadedModel> loaded, loader_->PollOnce());
-  int applied = 0;
+  if (loaded.empty()) return 0;
+
+  // Build the successor off the serving path: unchanged engines are shared,
+  // each candidate is loaded/validated/contexted here. A bad candidate is
+  // skipped — the incumbent keeps serving and, because its mark is not
+  // committed, the loader offers it again next cycle (e.g. after the forge
+  // republishes a healthy artifact).
+  SnapshotBuilder builder(snapshot_.Acquire(), &validator_);
+  std::vector<const LoadedModel*> applied;
   for (const LoadedModel& model : loaded) {
+    Status status = Status::Ok();
     if (model.kind == "bn") {
-      auto engine = std::make_unique<BnCountEngine>();
-      BC_RETURN_IF_ERROR(engine->LoadModel(model.bytes));
-      BC_RETURN_IF_ERROR(
-          validator_.Admit("bn/" + model.name, *engine, nullptr));
-      BC_RETURN_IF_ERROR(engine->InitContext());
-      bn_contexts_[model.name] = engine->context();
-      bn_engines_[model.name] = std::move(engine);
-      ++applied;
+      status = builder.LoadBn(model.name, model.bytes);
     } else if (model.kind == "factorjoin") {
-      BC_RETURN_IF_ERROR(fj_engine_->LoadModel(model.bytes));
-      BC_RETURN_IF_ERROR(
-          validator_.Admit("factorjoin/global", *fj_engine_, nullptr));
-      BC_RETURN_IF_ERROR(fj_engine_->InitContext());
-      ++applied;
+      status = builder.LoadFactorJoin(model.bytes);
     } else if (model.kind == "rbx") {
-      BC_RETURN_IF_ERROR(rbx_engine_->LoadModel(model.bytes));
-      BC_RETURN_IF_ERROR(
-          validator_.Admit("rbx/global", *rbx_engine_, nullptr));
-      BC_RETURN_IF_ERROR(rbx_engine_->InitContext());
-      ++applied;
+      status = builder.LoadRbx(model.bytes);
+    } else {
+      continue;  // unknown kind: leave for a future loader generation
     }
+    if (!status.ok()) {
+      BC_LOG(Warning) << "skipping model " << model.kind << "/" << model.name
+                      << " @" << model.timestamp << ": "
+                      << status.ToString();
+      continue;
+    }
+    applied.push_back(&model);
   }
-  return applied;
+  if (applied.empty()) return 0;
+
+  BC_ASSIGN_OR_RETURN(std::shared_ptr<const EstimatorSnapshot> snapshot,
+                      builder.Finish());
+  snapshot_.Publish(std::move(snapshot));
+  for (const LoadedModel* model : applied) {
+    loader_->CommitLoaded(model->kind, model->name, model->timestamp);
+  }
+  return static_cast<int>(applied.size());
 }
 
 Status ByteCard::RetrainTable(const minihouse::Table& table) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (storage_dir_.empty()) {
     return Status::Internal("ByteCard was not bootstrapped with a store");
   }
-  const cardest::BnTrainOptions bn_options = DeriveBnOptions(table);
+  const cardest::FactorJoinModel* fj_model = nullptr;
+  std::shared_ptr<const EstimatorSnapshot> current = snapshot_.Acquire();
+  if (current != nullptr && current->fj_engine() != nullptr) {
+    fj_model = &current->fj_engine()->model();
+  }
+  const cardest::BnTrainOptions bn_options =
+      DeriveBnOptions(table, fj_model);
   if (bn_options.columns.empty()) {
     return Status::InvalidArgument("table '" + table.name() +
                                    "' has no trainable columns");
@@ -204,138 +221,112 @@ Status ByteCard::RetrainTable(const minihouse::Table& table) {
 }
 
 Result<MonitorReport> ByteCard::ProbeTable(const minihouse::Table& table) {
-  const cardest::BnInferenceContext* context = bn_context(table.name());
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  std::shared_ptr<const EstimatorSnapshot> current = snapshot_.Acquire();
+  const cardest::BnInferenceContext* context =
+      current == nullptr ? nullptr : current->bn_context(table.name());
   if (context == nullptr) {
     return Status::NotFound("no BN model for table '" + table.name() + "'");
   }
-  return monitor_.EvaluateBnModel(table, *context);
+  BC_ASSIGN_OR_RETURN(MonitorReport report,
+                      monitor_.EvaluateBnModel(table, *context));
+  // Demotion/promotion path: publish a successor only when the verdict
+  // differs from what the live snapshot serves.
+  if (current->IsHealthy(table.name()) != report.healthy) {
+    SnapshotBuilder builder(current, &validator_);
+    builder.SetHealth(table.name(), report.healthy);
+    BC_ASSIGN_OR_RETURN(std::shared_ptr<const EstimatorSnapshot> snapshot,
+                        builder.Finish());
+    snapshot_.Publish(std::move(snapshot));
+  }
+  return report;
+}
+
+void ByteCard::SetTableHealth(const std::string& table, bool healthy) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  monitor_.SetHealth(table, healthy);
+  std::shared_ptr<const EstimatorSnapshot> current = snapshot_.Acquire();
+  if (current != nullptr && current->IsHealthy(table) == healthy) return;
+  SnapshotBuilder builder(current, &validator_);
+  builder.SetHealth(table, healthy);
+  Result<std::shared_ptr<const EstimatorSnapshot>> snapshot =
+      builder.Finish();
+  if (!snapshot.ok()) {
+    BC_LOG(Warning) << "health publish for '" << table
+                    << "' failed: " << snapshot.status().ToString();
+    return;
+  }
+  snapshot_.Publish(std::move(snapshot).value());
+}
+
+std::shared_ptr<minihouse::CardinalityEstimator> ByteCard::PinSnapshot() {
+  return std::make_shared<SnapshotEstimator>(snapshot_.Acquire());
+}
+
+uint64_t ByteCard::SnapshotVersion() const {
+  std::shared_ptr<const EstimatorSnapshot> current = snapshot_.Acquire();
+  return current == nullptr ? 0 : current->version();
 }
 
 double ByteCard::EstimateCountDisjunction(
     const minihouse::Table& table,
     const std::vector<minihouse::Conjunction>& disjuncts) {
-  // Inclusion-exclusion over all non-empty disjunct subsets. |D| is small in
-  // practice (OR lists in analytical filters); cap keeps this bounded.
-  const int n = static_cast<int>(disjuncts.size());
-  if (n == 0) return 0.0;
-  BC_CHECK(n <= 16) << "inclusion-exclusion over too many disjuncts";
-
-  double selectivity = 0.0;
-  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
-    minihouse::Conjunction merged;
-    for (int i = 0; i < n; ++i) {
-      if (mask & (1u << i)) {
-        merged.insert(merged.end(), disjuncts[i].begin(),
-                      disjuncts[i].end());
-      }
-    }
-    const double term = EstimateSelectivity(table, merged);
-    selectivity += (__builtin_popcount(mask) % 2 == 1) ? term : -term;
-  }
-  selectivity = std::clamp(selectivity, 0.0, 1.0);
-  return selectivity * static_cast<double>(table.num_rows());
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  if (snap == nullptr) return 0.0;
+  return snap->EstimateCountDisjunction(table, disjuncts);
 }
 
 const cardest::BnInferenceContext* ByteCard::bn_context(
     const std::string& table) const {
-  auto it = bn_contexts_.find(table);
-  return it == bn_contexts_.end() ? nullptr : it->second;
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  return snap == nullptr ? nullptr : snap->bn_context(table);
+}
+
+const cardest::FactorJoinModel& ByteCard::factorjoin_model() const {
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  BC_CHECK(snap != nullptr && snap->fj_engine() != nullptr)
+      << "no FactorJoin model published";
+  return snap->fj_engine()->model();
+}
+
+const RbxNdvEngine& ByteCard::rbx_engine() const {
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  BC_CHECK(snap != nullptr && snap->rbx_engine() != nullptr)
+      << "no RBX model published";
+  return *snap->rbx_engine();
 }
 
 double ByteCard::EstimateSelectivity(const minihouse::Table& table,
                                      const minihouse::Conjunction& filters) {
-  const cardest::BnInferenceContext* context = bn_context(table.name());
-  if (context != nullptr && monitor_.IsHealthy(table.name())) {
-    validator_.Touch("bn/" + table.name());
-    return context->EstimateSelectivity(filters);
-  }
-  if (fallback_ != nullptr) {
-    return fallback_->EstimateSelectivity(table, filters);
-  }
-  return 1.0;
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  if (snap == nullptr) return 1.0;
+  return snap->EstimateSelectivity(table, filters);
 }
 
 double ByteCard::EstimateJoinCardinality(const minihouse::BoundQuery& query,
                                          const std::vector<int>& subset) {
-  if (subset.size() == 1) {
-    const minihouse::BoundTableRef& ref = query.tables[subset[0]];
-    return EstimateSelectivity(*ref.table, ref.filters) *
-           static_cast<double>(ref.table->num_rows());
-  }
-  // Unhealthy single-table models poison join estimates too; fall back to
-  // the traditional estimator for the whole join in that case.
-  for (int t : subset) {
-    if (!monitor_.IsHealthy(query.tables[t].table->name())) {
-      if (fallback_ != nullptr) {
-        return fallback_->EstimateJoinCardinality(query, subset);
-      }
-      break;
-    }
-  }
-  validator_.Touch("factorjoin/global");
-  FeatureVector features;
-  features.query = query;
-  features.table_subset = subset;
-  Result<double> estimate = fj_engine_->Estimate(features);
-  if (!estimate.ok()) {
-    return fallback_ != nullptr
-               ? fallback_->EstimateJoinCardinality(query, subset)
-               : 1.0;
-  }
-  return estimate.value();
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  if (snap == nullptr) return 1.0;
+  return snap->EstimateJoinCardinality(query, subset);
 }
 
 double ByteCard::EstimateCount(const minihouse::BoundQuery& query) {
-  std::vector<int> all(query.num_tables());
-  std::iota(all.begin(), all.end(), 0);
-  return EstimateJoinCardinality(query, all);
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  if (snap == nullptr) return 1.0;
+  return snap->EstimateCount(query);
 }
 
 double ByteCard::EstimateColumnNdv(const minihouse::Table& table, int column,
                                    const minihouse::Conjunction& filters) {
-  auto it = samples_.find(table.name());
-  if (it == samples_.end() || it->second.num_rows() == 0) {
-    return 1.0;
-  }
-  const stats::TableSample& sample = it->second;
-
-  // Featurization: filter the in-memory sample, then build the
-  // sample-profile over the surviving key values.
-  const std::vector<uint8_t> selection = sample.Matches(filters);
-  std::vector<int64_t> values;
-  for (int64_t i = 0; i < sample.num_rows(); ++i) {
-    if (selection[i] != 0) values.push_back(sample.column(column)[i]);
-  }
-  if (values.empty()) return 1.0;
-
-  // Population under the filters comes from the COUNT model.
-  const double filtered_rows =
-      EstimateSelectivity(table, filters) *
-      static_cast<double>(table.num_rows());
-  stats::SampleFrequencies frequencies = stats::ComputeFrequencies(
-      values, std::max<int64_t>(1, static_cast<int64_t>(filtered_rows)));
-
-  validator_.Touch("rbx/global");
-  const FeatureVector features = rbx_engine_->FeaturizeSample(frequencies);
-  Result<double> estimate = rbx_engine_->Estimate(features);
-  if (!estimate.ok()) {
-    return std::max(1.0, stats::GeeEstimate(frequencies));
-  }
-  return estimate.value();
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  if (snap == nullptr) return 1.0;
+  return snap->EstimateColumnNdv(table, column, filters);
 }
 
 double ByteCard::EstimateGroupNdv(const minihouse::BoundQuery& query) {
-  if (query.group_by.empty()) return 1.0;
-  double ndv = 1.0;
-  for (const minihouse::GroupKeyRef& g : query.group_by) {
-    const minihouse::BoundTableRef& ref = query.tables[g.table];
-    ndv *= std::max(1.0,
-                    EstimateColumnNdv(*ref.table, g.column, ref.filters));
-  }
-  std::vector<int> all(query.num_tables());
-  std::iota(all.begin(), all.end(), 0);
-  const double rows = EstimateJoinCardinality(query, all);
-  return std::max(1.0, std::min(ndv, rows));
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  if (snap == nullptr) return 1.0;
+  return snap->EstimateGroupNdv(query);
 }
 
 }  // namespace bytecard

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,7 +12,9 @@
 #include "bytecard/model_loader.h"
 #include "bytecard/model_monitor.h"
 #include "bytecard/model_validator.h"
+#include "bytecard/snapshot.h"
 #include "cardest/ndv/rbx.h"
+#include "common/snapshot.h"
 #include "common/status.h"
 #include "minihouse/database.h"
 #include "minihouse/optimizer.h"
@@ -38,11 +41,17 @@ struct ByteCardTrainingStats {
   }
 };
 
-// The ByteCard framework facade: owns the per-table BN engines, the
-// FactorJoin engine, the RBX engine, per-table samples for NDV
-// featurization, and the Monitor/Validator machinery; implements MiniHouse's
-// CardinalityEstimator so the optimizer can consume learned estimates for
-// materialization, join ordering, and hash-table pre-sizing.
+// The ByteCard framework facade, structured as a thin router over an
+// atomically-swappable EstimatorSnapshot (see snapshot.h). The snapshot
+// bundles everything the read path needs — per-table BN engines + contexts,
+// the FactorJoin engine, the RBX engine, RBX samples, model health flags,
+// and the traditional fallback — into one immutable unit. Estimation
+// acquires the current snapshot (lock-free) and serves from it; model
+// lifecycle writers (RefreshModels, RetrainTable pickup, monitor demotion)
+// build a successor snapshot off the serving path and publish it with a
+// single atomic store, so they are safe to run concurrently with estimation
+// from any number of query threads. Queries that pinned the old snapshot
+// (via PinSnapshot / EstimationContext) drain naturally.
 //
 // When the Model Monitor marks a table's model unhealthy, estimates for that
 // table transparently fall back to the traditional sketch estimator, exactly
@@ -69,7 +78,7 @@ class ByteCard : public minihouse::CardinalityEstimator {
   //   Model Preprocessor (column selection + join patterns from
   //   `workload_hint`) -> ModelForge training -> artifact store under
   //   `storage_dir` -> Model Loader pickup -> Validator admission ->
-  //   InitContext -> Model Monitor probing.
+  //   InitContext -> Model Monitor probing -> snapshot v1 published.
   static Result<std::unique_ptr<ByteCard>> Bootstrap(
       const minihouse::Database& db,
       const std::vector<minihouse::BoundQuery>& workload_hint,
@@ -83,26 +92,43 @@ class ByteCard : public minihouse::CardinalityEstimator {
                                  const std::vector<int>& subset) override;
   double EstimateGroupNdv(const minihouse::BoundQuery& query) override;
 
+  // Pins the current snapshot and returns a per-query view over it: every
+  // estimate through the view is answered by one model version, regardless
+  // of concurrent RefreshModels/demotions. The optimizer does this once per
+  // plan via EstimationContext.
+  std::shared_ptr<minihouse::CardinalityEstimator> PinSnapshot() override;
+  uint64_t SnapshotVersion() const override;
+
   // --- Model lifecycle -------------------------------------------------------
-  // One Model Loader cycle: polls the artifact store and swaps in any model
-  // with a newer timestamp (validated + re-contexted before it serves). Not
-  // thread-safe with concurrent estimation — call between queries, as the
-  // Daemon Manager schedules loading tasks.
+  // One Model Loader cycle: polls the artifact store, builds a successor
+  // snapshot containing every newer artifact that passes validation, and
+  // publishes it atomically. Candidates that fail to load/validate are
+  // skipped (and retried on the next cycle — their high-water marks only
+  // advance on a successful publish). Safe to call concurrently with
+  // estimation; concurrent lifecycle writers serialize on an internal
+  // mutex. Returns how many models were applied.
   Result<int> RefreshModels();
 
   // Routine retraining of one table's COUNT model via the ModelForge
   // Service, publishing a fresh artifact (pick it up with RefreshModels).
   // Invoked when the Data Ingestor reports enough new data or the Monitor
-  // flags the current model.
+  // flags the current model. Safe to call concurrently with estimation.
   Status RetrainTable(const minihouse::Table& table);
 
-  // Re-probes one table's model and updates its health flag; returns the
-  // report (paper §4.4.2).
+  // Re-probes one table's model, updates its health flag, and publishes a
+  // successor snapshot if the verdict changed; returns the report (paper
+  // §4.4.2). Safe to call concurrently with estimation.
   Result<MonitorReport> ProbeTable(const minihouse::Table& table);
+
+  // Monitor demotion/promotion: overrides one table's health flag and
+  // publishes a successor snapshot. Safe to call concurrently with
+  // estimation.
+  void SetTableHealth(const std::string& table, bool healthy);
 
   // OR-query estimation (paper §5.1.2): COUNT of the union of single-table
   // filter conjunctions via the inclusion-exclusion principle. Disjuncts
-  // must all reference `table`.
+  // must all reference `table`; the whole disjunction is answered by one
+  // pinned snapshot.
   double EstimateCountDisjunction(
       const minihouse::Table& table,
       const std::vector<minihouse::Conjunction>& disjuncts);
@@ -117,46 +143,53 @@ class ByteCard : public minihouse::CardinalityEstimator {
                            const minihouse::Conjunction& filters);
 
   // --- Introspection ---------------------------------------------------------
+  // The currently-published snapshot (never null after Bootstrap).
+  std::shared_ptr<const EstimatorSnapshot> snapshot() const {
+    return snapshot_.Acquire();
+  }
   const ByteCardTrainingStats& training_stats() const {
     return training_stats_;
   }
   const ModelMonitor& monitor() const { return monitor_; }
+  // Test hook for swapping monitor options; health changes made directly on
+  // the monitor reach serving only at the next publish (use SetTableHealth
+  // or ProbeTable to demote/promote a live model).
   ModelMonitor* mutable_monitor() { return &monitor_; }
   const ModelValidator& validator() const { return validator_; }
-  const cardest::FactorJoinModel& factorjoin_model() const {
-    return fj_engine_->model();
-  }
+  // Convenience views into the *current* snapshot; the references stay valid
+  // until the next publish.
+  const cardest::FactorJoinModel& factorjoin_model() const;
   const cardest::BnInferenceContext* bn_context(
       const std::string& table) const;
-  const RbxNdvEngine& rbx_engine() const { return *rbx_engine_; }
+  const RbxNdvEngine& rbx_engine() const;
 
  private:
   explicit ByteCard(Options options);
 
   // Per-table training options as Bootstrap derives them (column selection +
-  // join-bucket boundaries), reused verbatim by RetrainTable.
-  cardest::BnTrainOptions DeriveBnOptions(const minihouse::Table& table) const;
+  // join-bucket boundaries from `fj_model`), reused verbatim by
+  // RetrainTable.
+  cardest::BnTrainOptions DeriveBnOptions(
+      const minihouse::Table& table,
+      const cardest::FactorJoinModel* fj_model) const;
 
   Options options_;
   std::string storage_dir_;
+
+  // The serving state: readers Acquire(), lifecycle writers Publish().
+  common::VersionedHandle<EstimatorSnapshot> snapshot_;
+
+  // Lifecycle state below is touched only under lifecycle_mu_ (Bootstrap
+  // runs before the facade is shared, so it needs no lock).
+  std::mutex lifecycle_mu_;
   std::unique_ptr<ModelLoader> loader_;
-  // Engines. Stored behind unique_ptr so internal context pointers stay
-  // stable. bn_contexts_ is the registry the FactorJoin engine reads.
-  std::map<std::string, std::unique_ptr<BnCountEngine>> bn_engines_;
-  std::map<std::string, const cardest::BnInferenceContext*> bn_contexts_;
-  std::unique_ptr<FactorJoinEngine> fj_engine_;
-  std::unique_ptr<RbxNdvEngine> rbx_engine_;
-
-  // Per-table samples for RBX featurization (the in-memory DataFrame-style
-  // sample of §5.2.1).
-  std::map<std::string, stats::TableSample> samples_;
-
   ModelMonitor monitor_;
   ModelValidator validator_;
 
-  // Traditional fallback for unhealthy models.
+  // Immutable after Bootstrap; shared into every snapshot.
+  std::shared_ptr<const std::map<std::string, stats::TableSample>> samples_;
   std::unique_ptr<stats::SketchStatistics> fallback_statistics_;
-  std::unique_ptr<stats::SketchEstimator> fallback_;
+  std::shared_ptr<stats::SketchEstimator> fallback_;
 
   ByteCardTrainingStats training_stats_;
 };

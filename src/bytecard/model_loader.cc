@@ -1,5 +1,6 @@
 #include "bytecard/model_loader.h"
 
+#include <algorithm>
 #include <map>
 
 namespace bytecard {
@@ -30,9 +31,14 @@ Result<std::vector<LoadedModel>> ModelLoader::PollOnce() {
     model.timestamp = artifact->timestamp;
     model.bytes = std::move(bytes);
     loaded.push_back(std::move(model));
-    loaded_[key] = artifact->timestamp;
   }
   return loaded;
+}
+
+void ModelLoader::CommitLoaded(const std::string& kind,
+                               const std::string& name, int64_t timestamp) {
+  int64_t& mark = loaded_[{kind, name}];
+  mark = std::max(mark, timestamp);
 }
 
 int64_t ModelLoader::LoadedTimestamp(const std::string& kind,

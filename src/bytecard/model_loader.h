@@ -31,11 +31,19 @@ class ModelLoader {
       : storage_dir_(std::move(storage_dir)) {}
 
   // Scans the store and returns every (kind, name)'s newest artifact that is
-  // newer than the last loaded version. Updates the high-water marks for the
-  // returned models.
+  // newer than the last *committed* version. Does NOT advance the high-water
+  // marks: a returned candidate that later fails validation/InitContext (or
+  // whose snapshot publish fails) is offered again on the next poll. Call
+  // CommitLoaded once a candidate has actually been published for serving.
   Result<std::vector<LoadedModel>> PollOnce();
 
-  // Highest timestamp loaded for (kind, name); 0 if never loaded.
+  // Advances the high-water mark for (kind, name) to `timestamp` — call only
+  // after the corresponding model was successfully admitted and its snapshot
+  // published. Never moves a mark backwards.
+  void CommitLoaded(const std::string& kind, const std::string& name,
+                    int64_t timestamp);
+
+  // Highest timestamp committed for (kind, name); 0 if never committed.
   int64_t LoadedTimestamp(const std::string& kind,
                           const std::string& name) const;
 

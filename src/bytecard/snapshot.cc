@@ -1,0 +1,341 @@
+#include "bytecard/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "stats/ndv_classic.h"
+
+namespace bytecard {
+
+namespace {
+
+void CountFallback(SnapshotCounters* counters) {
+  if (counters != nullptr) ++counters->fallback_estimates;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EstimatorSnapshot
+// ---------------------------------------------------------------------------
+
+const cardest::BnInferenceContext* EstimatorSnapshot::bn_context(
+    const std::string& table) const {
+  auto it = bn_contexts_.find(table);
+  return it == bn_contexts_.end() ? nullptr : it->second;
+}
+
+bool EstimatorSnapshot::IsHealthy(const std::string& table) const {
+  auto it = health_.find(table);
+  return it == health_.end() ? true : it->second;
+}
+
+double EstimatorSnapshot::EstimateSelectivity(
+    const minihouse::Table& table, const minihouse::Conjunction& filters,
+    SnapshotCounters* counters) const {
+  const cardest::BnInferenceContext* context = bn_context(table.name());
+  if (context != nullptr && IsHealthy(table.name())) {
+    return context->EstimateSelectivity(filters);
+  }
+  CountFallback(counters);
+  if (fallback_ != nullptr) {
+    return fallback_->EstimateSelectivity(table, filters);
+  }
+  return 1.0;
+}
+
+double EstimatorSnapshot::EstimateJoinCardinality(
+    const minihouse::BoundQuery& query, const std::vector<int>& subset,
+    SnapshotCounters* counters) const {
+  if (subset.size() == 1) {
+    const minihouse::BoundTableRef& ref = query.tables[subset[0]];
+    return EstimateSelectivity(*ref.table, ref.filters, counters) *
+           static_cast<double>(ref.table->num_rows());
+  }
+  // Unhealthy single-table models poison join estimates too; fall back to
+  // the traditional estimator for the whole join in that case.
+  for (int t : subset) {
+    if (!IsHealthy(query.tables[t].table->name())) {
+      CountFallback(counters);
+      if (fallback_ != nullptr) {
+        return fallback_->EstimateJoinCardinality(query, subset);
+      }
+      break;
+    }
+  }
+  if (fj_engine_ != nullptr) {
+    FeatureVector features;
+    features.query = query;
+    features.table_subset = subset;
+    Result<double> estimate = fj_engine_->Estimate(features);
+    if (estimate.ok()) return estimate.value();
+  }
+  CountFallback(counters);
+  return fallback_ != nullptr
+             ? fallback_->EstimateJoinCardinality(query, subset)
+             : 1.0;
+}
+
+double EstimatorSnapshot::EstimateCount(const minihouse::BoundQuery& query,
+                                        SnapshotCounters* counters) const {
+  std::vector<int> all(query.num_tables());
+  std::iota(all.begin(), all.end(), 0);
+  return EstimateJoinCardinality(query, all, counters);
+}
+
+double EstimatorSnapshot::EstimateColumnNdv(
+    const minihouse::Table& table, int column,
+    const minihouse::Conjunction& filters, SnapshotCounters* counters) const {
+  if (samples_ == nullptr || rbx_engine_ == nullptr) {
+    CountFallback(counters);
+    return 1.0;
+  }
+  auto it = samples_->find(table.name());
+  if (it == samples_->end() || it->second.num_rows() == 0) {
+    CountFallback(counters);
+    return 1.0;
+  }
+  const stats::TableSample& sample = it->second;
+
+  // Featurization: filter the in-memory sample, then build the
+  // sample-profile over the surviving key values.
+  const std::vector<uint8_t> selection = sample.Matches(filters);
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < sample.num_rows(); ++i) {
+    if (selection[i] != 0) values.push_back(sample.column(column)[i]);
+  }
+  if (values.empty()) return 1.0;
+
+  // Population under the filters comes from the COUNT model.
+  const double filtered_rows =
+      EstimateSelectivity(table, filters, counters) *
+      static_cast<double>(table.num_rows());
+  stats::SampleFrequencies frequencies = stats::ComputeFrequencies(
+      values, std::max<int64_t>(1, static_cast<int64_t>(filtered_rows)));
+
+  const FeatureVector features = rbx_engine_->FeaturizeSample(frequencies);
+  Result<double> estimate = rbx_engine_->Estimate(features);
+  if (!estimate.ok()) {
+    CountFallback(counters);
+    return std::max(1.0, stats::GeeEstimate(frequencies));
+  }
+  return estimate.value();
+}
+
+double EstimatorSnapshot::EstimateGroupNdv(const minihouse::BoundQuery& query,
+                                           SnapshotCounters* counters) const {
+  if (query.group_by.empty()) return 1.0;
+  double ndv = 1.0;
+  for (const minihouse::GroupKeyRef& g : query.group_by) {
+    const minihouse::BoundTableRef& ref = query.tables[g.table];
+    ndv *= std::max(
+        1.0, EstimateColumnNdv(*ref.table, g.column, ref.filters, counters));
+  }
+  const double rows = EstimateCount(query, counters);
+  return std::max(1.0, std::min(ndv, rows));
+}
+
+double EstimatorSnapshot::EstimateCountDisjunction(
+    const minihouse::Table& table,
+    const std::vector<minihouse::Conjunction>& disjuncts,
+    SnapshotCounters* counters) const {
+  // Inclusion-exclusion over all non-empty disjunct subsets. |D| is small in
+  // practice (OR lists in analytical filters); cap keeps this bounded.
+  const int n = static_cast<int>(disjuncts.size());
+  if (n == 0) return 0.0;
+  BC_CHECK(n <= 16) << "inclusion-exclusion over too many disjuncts";
+
+  double selectivity = 0.0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    minihouse::Conjunction merged;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        merged.insert(merged.end(), disjuncts[i].begin(),
+                      disjuncts[i].end());
+      }
+    }
+    const double term = EstimateSelectivity(table, merged, counters);
+    selectivity += (__builtin_popcount(mask) % 2 == 1) ? term : -term;
+  }
+  selectivity = std::clamp(selectivity, 0.0, 1.0);
+  return selectivity * static_cast<double>(table.num_rows());
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotBuilder
+// ---------------------------------------------------------------------------
+
+SnapshotBuilder::SnapshotBuilder(
+    std::shared_ptr<const EstimatorSnapshot> base, ModelValidator* validator)
+    : base_(std::move(base)), validator_(validator) {}
+
+Status SnapshotBuilder::LoadBn(const std::string& table,
+                               const std::string& bytes) {
+  auto engine = std::make_shared<BnCountEngine>();
+  BC_RETURN_IF_ERROR(engine->LoadModel(bytes));
+  if (validator_ != nullptr) {
+    BC_RETURN_IF_ERROR(validator_->Admit("bn/" + table, *engine, nullptr));
+  }
+  BC_RETURN_IF_ERROR(engine->InitContext());
+  new_bns_[table] = std::move(engine);
+  return Status::Ok();
+}
+
+Status SnapshotBuilder::LoadFactorJoin(const std::string& bytes) {
+  // Probe engine: deserialize + structural validation now, so a bad artifact
+  // is rejected before it can poison Finish. The serving engine is built in
+  // Finish against the successor's BN registry.
+  auto probe = std::make_unique<FactorJoinEngine>(nullptr);
+  BC_RETURN_IF_ERROR(probe->LoadModel(bytes));
+  BC_RETURN_IF_ERROR(probe->Validate());
+  fj_probe_ = std::move(probe);
+  new_fj_bytes_ = bytes;
+  has_new_fj_ = true;
+  return Status::Ok();
+}
+
+Status SnapshotBuilder::LoadRbx(const std::string& bytes) {
+  auto engine = std::make_shared<RbxNdvEngine>();
+  BC_RETURN_IF_ERROR(engine->LoadModel(bytes));
+  if (validator_ != nullptr) {
+    BC_RETURN_IF_ERROR(validator_->Admit("rbx/global", *engine, nullptr));
+  }
+  BC_RETURN_IF_ERROR(engine->InitContext());
+  new_rbx_ = std::move(engine);
+  return Status::Ok();
+}
+
+void SnapshotBuilder::SetHealth(const std::string& table, bool healthy) {
+  health_overrides_[table] = healthy;
+}
+
+void SnapshotBuilder::SetSamples(
+    std::shared_ptr<const std::map<std::string, stats::TableSample>>
+        samples) {
+  samples_ = std::move(samples);
+  has_samples_ = true;
+}
+
+void SnapshotBuilder::SetFallback(
+    std::shared_ptr<stats::SketchEstimator> fallback) {
+  fallback_ = std::move(fallback);
+  has_fallback_ = true;
+}
+
+const cardest::BnInferenceContext* SnapshotBuilder::bn_context(
+    const std::string& table) const {
+  auto it = new_bns_.find(table);
+  if (it != new_bns_.end()) return it->second->context();
+  return base_ == nullptr ? nullptr : base_->bn_context(table);
+}
+
+const cardest::FactorJoinModel* SnapshotBuilder::fj_model() const {
+  if (fj_probe_ != nullptr) return &fj_probe_->model();
+  if (base_ != nullptr && base_->fj_engine() != nullptr) {
+    return &base_->fj_engine()->model();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SnapshotBuilder::bn_tables() const {
+  std::map<std::string, bool> names;
+  if (base_ != nullptr) {
+    for (const auto& [name, engine] : base_->bn_engines_) {
+      (void)engine;
+      names[name] = true;
+    }
+  }
+  for (const auto& [name, engine] : new_bns_) {
+    (void)engine;
+    names[name] = true;
+  }
+  std::vector<std::string> out;
+  out.reserve(names.size());
+  for (const auto& [name, unused] : names) {
+    (void)unused;
+    out.push_back(name);
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const EstimatorSnapshot>> SnapshotBuilder::Finish() {
+  std::shared_ptr<EstimatorSnapshot> snapshot(new EstimatorSnapshot());
+  snapshot->version_ = base_ == nullptr ? 1 : base_->version_ + 1;
+
+  // BN engines: share the base's, override with replacements.
+  if (base_ != nullptr) snapshot->bn_engines_ = base_->bn_engines_;
+  for (auto& [name, engine] : new_bns_) {
+    snapshot->bn_engines_[name] = std::move(engine);
+  }
+  new_bns_.clear();
+  for (const auto& [name, engine] : snapshot->bn_engines_) {
+    if (engine->context() == nullptr) {
+      return Status::Internal("BN engine '" + name +
+                              "' entered a snapshot without a context");
+    }
+    snapshot->bn_contexts_[name] = engine->context();
+  }
+
+  // FactorJoin: even when the model is unchanged, the engine is rebuilt so
+  // its estimator binds to *this* snapshot's BN registry (its InitContext
+  // re-validates against the exact contexts it will compose).
+  snapshot->fj_bytes_ =
+      has_new_fj_ ? std::move(new_fj_bytes_)
+                  : (base_ != nullptr ? base_->fj_bytes_ : std::string());
+  if (!snapshot->fj_bytes_.empty()) {
+    auto fj = std::make_unique<FactorJoinEngine>(&snapshot->bn_contexts_);
+    BC_RETURN_IF_ERROR(fj->LoadModel(snapshot->fj_bytes_));
+    if (validator_ != nullptr) {
+      BC_RETURN_IF_ERROR(
+          validator_->Admit("factorjoin/global", *fj, nullptr));
+    }
+    BC_RETURN_IF_ERROR(fj->InitContext());
+    snapshot->fj_engine_ = std::move(fj);
+  }
+
+  snapshot->rbx_engine_ =
+      new_rbx_ != nullptr
+          ? std::shared_ptr<const RbxNdvEngine>(std::move(new_rbx_))
+          : (base_ != nullptr ? base_->rbx_engine_ : nullptr);
+
+  if (base_ != nullptr) snapshot->health_ = base_->health_;
+  for (const auto& [name, healthy] : health_overrides_) {
+    snapshot->health_[name] = healthy;
+  }
+
+  snapshot->samples_ =
+      has_samples_ ? std::move(samples_)
+                   : (base_ != nullptr ? base_->samples_ : nullptr);
+  snapshot->fallback_ =
+      has_fallback_ ? std::move(fallback_)
+                    : (base_ != nullptr ? base_->fallback_ : nullptr);
+
+  return std::shared_ptr<const EstimatorSnapshot>(std::move(snapshot));
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotEstimator
+// ---------------------------------------------------------------------------
+
+double SnapshotEstimator::EstimateSelectivity(
+    const minihouse::Table& table, const minihouse::Conjunction& filters) {
+  if (snapshot_ == nullptr) return 1.0;
+  return snapshot_->EstimateSelectivity(table, filters, &counters_);
+}
+
+double SnapshotEstimator::EstimateJoinCardinality(
+    const minihouse::BoundQuery& query, const std::vector<int>& subset) {
+  if (snapshot_ == nullptr) return 1.0;
+  return snapshot_->EstimateJoinCardinality(query, subset, &counters_);
+}
+
+double SnapshotEstimator::EstimateGroupNdv(
+    const minihouse::BoundQuery& query) {
+  if (snapshot_ == nullptr) return 1.0;
+  return snapshot_->EstimateGroupNdv(query, &counters_);
+}
+
+}  // namespace bytecard

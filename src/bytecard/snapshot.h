@@ -1,0 +1,182 @@
+#ifndef BYTECARD_BYTECARD_SNAPSHOT_H_
+#define BYTECARD_BYTECARD_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecard/inference_engine.h"
+#include "bytecard/model_validator.h"
+#include "minihouse/optimizer.h"
+#include "stats/sampler.h"
+#include "stats/traditional_estimator.h"
+
+namespace bytecard {
+
+// Per-query counters the snapshot's estimation methods fill in. One instance
+// per pinned view (single-threaded); pass nullptr when not accounting.
+struct SnapshotCounters {
+  int64_t fallback_estimates = 0;
+};
+
+// One immutable, atomically-swappable unit of serving state: the per-table
+// BN COUNT engines and their inference-context registry, the FactorJoin
+// engine (bound to *this snapshot's* registry), the RBX NDV engine, the
+// per-table RBX featurization samples, the model health flags, and the
+// traditional fallback estimator.
+//
+// After SnapshotBuilder::Finish, every member is frozen: all estimation
+// entry points are const, lock-free, and safe to invoke concurrently from
+// every query thread (the paper's §4.2 Inference Engine contract, extended
+// from per-engine to the whole serving unit). Model lifecycle events
+// (loader refresh, retrain pickup, monitor demotion) never mutate a live
+// snapshot — they build a successor off-thread and publish it; queries
+// pinning the old snapshot drain naturally.
+class EstimatorSnapshot {
+ public:
+  // Monotonic publication version (1 = bootstrap).
+  uint64_t version() const { return version_; }
+
+  // --- Estimation (const, lock-free) ---------------------------------------
+  double EstimateSelectivity(const minihouse::Table& table,
+                             const minihouse::Conjunction& filters,
+                             SnapshotCounters* counters = nullptr) const;
+  double EstimateJoinCardinality(const minihouse::BoundQuery& query,
+                                 const std::vector<int>& subset,
+                                 SnapshotCounters* counters = nullptr) const;
+  double EstimateGroupNdv(const minihouse::BoundQuery& query,
+                          SnapshotCounters* counters = nullptr) const;
+  double EstimateCount(const minihouse::BoundQuery& query,
+                       SnapshotCounters* counters = nullptr) const;
+  double EstimateColumnNdv(const minihouse::Table& table, int column,
+                           const minihouse::Conjunction& filters,
+                           SnapshotCounters* counters = nullptr) const;
+  // OR-query estimation (paper §5.1.2) via inclusion-exclusion; the whole
+  // disjunction is answered by this one snapshot.
+  double EstimateCountDisjunction(
+      const minihouse::Table& table,
+      const std::vector<minihouse::Conjunction>& disjuncts,
+      SnapshotCounters* counters = nullptr) const;
+
+  // --- Introspection --------------------------------------------------------
+  const cardest::BnInferenceContext* bn_context(
+      const std::string& table) const;
+  bool IsHealthy(const std::string& table) const;
+  // Null when the snapshot carries no model of that kind.
+  const FactorJoinEngine* fj_engine() const { return fj_engine_.get(); }
+  const RbxNdvEngine* rbx_engine() const { return rbx_engine_.get(); }
+
+ private:
+  friend class SnapshotBuilder;
+  EstimatorSnapshot() = default;
+
+  uint64_t version_ = 0;
+  // Engines are shared with predecessor/successor snapshots when unchanged;
+  // the registry below points into them, so their addresses are stable for
+  // this snapshot's lifetime.
+  std::map<std::string, std::shared_ptr<const BnCountEngine>> bn_engines_;
+  std::map<std::string, const cardest::BnInferenceContext*> bn_contexts_;
+  // Serialized FactorJoin model, kept so successors can rebind a fresh
+  // engine to their own BN registry without re-reading the artifact store.
+  std::string fj_bytes_;
+  std::unique_ptr<FactorJoinEngine> fj_engine_;
+  std::shared_ptr<const RbxNdvEngine> rbx_engine_;
+  // Monitor verdicts baked in at publish time; absent tables default to
+  // healthy (mirrors ModelMonitor::IsHealthy).
+  std::map<std::string, bool> health_;
+  // Per-table samples for RBX featurization (§5.2.1); shared, immutable.
+  std::shared_ptr<const std::map<std::string, stats::TableSample>> samples_;
+  // Traditional fallback for unhealthy/missing models. SketchEstimator is
+  // stateless over an immutable statistics store, so sharing it across
+  // snapshots and query threads is safe.
+  std::shared_ptr<stats::SketchEstimator> fallback_;
+};
+
+// Builds an EstimatorSnapshot, either from scratch (bootstrap) or as the
+// successor of a live snapshot — unchanged engines are shared, replaced ones
+// are loaded/validated/contexted here, off the serving path. Single-threaded;
+// used only by lifecycle writers (Bootstrap, RefreshModels, monitor
+// demotion).
+class SnapshotBuilder {
+ public:
+  // `base` may be null (first snapshot). `validator` (may be null in tests)
+  // admits every model that enters the successor.
+  SnapshotBuilder(std::shared_ptr<const EstimatorSnapshot> base,
+                  ModelValidator* validator);
+
+  // Load + admit + InitContext a replacement engine. On error the builder is
+  // unchanged (the candidate is discarded; the base model keeps serving).
+  Status LoadBn(const std::string& table, const std::string& bytes);
+  Status LoadFactorJoin(const std::string& bytes);
+  Status LoadRbx(const std::string& bytes);
+
+  void SetHealth(const std::string& table, bool healthy);
+  void SetSamples(
+      std::shared_ptr<const std::map<std::string, stats::TableSample>>
+          samples);
+  void SetFallback(std::shared_ptr<stats::SketchEstimator> fallback);
+
+  // Pending view (new engines first, then base): lets lifecycle code derive
+  // training options and probe models before publication.
+  const cardest::BnInferenceContext* bn_context(
+      const std::string& table) const;
+  const cardest::FactorJoinModel* fj_model() const;
+  std::vector<std::string> bn_tables() const;
+
+  // Finalizes: merges base + replacements, rebinds the FactorJoin engine to
+  // the successor's BN registry (re-running its InitContext, per the paper's
+  // requirement), and stamps version = base.version + 1.
+  Result<std::shared_ptr<const EstimatorSnapshot>> Finish();
+
+ private:
+  std::shared_ptr<const EstimatorSnapshot> base_;
+  ModelValidator* validator_;
+  std::map<std::string, std::shared_ptr<BnCountEngine>> new_bns_;
+  // Probe engine for the pending FactorJoin model (boundary queries during
+  // BN option derivation); the serving engine is built in Finish.
+  std::unique_ptr<FactorJoinEngine> fj_probe_;
+  bool has_new_fj_ = false;
+  std::string new_fj_bytes_;
+  std::shared_ptr<RbxNdvEngine> new_rbx_;
+  std::map<std::string, bool> health_overrides_;
+  std::shared_ptr<const std::map<std::string, stats::TableSample>> samples_;
+  std::shared_ptr<stats::SketchEstimator> fallback_;
+  bool has_samples_ = false;
+  bool has_fallback_ = false;
+};
+
+// The per-query pinned view handed out by ByteCard::PinSnapshot: implements
+// CardinalityEstimator by forwarding to one EstimatorSnapshot, and carries
+// the query's fallback accounting. Lives on one query thread.
+class SnapshotEstimator : public minihouse::CardinalityEstimator {
+ public:
+  explicit SnapshotEstimator(
+      std::shared_ptr<const EstimatorSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  std::string Name() const override { return "bytecard"; }
+  double EstimateSelectivity(const minihouse::Table& table,
+                             const minihouse::Conjunction& filters) override;
+  double EstimateJoinCardinality(const minihouse::BoundQuery& query,
+                                 const std::vector<int>& subset) override;
+  double EstimateGroupNdv(const minihouse::BoundQuery& query) override;
+
+  uint64_t SnapshotVersion() const override {
+    return snapshot_ == nullptr ? 0 : snapshot_->version();
+  }
+  int64_t FallbackEstimates() const override {
+    return counters_.fallback_estimates;
+  }
+
+  const EstimatorSnapshot* snapshot() const { return snapshot_.get(); }
+
+ private:
+  std::shared_ptr<const EstimatorSnapshot> snapshot_;
+  SnapshotCounters counters_;
+};
+
+}  // namespace bytecard
+
+#endif  // BYTECARD_BYTECARD_SNAPSHOT_H_

@@ -40,11 +40,12 @@ struct NullStream {
 }  // namespace internal_logging
 
 #define BC_LOG(level)                                                         \
-  (::bytecard::LogLevel::k##level < ::bytecard::GetLogLevel())                \
-      ? (void)0                                                               \
-      : (void)::bytecard::internal_logging::LogMessage(                       \
-            ::bytecard::LogLevel::k##level, __FILE__, __LINE__)               \
-            .stream()
+  if (::bytecard::LogLevel::k##level < ::bytecard::GetLogLevel())             \
+    ;                                                                         \
+  else                                                                        \
+    ::bytecard::internal_logging::LogMessage(::bytecard::LogLevel::k##level,  \
+                                             __FILE__, __LINE__)              \
+        .stream()
 
 // CHECK aborts on violated invariants (programmer errors, not data errors).
 #define BC_CHECK(cond)                                                        \

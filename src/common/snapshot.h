@@ -1,0 +1,48 @@
+#ifndef BYTECARD_COMMON_SNAPSHOT_H_
+#define BYTECARD_COMMON_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace bytecard::common {
+
+// RCU-style single-writer/many-reader publication cell.
+//
+// Readers call Acquire() to pin the current value for as long as they hold
+// the returned shared_ptr; writers build a complete successor value
+// off-thread and install it with one Publish() (an atomic release store).
+// Superseded values drain naturally: the last reader holding a pin frees
+// them. Readers never block writers and writers never block readers; there
+// is no reader-side locking and no torn state — a reader either sees the
+// whole old value or the whole new one.
+//
+// T is expected to be immutable after publication; Acquire() hands out
+// const access only.
+template <typename T>
+class VersionedHandle {
+ public:
+  using Ptr = std::shared_ptr<const T>;
+
+  VersionedHandle() = default;
+  explicit VersionedHandle(Ptr initial) : current_(std::move(initial)) {}
+
+  VersionedHandle(const VersionedHandle&) = delete;
+  VersionedHandle& operator=(const VersionedHandle&) = delete;
+
+  // Pins the current value. May return null before the first Publish.
+  Ptr Acquire() const { return current_.load(std::memory_order_acquire); }
+
+  // Installs `next` as the current value. Callers serialize publication
+  // among themselves (single logical writer); readers need no coordination.
+  void Publish(Ptr next) {
+    current_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<Ptr> current_;
+};
+
+}  // namespace bytecard::common
+
+#endif  // BYTECARD_COMMON_SNAPSHOT_H_

@@ -233,13 +233,21 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
   result.stats.agg_final_capacity = result.agg.final_capacity;
   result.stats.exec_ms = timer.ElapsedMillis();
   result.stats.plan_ms = plan.estimation_ms;
+  result.stats.estimator_calls = plan.estimation.estimator_calls;
+  result.stats.memo_hits = plan.estimation.memo_hits;
+  result.stats.fallback_estimates = plan.estimation.fallback_estimates;
+  result.stats.snapshot_version = plan.estimation.snapshot_version;
   return result;
 }
 
 Result<ExecResult> PlanAndExecute(const BoundQuery& query,
                                   const Optimizer& optimizer,
                                   CardinalityEstimator* estimator) {
-  const PhysicalPlan plan = optimizer.Plan(query, estimator);
+  // One estimation scope for the whole query: the snapshot pinned at plan
+  // time stays pinned until execution finishes, so late estimator reads
+  // (none today, but e.g. adaptive re-planning later) stay consistent.
+  EstimationContext ctx(estimator);
+  const PhysicalPlan plan = optimizer.Plan(query, &ctx);
   return ExecuteQuery(query, plan);
 }
 

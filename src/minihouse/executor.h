@@ -22,6 +22,11 @@ struct ExecStats {
   int64_t probe_rows_materialized = 0;
   double exec_ms = 0.0;           // execution only
   double plan_ms = 0.0;           // optimizer (incl. estimator) time
+  // Estimation-path accounting (copied from the plan's EstimationStats).
+  int64_t estimator_calls = 0;
+  int64_t memo_hits = 0;
+  int64_t fallback_estimates = 0;
+  uint64_t snapshot_version = 0;  // model snapshot the plan was built on
 };
 
 struct ExecResult {

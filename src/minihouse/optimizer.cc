@@ -3,22 +3,112 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <string>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace bytecard::minihouse {
 
+namespace {
+
+// Order-insensitive memo key for a predicate set on one table. Two
+// conjunctions with the same predicates in different order are the same
+// estimation question, so they share one memo slot.
+std::string SelectivityKey(const Table& table, const Conjunction& filters) {
+  std::vector<std::string> parts;
+  parts.reserve(filters.size());
+  for (const ColumnPredicate& pred : filters) {
+    parts.push_back(std::to_string(pred.column) + ":" +
+                    std::to_string(static_cast<int>(pred.op)) + ":" +
+                    std::to_string(pred.operand) + ":" +
+                    std::to_string(pred.operand2));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key = table.name();
+  for (const std::string& part : parts) {
+    key += "|";
+    key += part;
+  }
+  return key;
+}
+
+// Order-insensitive memo key for a join subset. The context is scoped to one
+// query, so table indices alone identify the subset.
+std::string JoinKey(const std::vector<int>& table_subset) {
+  std::vector<int> sorted = table_subset;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (int t : sorted) {
+    key += std::to_string(t);
+    key += ",";
+  }
+  return key;
+}
+
+}  // namespace
+
+std::shared_ptr<CardinalityEstimator> CardinalityEstimator::PinSnapshot() {
+  // Non-owning alias: stateless estimators serve queries from `this`
+  // directly, under the same lifetime contract as the raw-pointer API.
+  return std::shared_ptr<CardinalityEstimator>(this,
+                                               [](CardinalityEstimator*) {});
+}
+
+EstimationContext::EstimationContext(CardinalityEstimator* root)
+    : pinned_(root->PinSnapshot()) {}
+
+double EstimationContext::Selectivity(const Table& table,
+                                      const Conjunction& filters) {
+  const std::string key = SelectivityKey(table, filters);
+  auto it = selectivity_memo_.find(key);
+  if (it != selectivity_memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+  ++estimator_calls_;
+  const double sel = pinned_->EstimateSelectivity(table, filters);
+  selectivity_memo_.emplace(std::move(key), sel);
+  return sel;
+}
+
+double EstimationContext::JoinCardinality(
+    const BoundQuery& query, const std::vector<int>& table_subset) {
+  const std::string key = JoinKey(table_subset);
+  auto it = join_memo_.find(key);
+  if (it != join_memo_.end()) {
+    ++memo_hits_;
+    return it->second;
+  }
+  ++estimator_calls_;
+  const double card = pinned_->EstimateJoinCardinality(query, table_subset);
+  join_memo_.emplace(std::move(key), card);
+  return card;
+}
+
+double EstimationContext::GroupNdv(const BoundQuery& query) {
+  ++estimator_calls_;
+  return pinned_->EstimateGroupNdv(query);
+}
+
+EstimationStats EstimationContext::stats() const {
+  EstimationStats stats;
+  stats.estimator_calls = estimator_calls_;
+  stats.memo_hits = memo_hits_;
+  stats.fallback_estimates = pinned_->FallbackEstimates();
+  stats.snapshot_version = pinned_->SnapshotVersion();
+  return stats;
+}
+
 TableScanPlan Optimizer::PlanScan(const BoundTableRef& ref,
-                                  CardinalityEstimator* estimator) const {
+                                  EstimationContext* ctx) const {
   TableScanPlan plan;
   if (ref.filters.empty()) {
     plan.reader = ReaderKind::kSingleStage;
     return plan;
   }
 
-  plan.estimated_selectivity =
-      estimator->EstimateSelectivity(*ref.table, ref.filters);
+  plan.estimated_selectivity = ctx->Selectivity(*ref.table, ref.filters);
 
   // Dynamic reader selection (paper §5.1.2): multi-stage pays off exactly
   // when filters eliminate most rows early; otherwise its extra passes lose.
@@ -58,8 +148,7 @@ TableScanPlan Optimizer::PlanScan(const BoundTableRef& ref,
           candidate = prefix;
           candidate.push_back(ref.filters[remaining[pos]]);
         }
-        const double sel =
-            estimator->EstimateSelectivity(*ref.table, candidate);
+        const double sel = ctx->Selectivity(*ref.table, candidate);
         if (sel < best_sel) {
           best_sel = sel;
           best_pos = pos;
@@ -75,8 +164,8 @@ TableScanPlan Optimizer::PlanScan(const BoundTableRef& ref,
   return plan;
 }
 
-std::vector<int> Optimizer::PlanJoinOrder(
-    const BoundQuery& query, CardinalityEstimator* estimator) const {
+std::vector<int> Optimizer::PlanJoinOrder(const BoundQuery& query,
+                                          EstimationContext* ctx) const {
   const int n = query.num_tables();
   std::vector<int> order;
   if (n <= 1) {
@@ -99,13 +188,14 @@ std::vector<int> Optimizer::PlanJoinOrder(
     return false;
   };
 
-  // Seed: the joined pair with the smallest estimated cardinality.
+  // Seed: the joined pair with the smallest estimated cardinality. Multiple
+  // edges between the same pair hit the context memo rather than the model.
   double best_card = std::numeric_limits<double>::infinity();
   int best_a = 0;
   int best_b = 1;
   for (const JoinEdge& e : query.joins) {
-    const double card = estimator->EstimateJoinCardinality(
-        query, {e.left_table, e.right_table});
+    const double card =
+        ctx->JoinCardinality(query, {e.left_table, e.right_table});
     if (card < best_card) {
       best_card = card;
       best_a = e.left_table;
@@ -125,7 +215,7 @@ std::vector<int> Optimizer::PlanJoinOrder(
       if (in_set[t] || !connected(in_set, t)) continue;
       std::vector<int> subset = order;
       subset.push_back(t);
-      const double card = estimator->EstimateJoinCardinality(query, subset);
+      const double card = ctx->JoinCardinality(query, subset);
       if (card < best) {
         best = card;
         best_t = t;
@@ -149,21 +239,28 @@ std::vector<int> Optimizer::PlanJoinOrder(
 }
 
 PhysicalPlan Optimizer::Plan(const BoundQuery& query,
-                             CardinalityEstimator* estimator) const {
+                             EstimationContext* ctx) const {
   Stopwatch timer;
   PhysicalPlan plan;
   plan.scans.reserve(query.tables.size());
   for (const BoundTableRef& ref : query.tables) {
-    plan.scans.push_back(PlanScan(ref, estimator));
+    plan.scans.push_back(PlanScan(ref, ctx));
   }
-  plan.join_order = PlanJoinOrder(query, estimator);
+  plan.join_order = PlanJoinOrder(query, ctx);
   plan.use_sip = options_.enable_sip;
   if (options_.use_ndv_hint && !query.group_by.empty()) {
-    const double ndv = estimator->EstimateGroupNdv(query);
+    const double ndv = ctx->GroupNdv(query);
     plan.group_ndv_hint = std::max<int64_t>(0, static_cast<int64_t>(ndv));
   }
   plan.estimation_ms = timer.ElapsedMillis();
+  plan.estimation = ctx->stats();
   return plan;
+}
+
+PhysicalPlan Optimizer::Plan(const BoundQuery& query,
+                             CardinalityEstimator* estimator) const {
+  EstimationContext ctx(estimator);
+  return Plan(query, &ctx);
 }
 
 }  // namespace bytecard::minihouse

@@ -1,8 +1,10 @@
 #ifndef BYTECARD_MINIHOUSE_OPTIMIZER_H_
 #define BYTECARD_MINIHOUSE_OPTIMIZER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "minihouse/query.h"
@@ -33,6 +35,70 @@ class CardinalityEstimator {
 
   // Estimated number of distinct group keys the query's GROUP BY produces.
   virtual double EstimateGroupNdv(const BoundQuery& query) = 0;
+
+  // --- Model-snapshot hooks --------------------------------------------------
+  // Pins an immutable model snapshot and returns a per-query view over it:
+  // every estimate through the view is answered by the same model versions,
+  // even if the estimator's models are republished concurrently. The default
+  // implementation returns a non-owning alias of `this` — correct for
+  // estimators whose state never changes while queries run (sketches,
+  // samples, test stubs). The returned view is used by at most one thread.
+  virtual std::shared_ptr<CardinalityEstimator> PinSnapshot();
+
+  // Version of the model snapshot estimates come from; 0 when the estimator
+  // has no versioned models. On a pinned view this is constant.
+  virtual uint64_t SnapshotVersion() const { return 0; }
+
+  // Estimates answered by a traditional fallback path (unhealthy learned
+  // model) since this instance was created. Meaningful on pinned views,
+  // which live for exactly one query.
+  virtual int64_t FallbackEstimates() const { return 0; }
+};
+
+// Estimation-path accounting for one planned query (lands in ExecStats).
+struct EstimationStats {
+  int64_t estimator_calls = 0;    // estimates actually forwarded to the model
+  int64_t memo_hits = 0;          // estimates answered from the per-query memo
+  int64_t fallback_estimates = 0; // estimates answered by the traditional path
+  uint64_t snapshot_version = 0;  // model snapshot the whole plan was built on
+};
+
+// Per-query estimation scope: pins one model snapshot for the lifetime of a
+// plan (a query never sees two model versions) and memoizes repeated
+// selectivity / join-subset estimates across the optimizer's enumeration
+// loops. Not thread-safe — one context per query, on the query's thread.
+class EstimationContext {
+ public:
+  explicit EstimationContext(CardinalityEstimator* root);
+
+  EstimationContext(const EstimationContext&) = delete;
+  EstimationContext& operator=(const EstimationContext&) = delete;
+
+  // Memoized: keyed on the predicate *set* (order-insensitive), so the
+  // column-order search's re-probes of an already-priced conjunction are
+  // free.
+  double Selectivity(const Table& table, const Conjunction& filters);
+
+  // Memoized: keyed on the table *set* (order-insensitive) — join
+  // cardinality does not depend on enumeration order.
+  double JoinCardinality(const BoundQuery& query,
+                         const std::vector<int>& table_subset);
+
+  // Not memoized (asked once per plan).
+  double GroupNdv(const BoundQuery& query);
+
+  // The pinned per-query estimator view (for callers that need raw access).
+  CardinalityEstimator* pinned() const { return pinned_.get(); }
+
+  // Counters so far, including the pinned view's fallback count.
+  EstimationStats stats() const;
+
+ private:
+  std::shared_ptr<CardinalityEstimator> pinned_;
+  std::unordered_map<std::string, double> selectivity_memo_;
+  std::unordered_map<std::string, double> join_memo_;
+  int64_t estimator_calls_ = 0;
+  int64_t memo_hits_ = 0;
 };
 
 struct TableScanPlan {
@@ -47,6 +113,7 @@ struct PhysicalPlan {
   int64_t group_ndv_hint = 0;        // 0 = no hint (engine default sizing)
   bool use_sip = true;               // sideways information passing enabled
   double estimation_ms = 0.0;        // time spent inside the estimator
+  EstimationStats estimation;        // estimation-path accounting
 };
 
 struct OptimizerOptions {
@@ -75,14 +142,20 @@ class Optimizer {
   Optimizer() {}
   explicit Optimizer(OptimizerOptions options) : options_(options) {}
 
+  // Pins a snapshot, plans against it, and releases the pin: one query, one
+  // model version.
   PhysicalPlan Plan(const BoundQuery& query,
                     CardinalityEstimator* estimator) const;
 
+  // Plans inside a caller-owned estimation scope (the caller controls the
+  // snapshot pin's lifetime — e.g. to extend it over execution).
+  PhysicalPlan Plan(const BoundQuery& query, EstimationContext* ctx) const;
+
  private:
   TableScanPlan PlanScan(const BoundTableRef& ref,
-                         CardinalityEstimator* estimator) const;
+                         EstimationContext* ctx) const;
   std::vector<int> PlanJoinOrder(const BoundQuery& query,
-                                 CardinalityEstimator* estimator) const;
+                                 EstimationContext* ctx) const;
 
   OptimizerOptions options_;
 };

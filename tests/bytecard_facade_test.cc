@@ -136,9 +136,9 @@ TEST_F(ByteCardFacadeTest, UnhealthyModelFallsBack) {
                                           Pred(2, CompareOp::kEq, 0)};
   const double learned = bytecard_->EstimateSelectivity(fact, filters);
 
-  bytecard_->mutable_monitor()->SetHealth("fact", false);
+  bytecard_->SetTableHealth("fact", false);
   const double fallback = bytecard_->EstimateSelectivity(fact, filters);
-  bytecard_->mutable_monitor()->SetHealth("fact", true);
+  bytecard_->SetTableHealth("fact", true);
 
   // The sketch fallback assumes independence, so it lands well below the
   // BN's correlation-aware estimate.
@@ -148,9 +148,9 @@ TEST_F(ByteCardFacadeTest, UnhealthyModelFallsBack) {
 TEST_F(ByteCardFacadeTest, UnhealthyModelAffectsJoinsToo) {
   minihouse::BoundQuery query = testutil::ToyJoinQuery(*db_);
   const double learned = bytecard_->EstimateJoinCardinality(query, {0, 1});
-  bytecard_->mutable_monitor()->SetHealth("fact", false);
+  bytecard_->SetTableHealth("fact", false);
   const double fallback = bytecard_->EstimateJoinCardinality(query, {0, 1});
-  bytecard_->mutable_monitor()->SetHealth("fact", true);
+  bytecard_->SetTableHealth("fact", true);
   // Both are live estimates; the point is the path switches without error.
   EXPECT_GT(learned, 0.0);
   EXPECT_GT(fallback, 0.0);

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "bytecard/bytecard.h"
 #include "bytecard/data_ingestor.h"
@@ -150,6 +152,71 @@ TEST_F(LifecycleTest, DriftDegradesRetrainRestores) {
   const double fresh = bytecard_->EstimateSelectivity(
       *fact, {Pred(1, CompareOp::kGe, 500)});
   EXPECT_GT(fresh, 0.3);
+}
+
+TEST_F(LifecycleTest, CorruptArtifactRetriedAfterRepublish) {
+  // Regression test for the loader's high-water-mark semantics: a candidate
+  // that fails validation must NOT advance the mark. Before the poll/commit
+  // split, PollOnce recorded the timestamp up front, so a corrupt artifact
+  // was skipped once and then never offered again — even after the store was
+  // fixed at the same timestamp.
+  minihouse::Table* fact = db_->FindMutableTable("fact").value();
+  ASSERT_TRUE(bytecard_->RetrainTable(*fact).ok());
+
+  // Find the retrained artifact (newest bn.fact.<timestamp>.model).
+  fs::path newest;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("bn.fact.", 0) != 0) continue;
+    if (newest.empty() || name > newest.filename().string()) {
+      newest = entry.path();
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  std::string good;
+  {
+    std::ifstream in(newest, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    good = buf.str();
+  }
+
+  // Corrupt it in place; the refresh must skip it and keep serving.
+  const uint64_t version_before = bytecard_->SnapshotVersion();
+  {
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out << "garbage that is definitely not a model";
+  }
+  auto skipped = bytecard_->RefreshModels();
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_EQ(skipped.value(), 0);
+  EXPECT_EQ(bytecard_->SnapshotVersion(), version_before);
+
+  // Fix the artifact at the SAME timestamp: the next cycle must pick it up.
+  {
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out << good;
+  }
+  auto applied = bytecard_->RefreshModels();
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_GE(applied.value(), 1);
+  EXPECT_GT(bytecard_->SnapshotVersion(), version_before);
+}
+
+TEST_F(LifecycleTest, RefreshPublishesNewSnapshotVersion) {
+  minihouse::Table* fact = db_->FindMutableTable("fact").value();
+  const uint64_t v1 = bytecard_->SnapshotVersion();
+  EXPECT_GE(v1, 1u);
+  auto snap_before = bytecard_->snapshot();
+  ASSERT_NE(snap_before, nullptr);
+
+  ASSERT_TRUE(bytecard_->RetrainTable(*fact).ok());
+  auto applied = bytecard_->RefreshModels();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_GE(applied.value(), 1);
+  EXPECT_GT(bytecard_->SnapshotVersion(), v1);
+  // The pre-refresh snapshot is still alive and serves its own version.
+  EXPECT_EQ(snap_before->version(), v1);
 }
 
 TEST_F(LifecycleTest, RefreshWithoutNewArtifactsIsNoop) {

@@ -169,6 +169,16 @@ TEST(ModelLoaderTest, PicksOnlyNewestAndOnlyOnce) {
   auto first = loader.PollOnce();
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first.value().size(), 2u);  // fact (newest of 2) + dim
+  // Polling alone does not advance the high-water marks; the same
+  // candidates are offered again until they are committed.
+  EXPECT_EQ(loader.LoadedTimestamp("bn", "fact"), 0);
+  auto repoll = loader.PollOnce();
+  ASSERT_TRUE(repoll.ok());
+  EXPECT_EQ(repoll.value().size(), 2u);
+
+  for (const auto& model : first.value()) {
+    loader.CommitLoaded(model.kind, model.name, model.timestamp);
+  }
   EXPECT_GT(loader.LoadedTimestamp("bn", "fact"), 0);
 
   // Second poll with nothing new: empty.
@@ -182,6 +192,12 @@ TEST(ModelLoaderTest, PicksOnlyNewestAndOnlyOnce) {
   ASSERT_TRUE(third.ok());
   ASSERT_EQ(third.value().size(), 1u);
   EXPECT_EQ(third.value()[0].name, "fact");
+
+  // Commit never moves a mark backwards.
+  loader.CommitLoaded("bn", "fact", third.value()[0].timestamp);
+  const int64_t committed = loader.LoadedTimestamp("bn", "fact");
+  loader.CommitLoaded("bn", "fact", 0);
+  EXPECT_EQ(loader.LoadedTimestamp("bn", "fact"), committed);
 }
 
 TEST(ModelLoaderTest, EmptyStore) {

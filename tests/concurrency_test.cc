@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
+#include "bytecard/bytecard.h"
 #include "bytecard/inference_engine.h"
 #include "minihouse/aggregate.h"
 #include "cardest/bayes/bayes_net.h"
@@ -127,6 +129,91 @@ TEST(ConcurrencyTest, RbxEngineSharedAcrossThreads) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, SnapshotPublishSafeDuringEstimation) {
+  // The tentpole guarantee of the versioned-snapshot architecture: model
+  // lifecycle writers (RefreshModels, RetrainTable pickup, monitor
+  // demotion/promotion) may publish successor snapshots WHILE query threads
+  // estimate. Every query pins one snapshot and must observe a single
+  // consistent version for its whole plan: repeated estimates through one
+  // pin are bit-identical and the pinned version never moves, no matter how
+  // many publishes land concurrently.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "bytecard_snapshot_stress").string();
+  fs::remove_all(dir);
+  auto db = testutil::BuildToyDatabase(8000);
+
+  ByteCard::Options options;
+  options.rbx.population_sizes = {10000};
+  options.rbx.sample_rates = {0.05};
+  options.rbx.replicas = 1;
+  options.rbx.epochs = 5;
+  options.run_monitor = false;
+  auto bc = ByteCard::Bootstrap(*db, {testutil::ToyJoinQuery(*db)}, dir,
+                                options);
+  ASSERT_TRUE(bc.ok()) << bc.status().ToString();
+  ByteCard* bytecard = bc.value().get();
+  const minihouse::Table& fact = *db->FindTable("fact").value();
+  minihouse::BoundQuery join_query = testutil::ToyJoinQuery(*db);
+  const uint64_t version_at_start = bytecard->SnapshotVersion();
+
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> readers_done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&, t]() {
+      for (int iter = 0; iter < 300; ++iter) {
+        // Pin once, estimate many times — the per-query contract.
+        auto pinned = bytecard->PinSnapshot();
+        const uint64_t version = pinned->SnapshotVersion();
+        const minihouse::Conjunction filters = {
+            Pred(1, CompareOp::kLe, 1 + (t * 31 + iter) % 48)};
+        const double sel1 = pinned->EstimateSelectivity(fact, filters);
+        const double join1 =
+            pinned->EstimateJoinCardinality(join_query, {0, 1});
+        const double sel2 = pinned->EstimateSelectivity(fact, filters);
+        const double join2 =
+            pinned->EstimateJoinCardinality(join_query, {0, 1});
+        if (sel1 != sel2 || join1 != join2) mismatches.fetch_add(1);
+        if (pinned->SnapshotVersion() != version) mismatches.fetch_add(1);
+
+        // The optimizer path pins through EstimationContext the same way.
+        minihouse::EstimationContext ctx(bytecard);
+        ctx.Selectivity(fact, filters);
+        ctx.JoinCardinality(join_query, {0, 1});
+        const minihouse::EstimationStats stats = ctx.stats();
+        if (stats.snapshot_version < version_at_start) mismatches.fetch_add(1);
+      }
+    });
+  }
+
+  // The lifecycle writer: health demotions/promotions and full refresh
+  // cycles, each publishing a successor snapshot under the readers' feet,
+  // for as long as any reader is still estimating.
+  std::thread writer([&]() {
+    int refreshes = 0;
+    for (int i = 0; !readers_done.load() || i < 8; ++i) {
+      bytecard->SetTableHealth("fact", i % 2 == 1);
+      if (i % 7 == 3 && refreshes < 3) {
+        ++refreshes;
+        ASSERT_TRUE(bytecard->RetrainTable(fact).ok());
+        auto applied = bytecard->RefreshModels();
+        ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+        EXPECT_GE(applied.value(), 1);
+      }
+    }
+    bytecard->SetTableHealth("fact", true);
+  });
+
+  for (auto& thread : readers) thread.join();
+  readers_done.store(true);
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Health flips + refreshes really did publish successors.
+  EXPECT_GT(bytecard->SnapshotVersion(), version_at_start);
+  fs::remove_all(dir);
 }
 
 TEST(ConcurrencyTest, AggregationHashTablesIndependentPerThread) {

@@ -217,6 +217,63 @@ TEST(OptimizerTest, HintDisabledByOption) {
   EXPECT_EQ(plan.group_ndv_hint, 0);
 }
 
+TEST(OptimizerTest, MemoDedupsRepeatedSelectivityProbes) {
+  // Column-order enumeration re-probes the same conjunctions many times.
+  // With early-stop engaged from round 2 on, every later round re-asks the
+  // single-filter selectivities already probed in round 1, and reader
+  // selection already asked for the full conjunction. Pre-memo the planner
+  // issued 1 (reader selection) + 4 + 3 + 2 + 1 (enumeration rounds) = 11
+  // estimator probes for 4 filters; the memo collapses that to the 5 unique
+  // questions.
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 4));
+
+  FakeEstimator estimator;
+  estimator.column_selectivity = {{0, 0.5}, {1, 0.5}, {2, 0.5}, {3, 0.5}};
+  OptimizerOptions options;
+  options.column_order_early_stop = 1.0;  // early-stop from round 2 onward
+  Optimizer optimizer(options);
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+
+  ASSERT_EQ(plan.scans[0].reader, ReaderKind::kMultiStage);
+  EXPECT_EQ(estimator.selectivity_calls, 5);  // strictly fewer than seed's 11
+  EXPECT_EQ(plan.estimation.estimator_calls, 5);
+  EXPECT_EQ(plan.estimation.memo_hits, 6);
+  // FakeEstimator is stateless: the default pin is a no-op alias at v0.
+  EXPECT_EQ(plan.estimation.snapshot_version, 0u);
+  EXPECT_EQ(plan.estimation.fallback_estimates, 0);
+}
+
+TEST(OptimizerTest, MemoDedupsJoinSubsetsOrderInsensitively) {
+  auto db = testutil::BuildToyDatabase();
+  const Table* fact = db->FindTable("fact").value();
+  const Table* dim = db->FindTable("dim").value();
+
+  BoundQuery query;
+  query.tables.push_back(MakeRef(fact, 0));
+  query.tables.push_back(MakeRef(dim, 0));
+  query.tables.push_back(MakeRef(fact, 0));
+  query.tables[2].alias = "fact2";
+  // Two edges between tables 0 and 1 — one written (0,1), one written
+  // (1,0) — plus the chain edge to table 2. The pair cardinality is the
+  // same question regardless of edge direction, so the seed pass asks the
+  // model three times where the memo asks twice.
+  query.joins = {{0, 0, 1, 0}, {1, 1, 0, 1}, {1, 0, 2, 0}};
+
+  FakeEstimator estimator;
+  estimator.table_card = {{0, 1000.0}, {1, 10.0}, {2, 5.0}};
+  Optimizer optimizer;
+  const PhysicalPlan plan = optimizer.Plan(query, &estimator);
+
+  // 2 unique pairs + 1 three-table extension probe.
+  EXPECT_EQ(estimator.join_calls, 3);
+  EXPECT_EQ(plan.estimation.memo_hits, 1);
+  ASSERT_EQ(plan.join_order.size(), 3u);
+  EXPECT_EQ(plan.join_order[2], 0);  // cheapest pair (1, 2) seeds the order
+}
+
 TEST(OptimizerTest, RecordsEstimationTime) {
   auto db = testutil::BuildToyDatabase();
   const Table* fact = db->FindTable("fact").value();

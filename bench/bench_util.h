@@ -4,6 +4,7 @@
 #ifndef BYTECARD_BENCH_BENCH_UTIL_H_
 #define BYTECARD_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -135,6 +136,8 @@ struct EstimationProfile {
   int64_t memo_hits = 0;
   int64_t fallback_estimates = 0;
   uint64_t snapshot_version = 0;  // last observed
+  int threads_used = 1;           // max dop any operator ran at
+  int64_t parallel_tasks = 0;     // summed morsels/partitions through the pool
 
   void Add(const minihouse::ExecStats& stats) {
     ++queries;
@@ -142,6 +145,8 @@ struct EstimationProfile {
     memo_hits += stats.memo_hits;
     fallback_estimates += stats.fallback_estimates;
     snapshot_version = stats.snapshot_version;
+    threads_used = std::max(threads_used, stats.threads_used);
+    parallel_tasks += stats.parallel_tasks;
   }
 };
 
@@ -155,12 +160,15 @@ inline void PrintRow(const std::vector<std::string>& cells) {
 // Prints one estimation-profile row per method, in the given order.
 inline void PrintEstimationProfiles(
     const std::vector<std::pair<std::string, EstimationProfile>>& profiles) {
-  PrintRow({"method", "est calls", "memo hits", "fallbacks", "snapshot"});
+  PrintRow({"method", "est calls", "memo hits", "fallbacks", "snapshot",
+            "max dop", "tasks"});
   for (const auto& [name, p] : profiles) {
     PrintRow({name, std::to_string(p.estimator_calls),
               std::to_string(p.memo_hits),
               std::to_string(p.fallback_estimates),
-              "v" + std::to_string(p.snapshot_version)});
+              "v" + std::to_string(p.snapshot_version),
+              std::to_string(p.threads_used),
+              std::to_string(p.parallel_tasks)});
   }
 }
 

@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace bytecard::common {
+
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  num_workers = std::max(0, num_workers);
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BC_CHECK(!stop_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Workers = budget - 1: the caller participating in ParallelMorsels is the
+  // remaining drainer.
+  static ThreadPool pool(std::max(HardwareParallelism(), kDefaultMaxDop) - 1);
+  return pool;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+int HardwareParallelism() {
+  static const int n = [] {
+    if (const char* env = std::getenv("BYTECARD_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return std::min(v, 256);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return n;
+}
+
+void ParallelMorsels(ThreadPool& pool, int64_t morsel_count, int dop,
+                     const std::function<void(int64_t, int)>& fn) {
+  if (morsel_count <= 0) return;
+  dop = std::min<int64_t>(dop, morsel_count);
+  // The caller is always one drainer; never submit more helpers than the
+  // pool has workers (on a worker-less pool those tasks would never run and
+  // the future joins below would deadlock).
+  dop = std::min(dop, pool.num_workers() + 1);
+  if (dop <= 1 || ThreadPool::OnWorkerThread()) {
+    for (int64_t m = 0; m < morsel_count; ++m) fn(m, 0);
+    return;
+  }
+
+  std::atomic<int64_t> next{0};
+  auto drain = [&](int slot) {
+    for (int64_t m;
+         (m = next.fetch_add(1, std::memory_order_relaxed)) < morsel_count;) {
+      fn(m, slot);
+    }
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(dop - 1);
+  for (int slot = 1; slot < dop; ++slot) {
+    futures.push_back(pool.Submit([&drain, slot] { drain(slot); }));
+  }
+  drain(0);
+  for (std::future<void>& f : futures) f.get();
+}
+
+void ParallelMorsels(int64_t morsel_count, int dop,
+                     const std::function<void(int64_t, int)>& fn) {
+  ParallelMorsels(ThreadPool::Global(), morsel_count, dop, fn);
+}
+
+}  // namespace bytecard::common

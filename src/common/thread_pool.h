@@ -1,0 +1,79 @@
+#ifndef BYTECARD_COMMON_THREAD_POOL_H_
+#define BYTECARD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bytecard::common {
+
+// Fixed-size worker pool shared engine-wide: one FIFO queue, workers block on
+// a condition variable, no work stealing. Tasks are plain void() callables;
+// Submit returns a future the caller waits on. The pool is deliberately
+// minimal — the executor's parallelism comes from ParallelMorsels below,
+// which keeps the *calling* thread as one of the drainers so progress never
+// depends on a free worker.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  std::future<void> Submit(std::function<void()> task);
+
+  // The engine-wide shared pool, created on first use. Sized from
+  // BYTECARD_THREADS when set (CI pins worker counts this way), otherwise
+  // max(hardware threads, kDefaultMaxDop) so that explicit dop requests up
+  // to the Fig 5 sweep's 8 overlap storage waits even on small machines.
+  static ThreadPool& Global();
+
+  // True on a thread currently executing a pool task. ParallelMorsels uses
+  // this to degrade nested fan-out to inline execution instead of
+  // deadlocking on a saturated queue.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Highest dop the optimizer hands out without an explicit override, and the
+// floor for the global pool's concurrency (callers may request up to this
+// even on machines reporting fewer hardware threads).
+inline constexpr int kDefaultMaxDop = 8;
+
+// Configured parallelism budget: the BYTECARD_THREADS override when set,
+// otherwise std::thread::hardware_concurrency(). Always >= 1. This is what
+// the optimizer treats as "one machine's worth" of threads.
+int HardwareParallelism();
+
+// Morsel-driven drain: runs fn(morsel, slot) for every morsel in
+// [0, morsel_count), with up to `dop` concurrent drainers pulling morsels
+// from a shared counter. The calling thread is drainer slot 0; slots
+// 1..dop-1 run on `pool`. Returns after every morsel completed (the caller's
+// writes in fn happen-before the return). dop <= 1, a single morsel, or a
+// call from inside a pool task all run inline on the caller.
+void ParallelMorsels(ThreadPool& pool, int64_t morsel_count, int dop,
+                     const std::function<void(int64_t, int)>& fn);
+
+// Same, on the global pool.
+void ParallelMorsels(int64_t morsel_count, int dop,
+                     const std::function<void(int64_t, int)>& fn);
+
+}  // namespace bytecard::common
+
+#endif  // BYTECARD_COMMON_THREAD_POOL_H_

@@ -1,9 +1,11 @@
 #include "minihouse/aggregate.h"
 
 #include <algorithm>
+#include <deque>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace bytecard::minihouse {
 
@@ -41,28 +43,33 @@ uint64_t AggregationHashTable::HashKey(const int64_t* key, int width) {
 }
 
 int64_t AggregationHashTable::FindOrInsert(const int64_t* key) {
-  if (static_cast<double>(num_groups() + 1) >
-      kMaxLoadFactor * static_cast<double>(slots_.size())) {
-    Grow();
-  }
   const uint64_t hash = HashKey(key, key_width_);
-  const uint64_t mask = slots_.size() - 1;
+  uint64_t mask = slots_.size() - 1;
   uint64_t pos = hash & mask;
   for (;;) {
     const int32_t g = slots_[pos];
-    if (g < 0) {
-      const int64_t group = num_groups();
-      keys_.insert(keys_.end(), key, key + key_width_);
-      hashes_.push_back(hash);
-      slots_[pos] = static_cast<int32_t>(group);
-      return group;
-    }
+    if (g < 0) break;  // miss — fall through to insert
     if (hashes_[g] == hash &&
         std::equal(key, key + key_width_, keys_.begin() + g * key_width_)) {
       return g;
     }
     pos = (pos + 1) & mask;
   }
+  // Only an actual insert can push the table over the load-factor ceiling:
+  // growing before the lookup would let duplicate-heavy streams trigger
+  // spurious resizes for keys that are already present.
+  if (static_cast<double>(num_groups() + 1) >
+      kMaxLoadFactor * static_cast<double>(slots_.size())) {
+    Grow();
+    mask = slots_.size() - 1;
+    pos = hash & mask;
+    while (slots_[pos] >= 0) pos = (pos + 1) & mask;
+  }
+  const int64_t group = num_groups();
+  keys_.insert(keys_.end(), key, key + key_width_);
+  hashes_.push_back(hash);
+  slots_[pos] = static_cast<int32_t>(group);
+  return group;
 }
 
 void AggregationHashTable::Grow() {
@@ -78,66 +85,158 @@ void AggregationHashTable::Grow() {
   ++resize_count_;
 }
 
-AggregateResult HashAggregate(
-    const std::vector<std::vector<int64_t>>& columns,
-    const std::vector<int>& key_columns, const std::vector<AggRequest>& aggs,
-    int64_t ndv_hint) {
-  AggregateResult result;
-  const int key_width = std::max<int>(1, static_cast<int>(key_columns.size()));
-  const int64_t num_rows =
-      columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+namespace {
 
-  AggregationHashTable table(key_width, ndv_hint);
-  std::vector<int64_t> key(key_width, 0);
+// One partition's accumulation state: a hash table plus per-group
+// accumulators for every requested aggregate. The serial path uses a single
+// PartialAgg end to end; the parallel path accumulates one per partition and
+// merges them into a final one.
+struct PartialAgg {
+  PartialAgg(int key_width, int64_t ndv_hint, int num_aggs)
+      : table(key_width, ndv_hint),
+        sums(num_aggs),
+        counts(num_aggs),
+        distinct(num_aggs) {}
 
-  // Per-aggregate accumulators, indexed by group.
-  const int num_aggs = static_cast<int>(aggs.size());
-  std::vector<std::vector<double>> sums(num_aggs);
-  std::vector<std::vector<int64_t>> counts(num_aggs);
+  AggregationHashTable table;
+  std::vector<std::vector<double>> sums;
+  std::vector<std::vector<int64_t>> counts;
   // Per-group distinct sets for COUNT(DISTINCT .): nested hash tables whose
   // resizes are charged to the same counter (same mechanism, same cost).
-  std::vector<std::vector<std::unordered_set<int64_t>>> distinct(num_aggs);
+  std::vector<std::vector<std::unordered_set<int64_t>>> distinct;
+};
 
-  for (int64_t row = 0; row < num_rows; ++row) {
+void EnsureGroup(const std::vector<AggRequest>& aggs, int64_t g,
+                 PartialAgg* part) {
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (static_cast<int64_t>(part->counts[a].size()) <= g) {
+      part->counts[a].resize(g + 1, 0);
+      part->sums[a].resize(g + 1, 0.0);
+      if (aggs[a].func == AggFunc::kCountDistinct) {
+        part->distinct[a].resize(g + 1);
+      }
+    }
+  }
+}
+
+void AccumulateRange(const std::vector<std::vector<int64_t>>& columns,
+                     const std::vector<int>& key_columns,
+                     const std::vector<AggRequest>& aggs, int64_t row_begin,
+                     int64_t row_end, PartialAgg* part) {
+  const int key_width = std::max<int>(1, static_cast<int>(key_columns.size()));
+  std::vector<int64_t> key(key_width, 0);
+  const int num_aggs = static_cast<int>(aggs.size());
+
+  for (int64_t row = row_begin; row < row_end; ++row) {
     for (size_t k = 0; k < key_columns.size(); ++k) {
       key[k] = columns[key_columns[k]][row];
     }
-    const int64_t g = table.FindOrInsert(key.data());
+    const int64_t g = part->table.FindOrInsert(key.data());
+    EnsureGroup(aggs, g, part);
     for (int a = 0; a < num_aggs; ++a) {
-      if (static_cast<int64_t>(counts[a].size()) <= g) {
-        counts[a].resize(g + 1, 0);
-        sums[a].resize(g + 1, 0.0);
-        if (aggs[a].func == AggFunc::kCountDistinct) {
-          distinct[a].resize(g + 1);
-        }
-      }
       switch (aggs[a].func) {
         case AggFunc::kCountStar:
         case AggFunc::kCount:
-          counts[a][g] += 1;
+          part->counts[a][g] += 1;
           break;
         case AggFunc::kSum:
         case AggFunc::kAvg:
-          counts[a][g] += 1;
-          sums[a][g] +=
+          part->counts[a][g] += 1;
+          part->sums[a][g] +=
               static_cast<double>(columns[aggs[a].input_column][row]);
           break;
         case AggFunc::kCountDistinct:
-          distinct[a][g].insert(columns[aggs[a].input_column][row]);
+          part->distinct[a][g].insert(columns[aggs[a].input_column][row]);
           break;
       }
     }
   }
+}
 
-  result.num_groups = table.num_groups();
-  result.resize_count = table.resize_count();
-  result.final_capacity = table.capacity();
+// Folds `src` into `dst`: every partial group is looked up (or inserted) in
+// the destination table and its accumulators combined. Sums and counts add;
+// distinct sets union.
+void MergePartial(const std::vector<AggRequest>& aggs, int key_width,
+                  const PartialAgg& src, PartialAgg* dst) {
+  std::vector<int64_t> key(key_width, 0);
+  const int64_t src_groups = src.table.num_groups();
+  for (int64_t sg = 0; sg < src_groups; ++sg) {
+    for (int c = 0; c < key_width; ++c) {
+      key[c] = src.table.KeyComponent(sg, c);
+    }
+    const int64_t g = dst->table.FindOrInsert(key.data());
+    EnsureGroup(aggs, g, dst);
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      switch (aggs[a].func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          dst->counts[a][g] += src.counts[a][sg];
+          dst->sums[a][g] += src.sums[a][sg];
+          break;
+        case AggFunc::kCountDistinct:
+          dst->distinct[a][g].insert(src.distinct[a][sg].begin(),
+                                     src.distinct[a][sg].end());
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AggregateResult HashAggregate(
+    const std::vector<std::vector<int64_t>>& columns,
+    const std::vector<int>& key_columns, const std::vector<AggRequest>& aggs,
+    int64_t ndv_hint, int dop) {
+  AggregateResult result;
+  const int key_width = std::max<int>(1, static_cast<int>(key_columns.size()));
+  const int64_t num_rows =
+      columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  const int num_aggs = static_cast<int>(aggs.size());
+  dop = static_cast<int>(
+      std::clamp<int64_t>(dop, 1, std::max<int64_t>(num_rows, 1)));
+
+  // deque: PartialAgg holds a non-movable hash table, so parts are
+  // constructed in place and never relocated.
+  std::deque<PartialAgg> parts;
+  PartialAgg* final_part = nullptr;
+
+  if (dop <= 1) {
+    parts.emplace_back(key_width, ndv_hint, num_aggs);
+    AccumulateRange(columns, key_columns, aggs, 0, num_rows, &parts[0]);
+    final_part = &parts[0];
+    result.resize_count = final_part->table.resize_count();
+  } else {
+    for (int p = 0; p < dop; ++p) {
+      parts.emplace_back(key_width, ndv_hint, num_aggs);
+    }
+    common::ParallelMorsels(dop, dop, [&](int64_t p, int /*slot*/) {
+      AccumulateRange(columns, key_columns, aggs, num_rows * p / dop,
+                      num_rows * (p + 1) / dop, &parts[p]);
+    });
+    parts.emplace_back(key_width, ndv_hint, num_aggs);
+    final_part = &parts.back();
+    for (int p = 0; p < dop; ++p) {
+      MergePartial(aggs, key_width, parts[p], final_part);
+      result.merge_groups += parts[p].table.num_groups();
+      result.resize_count += parts[p].table.resize_count();
+    }
+    result.resize_count += final_part->table.resize_count();
+    result.dop_used = dop;
+    result.parallel_tasks = dop;
+  }
+
+  result.num_groups = final_part->table.num_groups();
+  result.final_capacity = final_part->table.capacity();
 
   result.group_keys.resize(key_columns.size());
   for (size_t k = 0; k < key_columns.size(); ++k) {
     result.group_keys[k].resize(result.num_groups);
     for (int64_t g = 0; g < result.num_groups; ++g) {
-      result.group_keys[k][g] = table.KeyComponent(g, static_cast<int>(k));
+      result.group_keys[k][g] =
+          final_part->table.KeyComponent(g, static_cast<int>(k));
     }
   }
 
@@ -145,26 +244,29 @@ AggregateResult HashAggregate(
   for (int a = 0; a < num_aggs; ++a) {
     result.agg_values[a].resize(result.num_groups, 0.0);
     for (int64_t g = 0; g < result.num_groups; ++g) {
-      if (g >= static_cast<int64_t>(counts[a].size()) &&
+      if (g >= static_cast<int64_t>(final_part->counts[a].size()) &&
           aggs[a].func != AggFunc::kCountDistinct) {
         continue;
       }
       switch (aggs[a].func) {
         case AggFunc::kCountStar:
         case AggFunc::kCount:
-          result.agg_values[a][g] = static_cast<double>(counts[a][g]);
+          result.agg_values[a][g] =
+              static_cast<double>(final_part->counts[a][g]);
           break;
         case AggFunc::kSum:
-          result.agg_values[a][g] = sums[a][g];
+          result.agg_values[a][g] = final_part->sums[a][g];
           break;
         case AggFunc::kAvg:
           result.agg_values[a][g] =
-              counts[a][g] > 0 ? sums[a][g] / counts[a][g] : 0.0;
+              final_part->counts[a][g] > 0
+                  ? final_part->sums[a][g] / final_part->counts[a][g]
+                  : 0.0;
           break;
         case AggFunc::kCountDistinct:
           result.agg_values[a][g] =
-              g < static_cast<int64_t>(distinct[a].size())
-                  ? static_cast<double>(distinct[a][g].size())
+              g < static_cast<int64_t>(final_part->distinct[a].size())
+                  ? static_cast<double>(final_part->distinct[a][g].size())
                   : 0.0;
           break;
       }

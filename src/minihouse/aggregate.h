@@ -20,6 +20,12 @@ struct AggregateResult {
   int64_t num_groups = 0;
   int64_t resize_count = 0;
   int64_t final_capacity = 0;
+  // Partial groups folded into the final table during a parallel merge
+  // (0 when the aggregation ran serially — the serial path has no merge).
+  int64_t merge_groups = 0;
+  // Parallel-execution accounting, mirroring ScanResult.
+  int dop_used = 1;
+  int64_t parallel_tasks = 0;
   // agg_values[a][g] = value of aggregate a for group g.
   std::vector<std::vector<double>> agg_values;
   // group_keys[k][g] = component k of group g's key.
@@ -30,10 +36,17 @@ struct AggregateResult {
 // `columns`; `ndv_hint` pre-sizes the hash table (0 = engine default).
 // COUNT(DISTINCT c) is computed per group with a nested distinct table whose
 // resizes also count toward resize_count (it is the same mechanism).
+//
+// With dop > 1 the input is split into contiguous row partitions, each
+// accumulated into its own hash table (pre-sized from the same ndv_hint),
+// then merged into a final table in partition order. Group *values* are
+// identical at any dop; group order and resize_count may differ, so parallel
+// consumers compare results group-key-sorted. resize_count sums over every
+// table involved (partials + final).
 AggregateResult HashAggregate(
     const std::vector<std::vector<int64_t>>& columns,
     const std::vector<int>& key_columns, const std::vector<AggRequest>& aggs,
-    int64_t ndv_hint);
+    int64_t ndv_hint, int dop = 1);
 
 }  // namespace bytecard::minihouse
 

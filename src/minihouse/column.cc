@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <atomic>
 
@@ -50,6 +52,7 @@ void Column::AppendNumeric(int64_t code) {
 
 namespace {
 std::atomic<int> g_storage_cost_factor{0};
+std::atomic<int64_t> g_storage_block_latency_nanos{0};
 // Sink defeating dead-code elimination of the simulated-storage passes.
 std::atomic<int64_t> g_storage_sink{0};
 }  // namespace
@@ -61,6 +64,15 @@ void SetStorageCostFactor(int factor) {
 
 int StorageCostFactor() {
   return g_storage_cost_factor.load(std::memory_order_relaxed);
+}
+
+void SetStorageBlockLatencyNanos(int64_t nanos) {
+  g_storage_block_latency_nanos.store(nanos < 0 ? 0 : nanos,
+                                      std::memory_order_relaxed);
+}
+
+int64_t StorageBlockLatencyNanos() {
+  return g_storage_block_latency_nanos.load(std::memory_order_relaxed);
 }
 
 void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
@@ -84,6 +96,13 @@ void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
     int64_t checksum = 0;
     for (int64_t v : *out) checksum += v;
     g_storage_sink.fetch_add(checksum, std::memory_order_relaxed);
+  }
+  // Simulated storage latency: a blocking wait per block read. Concurrent
+  // readers overlap these waits, so parallel scans recover them — the
+  // disk-bound behaviour the cost-factor spin cannot model.
+  const int64_t latency = StorageBlockLatencyNanos();
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
   }
   if (io != nullptr) io->AddBlock(rows, bytes_per_row());
 }

@@ -39,7 +39,7 @@ std::vector<int> NeededColumns(const BoundQuery& query, int table_idx) {
 
 Relation ScanToRelation(const BoundQuery& query, int table_idx,
                         const TableScanPlan& scan_plan,
-                        const SemiJoinFilter& sip, IoStats* io) {
+                        const SemiJoinFilter& sip, ExecStats* stats) {
   const BoundTableRef& ref = query.tables[table_idx];
   const std::vector<int> out_cols = NeededColumns(query, table_idx);
 
@@ -47,7 +47,11 @@ Relation ScanToRelation(const BoundQuery& query, int table_idx,
   options.reader = scan_plan.reader;
   options.filter_order = scan_plan.filter_order;
   options.sip = sip;
-  ScanResult scanned = ScanTable(*ref.table, ref.filters, out_cols, options, io);
+  options.dop = scan_plan.dop;
+  ScanResult scanned =
+      ScanTable(*ref.table, ref.filters, out_cols, options, &stats->io);
+  stats->threads_used = std::max(stats->threads_used, scanned.dop_used);
+  stats->parallel_tasks += scanned.parallel_tasks;
 
   Relation rel;
   rel.column_names.reserve(out_cols.size());
@@ -120,7 +124,7 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
   }
 
   Relation current = ScanToRelation(query, order[0], plan.scans[order[0]],
-                                    SemiJoinFilter{}, &result.stats.io);
+                                    SemiJoinFilter{}, &result.stats);
   std::set<int> joined = {order[0]};
 
   // 2. Left-deep hash joins, with sideways information passing: when the
@@ -164,7 +168,7 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
     }
 
     Relation right =
-        ScanToRelation(query, t, plan.scans[t], sip, &result.stats.io);
+        ScanToRelation(query, t, plan.scans[t], sip, &result.stats);
     result.stats.probe_rows_materialized += right.num_rows();
 
     std::vector<int> left_keys;
@@ -197,8 +201,14 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
       return Status::InvalidArgument(
           "disconnected join graph (cross products unsupported)");
     }
-    BC_ASSIGN_OR_RETURN(current,
-                        HashJoin(current, right, left_keys, right_keys));
+    const int join_dop =
+        t < static_cast<int>(plan.join_dop.size()) ? plan.join_dop[t] : 1;
+    JoinRunInfo join_info;
+    BC_ASSIGN_OR_RETURN(current, HashJoin(current, right, left_keys,
+                                          right_keys, join_dop, &join_info));
+    result.stats.threads_used =
+        std::max(result.stats.threads_used, join_info.dop_used);
+    result.stats.parallel_tasks += join_info.parallel_tasks;
     result.stats.intermediate_rows += current.num_rows();
     joined.insert(t);
   }
@@ -228,9 +238,13 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
   }
 
   result.agg = HashAggregate(current.columns, key_columns, agg_requests,
-                             plan.group_ndv_hint);
+                             plan.group_ndv_hint, plan.agg_dop);
   result.stats.agg_resize_count = result.agg.resize_count;
   result.stats.agg_final_capacity = result.agg.final_capacity;
+  result.stats.agg_merge_groups = result.agg.merge_groups;
+  result.stats.threads_used =
+      std::max(result.stats.threads_used, result.agg.dop_used);
+  result.stats.parallel_tasks += result.agg.parallel_tasks;
   result.stats.exec_ms = timer.ElapsedMillis();
   result.stats.plan_ms = plan.estimation_ms;
   result.stats.estimator_calls = plan.estimation.estimator_calls;

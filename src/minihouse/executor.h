@@ -20,6 +20,13 @@ struct ExecStats {
   int64_t intermediate_rows = 0;  // summed join-output sizes
   // Rows materialized by probe-side scans (what SIP prunes).
   int64_t probe_rows_materialized = 0;
+  // Parallel execution: max dop any operator ran at (1 = fully serial) and
+  // total morsels/partitions executed through the thread pool.
+  int threads_used = 1;
+  int64_t parallel_tasks = 0;
+  // Partial groups folded during parallel aggregation merges (0 when the
+  // aggregation ran serially).
+  int64_t agg_merge_groups = 0;
   double exec_ms = 0.0;           // execution only
   double plan_ms = 0.0;           // optimizer (incl. estimator) time
   // Estimation-path accounting (copied from the plan's EstimationStats).

@@ -18,6 +18,14 @@ inline constexpr int64_t kBlockRows = 4096;
 void SetStorageCostFactor(int factor);
 int StorageCostFactor();
 
+// Simulated storage *latency*: when > 0, every block read blocks the calling
+// thread for this many nanoseconds. Unlike the cost factor (CPU passes that
+// serialize on the core), latency overlaps across concurrent readers — the
+// property of a remote/disk-bound storage layer that morsel-parallel scans
+// recover, and what the Fig 5 thread sweep measures. Default 0 = off.
+void SetStorageBlockLatencyNanos(int64_t nanos);
+int64_t StorageBlockLatencyNanos();
+
 // Per-query I/O accounting. The executor threads one IoStats through a query;
 // Figure 6a reports the blocks_read totals.
 struct IoStats {

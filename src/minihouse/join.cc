@@ -1,24 +1,13 @@
 #include "minihouse/join.h"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace bytecard::minihouse {
 
 namespace {
-
-uint64_t HashRowKeys(const Relation& rel, const std::vector<int>& keys,
-                     int64_t row) {
-  uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (int k : keys) {
-    uint64_t x = static_cast<uint64_t>(rel.columns[k][row]);
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    h ^= (x ^ (x >> 31)) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  }
-  return h;
-}
 
 bool KeysEqual(const Relation& a, const std::vector<int>& a_keys, int64_t ra,
                const Relation& b, const std::vector<int>& b_keys,
@@ -53,11 +42,67 @@ Relation GatherJoined(const Relation& left, const Relation& right,
   return out;
 }
 
+// Match lists for one contiguous range of probe rows.
+struct ProbePart {
+  std::vector<int64_t> build_rows;
+  std::vector<int64_t> probe_rows;
+};
+
+void ProbeRange(const JoinHashTable& ht, const Relation& build,
+                const std::vector<int>& build_keys, const Relation& probe,
+                const std::vector<int>& probe_keys, int64_t row_begin,
+                int64_t row_end, ProbePart* part) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const uint64_t h = JoinHashTable::HashRowKeys(probe, probe_keys, r);
+    ht.ForEachMatch(h, [&](int64_t build_row) {
+      if (KeysEqual(build, build_keys, build_row, probe, probe_keys, r)) {
+        part->build_rows.push_back(build_row);
+        part->probe_rows.push_back(r);
+      }
+    });
+  }
+}
+
 }  // namespace
+
+uint64_t JoinHashTable::HashRowKeys(const Relation& rel,
+                                    const std::vector<int>& keys,
+                                    int64_t row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int k : keys) {
+    uint64_t x = static_cast<uint64_t>(rel.columns[k][row]);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h ^= (x ^ (x >> 31)) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+JoinHashTable::JoinHashTable(const Relation& build,
+                             const std::vector<int>& keys) {
+  const int64_t n = build.num_rows();
+  next_.assign(n, -1);
+  size_t slot_count = 16;
+  while (slot_count < static_cast<size_t>(2 * n)) slot_count <<= 1;
+  slots_.assign(slot_count, -1);
+  slot_hashes_.assign(slot_count, 0);
+  const size_t mask = slot_count - 1;
+  // Insert in descending row order with chain prepend: chains come out
+  // ascending, so ForEachMatch visits build rows in row order.
+  for (int64_t r = n - 1; r >= 0; --r) {
+    const uint64_t h = HashRowKeys(build, keys, r);
+    size_t s = static_cast<size_t>(h) & mask;
+    while (slots_[s] >= 0 && slot_hashes_[s] != h) s = (s + 1) & mask;
+    if (slots_[s] < 0) slot_hashes_[s] = h;
+    next_[r] = slots_[s];
+    slots_[s] = r;
+  }
+}
 
 Result<Relation> HashJoin(const Relation& left, const Relation& right,
                           const std::vector<int>& left_keys,
-                          const std::vector<int>& right_keys) {
+                          const std::vector<int>& right_keys, int dop,
+                          JoinRunInfo* info) {
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
@@ -72,29 +117,59 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
     }
   }
 
-  // Build on the smaller input.
+  // Build on the smaller input; the build is serial regardless of dop (build
+  // sides are small by choice, and a serial build keeps the table identical
+  // across dops).
   const bool build_left = left.num_rows() <= right.num_rows();
   const Relation& build = build_left ? left : right;
   const Relation& probe = build_left ? right : left;
   const std::vector<int>& build_keys = build_left ? left_keys : right_keys;
   const std::vector<int>& probe_keys = build_left ? right_keys : left_keys;
 
-  std::unordered_multimap<uint64_t, int64_t> ht;
-  ht.reserve(static_cast<size_t>(build.num_rows()));
-  for (int64_t r = 0; r < build.num_rows(); ++r) {
-    ht.emplace(HashRowKeys(build, build_keys, r), r);
-  }
+  const JoinHashTable ht(build, build_keys);
+
+  const int64_t probe_rows_total = probe.num_rows();
+  dop = static_cast<int>(
+      std::clamp<int64_t>(dop, 1, std::max<int64_t>(probe_rows_total, 1)));
 
   std::vector<int64_t> build_rows;
   std::vector<int64_t> probe_rows;
-  for (int64_t r = 0; r < probe.num_rows(); ++r) {
-    const uint64_t h = HashRowKeys(probe, probe_keys, r);
-    auto [lo, hi] = ht.equal_range(h);
-    for (auto it = lo; it != hi; ++it) {
-      if (KeysEqual(build, build_keys, it->second, probe, probe_keys, r)) {
-        build_rows.push_back(it->second);
-        probe_rows.push_back(r);
-      }
+  if (dop <= 1) {
+    ProbePart part;
+    ProbeRange(ht, build, build_keys, probe, probe_keys, 0, probe_rows_total,
+               &part);
+    build_rows = std::move(part.build_rows);
+    probe_rows = std::move(part.probe_rows);
+    if (info != nullptr) {
+      info->dop_used = 1;
+      info->parallel_tasks = 0;
+    }
+  } else {
+    // Partitioned parallel probe: exactly dop contiguous probe-row ranges,
+    // match vectors concatenated in partition order — identical output to a
+    // serial probe because matches within a probe row are already emitted in
+    // ascending build-row order.
+    std::vector<ProbePart> parts(dop);
+    common::ParallelMorsels(dop, dop, [&](int64_t p, int /*slot*/) {
+      const int64_t r0 = probe_rows_total * p / dop;
+      const int64_t r1 = probe_rows_total * (p + 1) / dop;
+      ProbeRange(ht, build, build_keys, probe, probe_keys, r0, r1, &parts[p]);
+    });
+    int64_t total = 0;
+    for (const ProbePart& part : parts) {
+      total += static_cast<int64_t>(part.build_rows.size());
+    }
+    build_rows.reserve(total);
+    probe_rows.reserve(total);
+    for (ProbePart& part : parts) {
+      build_rows.insert(build_rows.end(), part.build_rows.begin(),
+                        part.build_rows.end());
+      probe_rows.insert(probe_rows.end(), part.probe_rows.begin(),
+                        part.probe_rows.end());
+    }
+    if (info != nullptr) {
+      info->dop_used = dop;
+      info->parallel_tasks = dop;
     }
   }
 

@@ -28,12 +28,59 @@ struct Relation {
   }
 };
 
+// Flat open-addressing multimap from join-key hash to build rows: one cache
+// line of slot metadata per probe instead of the pointer-chasing of
+// unordered_multimap buckets. Slots are linear-probed on the cached hash;
+// build rows sharing a hash chain through `next_`, in ascending row order, so
+// probes emit matches deterministically.
+class JoinHashTable {
+ public:
+  JoinHashTable(const Relation& build, const std::vector<int>& keys);
+
+  int64_t num_build_rows() const { return static_cast<int64_t>(next_.size()); }
+  size_t slot_count() const { return slots_.size(); }
+
+  static uint64_t HashRowKeys(const Relation& rel, const std::vector<int>& keys,
+                              int64_t row);
+
+  // Invokes fn(build_row) for every build row whose key hash equals `hash`,
+  // in ascending build-row order. Callers still verify key equality: distinct
+  // keys can collide on the full 64-bit hash (and then share a chain).
+  template <typename Fn>
+  void ForEachMatch(uint64_t hash, Fn&& fn) const {
+    const size_t mask = slots_.size() - 1;
+    size_t s = static_cast<size_t>(hash) & mask;
+    while (slots_[s] >= 0) {
+      if (slot_hashes_[s] == hash) {
+        for (int64_t r = slots_[s]; r >= 0; r = next_[r]) fn(r);
+        return;
+      }
+      s = (s + 1) & mask;
+    }
+  }
+
+ private:
+  std::vector<int64_t> slots_;         // head build row per hash, -1 = empty
+  std::vector<uint64_t> slot_hashes_;  // cached hash of each occupied slot
+  std::vector<int64_t> next_;          // per-build-row chain link, -1 = end
+};
+
+// Parallel-execution accounting for one join, reported by HashJoin.
+struct JoinRunInfo {
+  int dop_used = 1;
+  int64_t parallel_tasks = 0;  // probe partitions run through the pool
+};
+
 // Hash equi-join of two relations on possibly multiple key pairs
 // (left_keys[i] joins right_keys[i]; indices into each relation's columns).
-// Builds on the smaller side. Output carries all columns of both inputs.
+// Builds on the smaller side (always serially); with dop > 1 the probe side
+// is split into contiguous partitions probed concurrently and concatenated in
+// partition order, so output is identical at any dop. Output carries all
+// columns of both inputs.
 Result<Relation> HashJoin(const Relation& left, const Relation& right,
                           const std::vector<int>& left_keys,
-                          const std::vector<int>& right_keys);
+                          const std::vector<int>& right_keys, int dop = 1,
+                          JoinRunInfo* info = nullptr);
 
 }  // namespace bytecard::minihouse
 

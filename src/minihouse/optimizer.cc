@@ -164,8 +164,9 @@ TableScanPlan Optimizer::PlanScan(const BoundTableRef& ref,
   return plan;
 }
 
-std::vector<int> Optimizer::PlanJoinOrder(const BoundQuery& query,
-                                          EstimationContext* ctx) const {
+std::vector<int> Optimizer::PlanJoinOrder(
+    const BoundQuery& query, EstimationContext* ctx,
+    std::vector<double>* prefix_cards) const {
   const int n = query.num_tables();
   std::vector<int> order;
   if (n <= 1) {
@@ -203,6 +204,7 @@ std::vector<int> Optimizer::PlanJoinOrder(const BoundQuery& query,
     }
   }
   order = {best_a, best_b};
+  if (prefix_cards != nullptr) prefix_cards->push_back(best_card);
   std::vector<bool> in_set(n, false);
   in_set[best_a] = in_set[best_b] = true;
 
@@ -234,8 +236,18 @@ std::vector<int> Optimizer::PlanJoinOrder(const BoundQuery& query,
     }
     order.push_back(best_t);
     in_set[best_t] = true;
+    if (prefix_cards != nullptr) prefix_cards->push_back(best);
   }
   return order;
+}
+
+int Optimizer::PickDop(double estimated_work_rows) const {
+  if (options_.max_dop <= 1) return 1;
+  if (!(estimated_work_rows > 0)) return 1;
+  const int64_t per_drainer = std::max<int64_t>(1, options_.min_dop_work_rows);
+  const int64_t dop =
+      static_cast<int64_t>(estimated_work_rows) / per_drainer;
+  return static_cast<int>(std::clamp<int64_t>(dop, 1, options_.max_dop));
 }
 
 PhysicalPlan Optimizer::Plan(const BoundQuery& query,
@@ -246,11 +258,51 @@ PhysicalPlan Optimizer::Plan(const BoundQuery& query,
   for (const BoundTableRef& ref : query.tables) {
     plan.scans.push_back(PlanScan(ref, ctx));
   }
-  plan.join_order = PlanJoinOrder(query, ctx);
+  std::vector<double> prefix_cards;
+  plan.join_order = PlanJoinOrder(query, ctx, &prefix_cards);
   plan.use_sip = options_.enable_sip;
   if (options_.use_ndv_hint && !query.group_by.empty()) {
     const double ndv = ctx->GroupNdv(query);
     plan.group_ndv_hint = std::max<int64_t>(0, static_cast<int64_t>(ndv));
+  }
+
+  // Estimate-driven dop selection. Every number used here was already priced
+  // during planning (scan selectivities, join prefix cardinalities), so this
+  // issues zero additional estimator or memo probes — estimation accounting
+  // is byte-identical to a serial plan.
+  const int n = query.num_tables();
+  plan.join_dop.assign(n, 1);
+  if (options_.max_dop > 1 && n > 0) {
+    auto scan_output_rows = [&](int t) {
+      return static_cast<double>(query.tables[t].table->num_rows()) *
+             plan.scans[t].estimated_selectivity;
+    };
+    for (int t = 0; t < n; ++t) {
+      // A scan reads every block for filtering and materializes the
+      // survivors: work ~ rows in + rows out.
+      const double rows = static_cast<double>(query.tables[t].table->num_rows());
+      plan.scans[t].dop = PickDop(rows + scan_output_rows(t));
+    }
+    double last_card = scan_output_rows(plan.join_order.empty()
+                                            ? 0
+                                            : plan.join_order[0]);
+    for (size_t step = 1; step < plan.join_order.size(); ++step) {
+      const int t = plan.join_order[step];
+      // Probe work ~ probe-side input rows + estimated join output. When the
+      // greedy search did not record this prefix (fallback join orders), the
+      // probe input alone decides.
+      const double probe_rows = scan_output_rows(t);
+      double work = probe_rows;
+      if (step - 1 < prefix_cards.size()) {
+        work += prefix_cards[step - 1];
+        last_card = prefix_cards[step - 1];
+      } else {
+        last_card = std::max(last_card, probe_rows);
+      }
+      plan.join_dop[t] = PickDop(work);
+    }
+    // Aggregation consumes the final joined relation.
+    plan.agg_dop = PickDop(last_card);
   }
   plan.estimation_ms = timer.ElapsedMillis();
   plan.estimation = ctx->stats();

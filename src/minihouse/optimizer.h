@@ -105,11 +105,18 @@ struct TableScanPlan {
   ReaderKind reader = ReaderKind::kSingleStage;
   std::vector<int> filter_order;  // multi-stage column order
   double estimated_selectivity = 1.0;
+  int dop = 1;                    // morsel drainers for this scan
 };
 
 struct PhysicalPlan {
   std::vector<TableScanPlan> scans;  // one per query table
   std::vector<int> join_order;       // left-deep order over table indices
+  // join_dop[t]: probe dop for the join step whose right input is table t.
+  // Indexed by table rather than step so the executor's connectivity fixup
+  // of the join order cannot misalign it; the leftmost table's entry is
+  // unused. Empty (or short) means serial.
+  std::vector<int> join_dop;
+  int agg_dop = 1;                   // aggregation partitions
   int64_t group_ndv_hint = 0;        // 0 = no hint (engine default sizing)
   bool use_sip = true;               // sideways information passing enabled
   double estimation_ms = 0.0;        // time spent inside the estimator
@@ -132,6 +139,16 @@ struct OptimizerOptions {
   // Sideways information passing: probe-side scans receive a Bloom filter of
   // the build side's join keys (paper §3.1.2).
   bool enable_sip = true;
+  // Degree-of-parallelism ceiling for scans, join probes, and aggregation.
+  // <= 1 disables parallel execution (the default; benches and parallel
+  // tests opt in). Dop is chosen per operator from the cardinalities already
+  // estimated during planning, so tiny estimated inputs stay serial and the
+  // choice costs zero extra estimator calls.
+  int max_dop = 1;
+  // Estimated input rows an operator must carry per drainer before the
+  // optimizer grants it another: dop = work / min_dop_work_rows, clamped to
+  // [1, max_dop].
+  int64_t min_dop_work_rows = 2 * kBlockRows;
 };
 
 // Cost-based planner: reader selection, multi-stage column ordering,
@@ -154,8 +171,17 @@ class Optimizer {
  private:
   TableScanPlan PlanScan(const BoundTableRef& ref,
                          EstimationContext* ctx) const;
+  // Plans the join order; when `prefix_cards` is non-null, records the
+  // estimated cardinality of each left-deep prefix as it is grown (entry i =
+  // output of join step i+1). These are the cardinalities the greedy search
+  // computes anyway — recording them lets dop selection reuse them without
+  // new estimator calls. May come out shorter than the number of steps on
+  // fallback paths (join ordering disabled, disconnected graph).
   std::vector<int> PlanJoinOrder(const BoundQuery& query,
-                                 EstimationContext* ctx) const;
+                                 EstimationContext* ctx,
+                                 std::vector<double>* prefix_cards) const;
+  // Dop for an operator expected to touch `estimated_work_rows` input rows.
+  int PickDop(double estimated_work_rows) const;
 
   OptimizerOptions options_;
 };

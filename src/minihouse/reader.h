@@ -36,6 +36,12 @@ struct ScanOptions {
   // Optional SIP filter; runs before (multi-stage) or alongside
   // (single-stage) the filter conjunction.
   SemiJoinFilter sip;
+  // Degree of parallelism: number of concurrent morsel drainers splitting
+  // the block range. 1 = serial. Any dop produces identical output rows (in
+  // identical order) and identical IoStats totals: morsels are contiguous
+  // block ranges merged back in block order, and every block is read by
+  // exactly one worker.
+  int dop = 1;
 };
 
 // Output of a table scan: surviving row ids plus materialized tuples for the
@@ -43,6 +49,10 @@ struct ScanOptions {
 struct ScanResult {
   std::vector<int64_t> row_ids;
   std::vector<std::vector<int64_t>> materialized;
+  // Parallel-execution accounting: drainers actually used and morsels
+  // executed through the pool (0 when the scan ran serially).
+  int dop_used = 1;
+  int64_t parallel_tasks = 0;
   int64_t rows_matched() const {
     return static_cast<int64_t>(row_ids.size());
   }

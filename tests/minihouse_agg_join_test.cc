@@ -54,6 +54,31 @@ TEST(HashTableTest, UnderestimatedHintStillCorrect) {
   for (int64_t k = 0; k < 5000; ++k) EXPECT_EQ(table.FindOrInsert(&k), k);
 }
 
+TEST(HashTableTest, DuplicateHeavyStreamNeverResizes) {
+  // Regression: growth used to be checked before the lookup, so a stream of
+  // already-present keys could push a table sitting at the load-factor
+  // ceiling into spurious resizes. Only actual inserts may grow the table.
+  AggregationHashTable table(1, 0);
+  // Fill to exactly the ceiling: 128 groups in 256 slots at load factor 0.5.
+  for (int64_t k = 0; k < 128; ++k) table.FindOrInsert(&k);
+  EXPECT_EQ(table.num_groups(), 128);
+  EXPECT_EQ(table.resize_count(), 0);
+  EXPECT_EQ(table.capacity(), 256);
+  // Thousands of duplicate probes at the ceiling: still zero resizes.
+  for (int64_t round = 0; round < 50; ++round) {
+    for (int64_t k = 0; k < 128; ++k) {
+      EXPECT_EQ(table.FindOrInsert(&k), k);
+    }
+  }
+  EXPECT_EQ(table.resize_count(), 0);
+  EXPECT_EQ(table.capacity(), 256);
+  // The 129th distinct key is a real insert and triggers exactly one grow.
+  const int64_t fresh = 128;
+  EXPECT_EQ(table.FindOrInsert(&fresh), 128);
+  EXPECT_EQ(table.resize_count(), 1);
+  EXPECT_EQ(table.capacity(), 512);
+}
+
 TEST(HashAggregateTest, CountSumAvg) {
   // columns: key, value
   std::vector<std::vector<int64_t>> columns = {

@@ -237,6 +237,125 @@ std::vector<SweepPoint> RunThreadSweep(BenchContext& ctx,
   return sweep;
 }
 
+// --- Projection study --------------------------------------------------------
+
+// What late projection saves on one workload: the width of the data flowing
+// between join steps, with everything else held identical.
+struct ProjectionPoint {
+  int queries = 0;
+  int multi_join_queries = 0;
+  int64_t values_unpruned = 0;  // summed intermediate_values, pruning off
+  int64_t values_pruned = 0;    // same queries, pruning on
+  int64_t peak_unpruned = 0;    // largest single join-step footprint seen
+  int64_t peak_pruned = 0;
+  int64_t columns_pruned = 0;
+  int64_t estimator_calls_unpruned = 0;  // plan-time traffic; must be equal
+  int64_t estimator_calls_pruned = 0;
+};
+
+// Runs the executable slice twice — pruning off and on — and checks that the
+// only thing pruning changes is intermediate width: groups, blocks_read, and
+// plan-time estimator traffic must all be identical (required-column
+// analysis is structural, so it costs zero estimator calls).
+ProjectionPoint RunProjectionStudy(BenchContext& ctx,
+                                   const std::vector<int>& executable) {
+  std::printf("\nFigure 5 projection study (%s):\n",
+              ctx.workload_name.c_str());
+
+  minihouse::OptimizerOptions no_prune;
+  no_prune.prune_columns = false;
+  const minihouse::Optimizer with_pruning;  // prune_columns defaults on
+  const minihouse::Optimizer without_pruning(no_prune);
+
+  ProjectionPoint point;
+  for (int qi : executable) {
+    const auto& wq = ctx.workload.queries[qi];
+    const minihouse::PhysicalPlan unpruned_plan =
+        without_pruning.Plan(wq.query, ctx.bytecard.get());
+    const minihouse::PhysicalPlan pruned_plan =
+        with_pruning.Plan(wq.query, ctx.bytecard.get());
+    point.estimator_calls_unpruned += unpruned_plan.estimation.estimator_calls;
+    point.estimator_calls_pruned += pruned_plan.estimation.estimator_calls;
+
+    auto unpruned = minihouse::ExecuteQuery(wq.query, unpruned_plan);
+    auto pruned = minihouse::ExecuteQuery(wq.query, pruned_plan);
+    BC_CHECK_OK(unpruned.status());
+    BC_CHECK_OK(pruned.status());
+
+    // Identity: pruning must not change results or I/O.
+    CheckSameGroups(SortedGroups(unpruned.value().agg),
+                    SortedGroups(pruned.value().agg), 1, qi);
+    BC_CHECK(pruned.value().stats.io.blocks_read ==
+             unpruned.value().stats.io.blocks_read)
+        << "query " << qi << ": pruning changed blocks_read";
+    BC_CHECK(pruned.value().stats.intermediate_rows ==
+             unpruned.value().stats.intermediate_rows)
+        << "query " << qi << ": pruning changed join cardinalities";
+
+    point.queries += 1;
+    if (wq.query.num_tables() > 2) point.multi_join_queries += 1;
+    point.values_unpruned += unpruned.value().stats.intermediate_values;
+    point.values_pruned += pruned.value().stats.intermediate_values;
+    point.peak_unpruned = std::max(
+        point.peak_unpruned, unpruned.value().stats.peak_intermediate_values);
+    point.peak_pruned = std::max(point.peak_pruned,
+                                 pruned.value().stats.peak_intermediate_values);
+    point.columns_pruned += pruned.value().stats.columns_pruned;
+  }
+
+  BC_CHECK(point.estimator_calls_pruned == point.estimator_calls_unpruned)
+      << "pruning changed plan-time estimator traffic";
+
+  PrintRow({"", "intermediate values", "peak step", "(columns pruned: " +
+                    std::to_string(point.columns_pruned) + ")"});
+  PrintRow({"pruning off", std::to_string(point.values_unpruned),
+            std::to_string(point.peak_unpruned), ""});
+  PrintRow({"pruning on", std::to_string(point.values_pruned),
+            std::to_string(point.peak_pruned), ""});
+  return point;
+}
+
+void WriteProjectionJson(
+    const std::vector<std::pair<std::string, ProjectionPoint>>& points) {
+  const char* path = "BENCH_fig5_projection.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"figure\": \"fig5_projection_study\",\n");
+  std::fprintf(f, "  \"scale\": %.4f,\n", ScaleFactor() * 12.0);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed()));
+  std::fprintf(f, "  \"workloads\": [\n");
+  for (size_t w = 0; w < points.size(); ++w) {
+    const ProjectionPoint& p = points[w].second;
+    std::fprintf(f, "    {\"name\": \"%s\",\n", points[w].first.c_str());
+    std::fprintf(f, "     \"queries\": %d, \"multi_join_queries\": %d,\n",
+                 p.queries, p.multi_join_queries);
+    std::fprintf(
+        f,
+        "     \"intermediate_values_unpruned\": %lld,"
+        " \"intermediate_values_pruned\": %lld,\n",
+        static_cast<long long>(p.values_unpruned),
+        static_cast<long long>(p.values_pruned));
+    std::fprintf(f,
+                 "     \"peak_unpruned\": %lld, \"peak_pruned\": %lld,\n",
+                 static_cast<long long>(p.peak_unpruned),
+                 static_cast<long long>(p.peak_pruned));
+    std::fprintf(f,
+                 "     \"columns_pruned\": %lld,"
+                 " \"estimator_calls\": %lld}%s\n",
+                 static_cast<long long>(p.columns_pruned),
+                 static_cast<long long>(p.estimator_calls_pruned),
+                 w + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 void WriteThreadSweepJson(
     const std::vector<std::pair<std::string, std::vector<SweepPoint>>>&
         sweeps) {
@@ -284,6 +403,7 @@ void Run() {
   std::printf("scale=%.3f seed=%llu\n", ScaleFactor(),
               static_cast<unsigned long long>(BenchSeed()));
   std::vector<std::pair<std::string, std::vector<SweepPoint>>> sweeps;
+  std::vector<std::pair<std::string, ProjectionPoint>> projections;
   for (const char* dataset : {"imdb", "stats", "aeolus"}) {
     // Figure 5 is an end-to-end latency figure: run at 12x the base scale so
     // execution (not planning) dominates, as it does on the paper's cluster.
@@ -292,8 +412,11 @@ void Run() {
     BenchContext ctx = BuildBenchContext(dataset, options);
     const std::vector<int> executable = RunWorkload(ctx);
     sweeps.emplace_back(ctx.workload_name, RunThreadSweep(ctx, executable));
+    projections.emplace_back(ctx.workload_name,
+                             RunProjectionStudy(ctx, executable));
   }
   WriteThreadSweepJson(sweeps);
+  WriteProjectionJson(projections);
 }
 
 }  // namespace

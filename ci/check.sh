@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: the tier-1 build + test sweep, then both sanitizer
+# legs (ThreadSanitizer for the shared-state suites, AddressSanitizer with
+# leak detection for the same set). This is the one script a contributor runs
+# before pushing; CI runs exactly the same thing.
+#
+# Usage: ci/check.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+echo "== tier-1: build + ctest =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== sanitizer: thread =="
+"${REPO_ROOT}/ci/sanitize.sh" thread
+
+echo "== sanitizer: address =="
+"${REPO_ROOT}/ci/sanitize.sh" address
+
+echo "check: OK"

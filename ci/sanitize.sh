@@ -27,7 +27,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DBYTECARD_SANITIZE="${SANITIZER}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target concurrency_test robustness_test \
-           thread_pool_test minihouse_parallel_test
+           thread_pool_test minihouse_parallel_test minihouse_operator_test
 
 # halt_on_error makes a race fail the ctest run instead of just logging;
 # tsan.supp documents the known libstdc++ instrumentation gaps we ignore.
@@ -36,6 +36,6 @@ export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 export BYTECARD_THREADS="${BYTECARD_THREADS:-4}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-  -R "ConcurrencyTest|RobustnessTest|ThreadPoolTest|ParallelMorselsTest|ParallelScanTest|ParallelJoinTest|ParallelAggregateTest|ParallelExecutorTest|ParallelOptimizerTest"
+  -R "ConcurrencyTest|RobustnessTest|ThreadPoolTest|ParallelMorselsTest|ParallelScanTest|ParallelJoinTest|ParallelAggregateTest|ParallelExecutorTest|ParallelOptimizerTest|OperatorDagTest"
 
 echo "sanitize(${SANITIZER}): OK"

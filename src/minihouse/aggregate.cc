@@ -186,14 +186,14 @@ void MergePartial(const std::vector<AggRequest>& aggs, int key_width,
 
 }  // namespace
 
-AggregateResult HashAggregate(
-    const std::vector<std::vector<int64_t>>& columns,
-    const std::vector<int>& key_columns, const std::vector<AggRequest>& aggs,
-    int64_t ndv_hint, int dop) {
+AggregateResult HashAggregate(const Relation& input,
+                              const std::vector<int>& key_columns,
+                              const std::vector<AggRequest>& aggs,
+                              int64_t ndv_hint, int dop) {
+  const std::vector<std::vector<int64_t>>& columns = input.columns;
   AggregateResult result;
   const int key_width = std::max<int>(1, static_cast<int>(key_columns.size()));
-  const int64_t num_rows =
-      columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  const int64_t num_rows = input.num_rows();
   const int num_aggs = static_cast<int>(aggs.size());
   dop = static_cast<int>(
       std::clamp<int64_t>(dop, 1, std::max<int64_t>(num_rows, 1)));

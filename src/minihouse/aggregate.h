@@ -6,6 +6,7 @@
 
 #include "minihouse/hash_table.h"
 #include "minihouse/query.h"
+#include "minihouse/relation.h"
 
 namespace bytecard::minihouse {
 
@@ -32,10 +33,13 @@ struct AggregateResult {
   std::vector<std::vector<int64_t>> group_keys;
 };
 
-// Hash aggregation over a column-major relation. `key_columns` index into
-// `columns`; `ndv_hint` pre-sizes the hash table (0 = engine default).
+// Hash aggregation over a relation. `key_columns` are slot indices into
+// `input.columns`; `ndv_hint` pre-sizes the hash table (0 = engine default).
 // COUNT(DISTINCT c) is computed per group with a nested distinct table whose
-// resizes also count toward resize_count (it is the same mechanism).
+// resizes also count toward resize_count (it is the same mechanism). The row
+// count comes from `input.num_rows()`, so a zero-column relation (everything
+// projected away before a COUNT(*)) aggregates correctly as long as its
+// explicit `rows` field is set.
 //
 // With dop > 1 the input is split into contiguous row partitions, each
 // accumulated into its own hash table (pre-sized from the same ndv_hint),
@@ -43,10 +47,10 @@ struct AggregateResult {
 // identical at any dop; group order and resize_count may differ, so parallel
 // consumers compare results group-key-sorted. resize_count sums over every
 // table involved (partials + final).
-AggregateResult HashAggregate(
-    const std::vector<std::vector<int64_t>>& columns,
-    const std::vector<int>& key_columns, const std::vector<AggRequest>& aggs,
-    int64_t ndv_hint, int dop = 1);
+AggregateResult HashAggregate(const Relation& input,
+                              const std::vector<int>& key_columns,
+                              const std::vector<AggRequest>& aggs,
+                              int64_t ndv_hint, int dop = 1);
 
 }  // namespace bytecard::minihouse
 

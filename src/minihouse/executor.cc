@@ -1,250 +1,67 @@
 #include "minihouse/executor.h"
 
 #include <algorithm>
-#include <memory>
-#include <set>
-#include <string>
-#include <vector>
 
-#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "minihouse/operators.h"
 
 namespace bytecard::minihouse {
 
 namespace {
 
-std::string QualifiedName(const BoundQuery& query, int table, int column) {
-  const BoundTableRef& ref = query.tables[table];
-  const std::string& alias =
-      ref.alias.empty() ? ref.table->name() : ref.alias;
-  return alias + "." + ref.table->schema().column(column).name;
-}
+// Folds one operator's observations into the query's ExecStats, then
+// recurses. `parent` disambiguates what a join step actually ships
+// downstream: when a ProjectOp sits directly above a join, the projected
+// width — not the raw join width — is what the rest of the pipeline carries.
+void MergeOperatorStats(const PhysicalOperator* op,
+                        const PhysicalOperator* parent, ExecStats* stats) {
+  const OperatorStats& s = op->stats();
+  stats->threads_used = std::max(stats->threads_used, s.dop_used);
+  stats->parallel_tasks += s.parallel_tasks;
 
-// Columns of `table_idx` that must survive the scan: join keys, group keys,
-// and aggregate inputs.
-std::vector<int> NeededColumns(const BoundQuery& query, int table_idx) {
-  std::set<int> needed;
-  for (const JoinEdge& e : query.joins) {
-    if (e.left_table == table_idx) needed.insert(e.left_column);
-    if (e.right_table == table_idx) needed.insert(e.right_column);
+  switch (op->kind()) {
+    case OpKind::kScan:
+      stats->io += s.io;
+      break;
+    case OpKind::kHashJoin: {
+      stats->intermediate_rows += s.rows_out;
+      stats->probe_rows_materialized += s.probe_rows;
+      const int64_t shipped =
+          (parent != nullptr && parent->kind() == OpKind::kProject)
+              ? parent->stats().values_out
+              : s.values_out;
+      stats->intermediate_values += shipped;
+      stats->peak_intermediate_values =
+          std::max(stats->peak_intermediate_values, shipped);
+      break;
+    }
+    case OpKind::kProject:
+      stats->columns_pruned += s.columns_pruned;
+      break;
+    case OpKind::kAggregate:
+      stats->agg_resize_count = s.agg_resize_count;
+      stats->agg_final_capacity = s.agg_final_capacity;
+      stats->agg_merge_groups = s.agg_merge_groups;
+      break;
   }
-  for (const GroupKeyRef& g : query.group_by) {
-    if (g.table == table_idx) needed.insert(g.column);
-  }
-  for (const AggSpecRef& a : query.aggs) {
-    if (a.table == table_idx && a.column >= 0) needed.insert(a.column);
-  }
-  return {needed.begin(), needed.end()};
-}
 
-Relation ScanToRelation(const BoundQuery& query, int table_idx,
-                        const TableScanPlan& scan_plan,
-                        const SemiJoinFilter& sip, ExecStats* stats) {
-  const BoundTableRef& ref = query.tables[table_idx];
-  const std::vector<int> out_cols = NeededColumns(query, table_idx);
-
-  ScanOptions options;
-  options.reader = scan_plan.reader;
-  options.filter_order = scan_plan.filter_order;
-  options.sip = sip;
-  options.dop = scan_plan.dop;
-  ScanResult scanned =
-      ScanTable(*ref.table, ref.filters, out_cols, options, &stats->io);
-  stats->threads_used = std::max(stats->threads_used, scanned.dop_used);
-  stats->parallel_tasks += scanned.parallel_tasks;
-
-  Relation rel;
-  rel.column_names.reserve(out_cols.size());
-  for (int c : out_cols) {
-    rel.column_names.push_back(QualifiedName(query, table_idx, c));
+  for (size_t i = 0; i < op->num_children(); ++i) {
+    MergeOperatorStats(op->child(i), op, stats);
   }
-  rel.columns = std::move(scanned.materialized);
-  // A relation with zero payload columns still needs a row count carrier for
-  // COUNT(*)-only queries: add a dummy column of row ids.
-  if (rel.columns.empty()) {
-    rel.column_names.push_back("$rowid");
-    rel.columns.push_back(std::move(scanned.row_ids));
-  }
-  return rel;
 }
 
 }  // namespace
 
 Result<ExecResult> ExecuteQuery(const BoundQuery& query,
                                 const PhysicalPlan& plan) {
-  if (query.tables.empty()) {
-    return Status::InvalidArgument("query has no tables");
-  }
-  if (plan.scans.size() != query.tables.size()) {
-    return Status::InvalidArgument("plan/table count mismatch");
-  }
-
   Stopwatch timer;
+  BC_ASSIGN_OR_RETURN(CompiledDag dag, CompileOperatorDag(query, plan));
+  BC_ASSIGN_OR_RETURN(Relation groups, dag.root->Execute());
+  (void)groups;  // the relational view; benches consume the AggregateResult
+
   ExecResult result;
-
-  // 1. Scans, in join order so the pipeline composes left-deep. The plan's
-  // order expresses a *preference*; the executor keeps execution valid by
-  // deferring a table until it connects to the joined prefix (so a default
-  // index order on e.g. a star schema never degenerates to a cross product).
-  std::vector<int> preference = plan.join_order;
-  if (preference.empty()) {
-    preference.resize(query.tables.size());
-    for (size_t i = 0; i < preference.size(); ++i) {
-      preference[i] = static_cast<int>(i);
-    }
-  }
-  std::vector<int> order;
-  order.reserve(preference.size());
-  {
-    std::vector<bool> placed(query.tables.size(), false);
-    auto connects = [&](int t) {
-      if (order.empty()) return true;
-      for (const JoinEdge& e : query.joins) {
-        if ((e.left_table == t && placed[e.right_table]) ||
-            (e.right_table == t && placed[e.left_table])) {
-          return true;
-        }
-      }
-      return false;
-    };
-    while (order.size() < preference.size()) {
-      bool advanced = false;
-      for (int t : preference) {
-        if (placed[t] || !connects(t)) continue;
-        order.push_back(t);
-        placed[t] = true;
-        advanced = true;
-        break;
-      }
-      if (!advanced) {
-        return Status::InvalidArgument(
-            "disconnected join graph (cross products unsupported)");
-      }
-    }
-  }
-
-  Relation current = ScanToRelation(query, order[0], plan.scans[order[0]],
-                                    SemiJoinFilter{}, &result.stats);
-  std::set<int> joined = {order[0]};
-
-  // 2. Left-deep hash joins, with sideways information passing: when the
-  // partial join is much smaller than the next table, publish its join keys
-  // as a Bloom filter so the probe-side scan prunes non-joining rows (and
-  // blocks) before materializing anything (paper §3.1.2).
-  std::unique_ptr<BloomFilter> sip_bloom;
-  for (size_t step = 1; step < order.size(); ++step) {
-    const int t = order[step];
-
-    SemiJoinFilter sip;
-    sip_bloom.reset();
-    if (plan.use_sip &&
-        current.num_rows() * 2 < query.tables[t].table->num_rows()) {
-      for (const JoinEdge& e : query.joins) {
-        int this_col = -1;
-        int other_table = -1;
-        int other_col = -1;
-        if (e.left_table == t && joined.count(e.right_table)) {
-          this_col = e.left_column;
-          other_table = e.right_table;
-          other_col = e.right_column;
-        } else if (e.right_table == t && joined.count(e.left_table)) {
-          this_col = e.right_column;
-          other_table = e.left_table;
-          other_col = e.left_column;
-        } else {
-          continue;
-        }
-        const int key_col =
-            current.FindColumn(QualifiedName(query, other_table, other_col));
-        if (key_col < 0) continue;
-        sip_bloom = std::make_unique<BloomFilter>(current.num_rows());
-        for (int64_t r = 0; r < current.num_rows(); ++r) {
-          sip_bloom->Add(current.columns[key_col][r]);
-        }
-        sip.column = this_col;
-        sip.bloom = sip_bloom.get();
-        break;  // one SIP filter per probe scan
-      }
-    }
-
-    Relation right =
-        ScanToRelation(query, t, plan.scans[t], sip, &result.stats);
-    result.stats.probe_rows_materialized += right.num_rows();
-
-    std::vector<int> left_keys;
-    std::vector<int> right_keys;
-    for (const JoinEdge& e : query.joins) {
-      int this_side_col = -1;
-      int other_table = -1;
-      int other_col = -1;
-      if (e.left_table == t && joined.count(e.right_table)) {
-        this_side_col = e.left_column;
-        other_table = e.right_table;
-        other_col = e.right_column;
-      } else if (e.right_table == t && joined.count(e.left_table)) {
-        this_side_col = e.right_column;
-        other_table = e.left_table;
-        other_col = e.left_column;
-      } else {
-        continue;
-      }
-      const int lk =
-          current.FindColumn(QualifiedName(query, other_table, other_col));
-      const int rk = right.FindColumn(QualifiedName(query, t, this_side_col));
-      if (lk < 0 || rk < 0) {
-        return Status::Internal("join key column missing from relation");
-      }
-      left_keys.push_back(lk);
-      right_keys.push_back(rk);
-    }
-    if (left_keys.empty()) {
-      return Status::InvalidArgument(
-          "disconnected join graph (cross products unsupported)");
-    }
-    const int join_dop =
-        t < static_cast<int>(plan.join_dop.size()) ? plan.join_dop[t] : 1;
-    JoinRunInfo join_info;
-    BC_ASSIGN_OR_RETURN(current, HashJoin(current, right, left_keys,
-                                          right_keys, join_dop, &join_info));
-    result.stats.threads_used =
-        std::max(result.stats.threads_used, join_info.dop_used);
-    result.stats.parallel_tasks += join_info.parallel_tasks;
-    result.stats.intermediate_rows += current.num_rows();
-    joined.insert(t);
-  }
-
-  // 3. Aggregation.
-  std::vector<int> key_columns;
-  for (const GroupKeyRef& g : query.group_by) {
-    const int idx = current.FindColumn(QualifiedName(query, g.table, g.column));
-    if (idx < 0) return Status::Internal("group key missing from relation");
-    key_columns.push_back(idx);
-  }
-  std::vector<AggRequest> agg_requests;
-  for (const AggSpecRef& a : query.aggs) {
-    AggRequest req;
-    req.func = a.func;
-    if (a.column >= 0) {
-      req.input_column =
-          current.FindColumn(QualifiedName(query, a.table, a.column));
-      if (req.input_column < 0) {
-        return Status::Internal("aggregate input missing from relation");
-      }
-    }
-    agg_requests.push_back(req);
-  }
-  if (agg_requests.empty()) {
-    agg_requests.push_back(AggRequest{AggFunc::kCountStar, -1});
-  }
-
-  result.agg = HashAggregate(current.columns, key_columns, agg_requests,
-                             plan.group_ndv_hint, plan.agg_dop);
-  result.stats.agg_resize_count = result.agg.resize_count;
-  result.stats.agg_final_capacity = result.agg.final_capacity;
-  result.stats.agg_merge_groups = result.agg.merge_groups;
-  result.stats.threads_used =
-      std::max(result.stats.threads_used, result.agg.dop_used);
-  result.stats.parallel_tasks += result.agg.parallel_tasks;
+  result.agg = dag.root->TakeResult();
+  MergeOperatorStats(dag.root.get(), nullptr, &result.stats);
   result.stats.exec_ms = timer.ElapsedMillis();
   result.stats.plan_ms = plan.estimation_ms;
   result.stats.estimator_calls = plan.estimation.estimator_calls;

@@ -20,6 +20,13 @@ struct ExecStats {
   int64_t intermediate_rows = 0;  // summed join-output sizes
   // Rows materialized by probe-side scans (what SIP prunes).
   int64_t probe_rows_materialized = 0;
+  // Late-projection accounting. intermediate_values sums, over join steps,
+  // rows x width of what actually flows downstream (after any ProjectOp);
+  // peak_intermediate_values is the largest single step. columns_pruned
+  // counts slots dropped by ProjectOps across the query.
+  int64_t intermediate_values = 0;
+  int64_t peak_intermediate_values = 0;
+  int64_t columns_pruned = 0;
   // Parallel execution: max dop any operator ran at (1 = fully serial) and
   // total morsels/partitions executed through the thread pool.
   int threads_used = 1;
@@ -47,9 +54,11 @@ struct ExecResult {
   }
 };
 
-// Runs a bound query under a physical plan: per-table scans (reader choice +
-// column order), left-deep hash joins in plan order, then hash aggregation
-// with the plan's NDV hint.
+// Runs a bound query under a physical plan: compiles it into a physical
+// operator DAG (scans with reader choice + column order, left-deep hash
+// joins in plan order with late projection, hash aggregation with the plan's
+// NDV hint — see operators.h), executes the tree, and merges the
+// per-operator stats into one ExecStats.
 Result<ExecResult> ExecuteQuery(const BoundQuery& query,
                                 const PhysicalPlan& plan);
 

@@ -25,8 +25,14 @@ Relation GatherJoined(const Relation& left, const Relation& right,
   out.column_names = left.column_names;
   out.column_names.insert(out.column_names.end(), right.column_names.begin(),
                           right.column_names.end());
-  out.columns.resize(out.column_names.size());
+  if (left.has_ids() && right.has_ids()) {
+    out.column_ids = left.column_ids;
+    out.column_ids.insert(out.column_ids.end(), right.column_ids.begin(),
+                          right.column_ids.end());
+  }
+  out.columns.resize(left.columns.size() + right.columns.size());
   const size_t n = left_rows.size();
+  out.rows = static_cast<int64_t>(n);
   for (size_t c = 0; c < left.columns.size(); ++c) {
     auto& dst = out.columns[c];
     dst.resize(n);

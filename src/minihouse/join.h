@@ -6,27 +6,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "minihouse/relation.h"
 
 namespace bytecard::minihouse {
-
-// An in-flight column-major relation: the unit flowing between scan, join,
-// and aggregation. Column names are qualified "alias.column" strings so that
-// join keys and group keys can be located after arbitrary join orders.
-struct Relation {
-  std::vector<std::string> column_names;
-  std::vector<std::vector<int64_t>> columns;
-
-  int64_t num_rows() const {
-    return columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
-  }
-
-  int FindColumn(const std::string& qualified_name) const {
-    for (size_t i = 0; i < column_names.size(); ++i) {
-      if (column_names[i] == qualified_name) return static_cast<int>(i);
-    }
-    return -1;
-  }
-};
 
 // Flat open-addressing multimap from join-key hash to build rows: one cache
 // line of slot metadata per probe instead of the pointer-chasing of

@@ -1,0 +1,359 @@
+#include "minihouse/operators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bytecard::minihouse {
+
+namespace {
+
+std::string QualifiedName(const BoundQuery& query, int table, int column) {
+  const BoundTableRef& ref = query.tables[table];
+  const std::string& alias =
+      ref.alias.empty() ? ref.table->name() : ref.alias;
+  return alias + "." + ref.table->schema().column(column).name;
+}
+
+int FindSlot(const std::vector<ColumnId>& ids, const ColumnId& id) {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+// --- ScanOp ------------------------------------------------------------------
+
+ScanOp::ScanOp(const BoundQuery& query, int table_idx, TableScanPlan scan_plan)
+    : ref_(query.tables[table_idx]),
+      table_idx_(table_idx),
+      scan_plan_(std::move(scan_plan)),
+      output_schema_columns_(RequiredScanColumns(query, table_idx)) {
+  output_ids_.reserve(output_schema_columns_.size());
+  output_names_.reserve(output_schema_columns_.size());
+  for (int c : output_schema_columns_) {
+    output_ids_.push_back(ColumnId{table_idx, c});
+    output_names_.push_back(QualifiedName(query, table_idx, c));
+  }
+}
+
+Result<Relation> ScanOp::Execute() {
+  ScanOptions options;
+  options.reader = scan_plan_.reader;
+  options.filter_order = scan_plan_.filter_order;
+  options.sip = sip_;
+  options.dop = scan_plan_.dop;
+  ScanResult scanned = ScanTable(*ref_.table, ref_.filters,
+                                 output_schema_columns_, options, &stats_.io);
+  stats_.dop_used = scanned.dop_used;
+  stats_.parallel_tasks = scanned.parallel_tasks;
+
+  Relation rel;
+  rel.column_names = output_names_;
+  rel.column_ids = output_ids_;
+  rel.columns = std::move(scanned.materialized);
+  // Authoritative count: a scan projecting zero payload columns (COUNT(*)
+  // with no joins or keys on this table) still reports its cardinality.
+  rel.rows = scanned.rows_matched();
+  stats_.rows_out = rel.num_rows();
+  stats_.values_out = rel.num_values();
+  return rel;
+}
+
+// --- ProjectOp ---------------------------------------------------------------
+
+ProjectOp::ProjectOp(std::unique_ptr<PhysicalOperator> child,
+                     std::vector<int> keep_slots)
+    : child_(std::move(child)), keep_slots_(std::move(keep_slots)) {
+  const std::vector<ColumnId>& in = child_->output_columns();
+  output_ids_.reserve(keep_slots_.size());
+  for (int s : keep_slots_) {
+    BC_CHECK(s >= 0 && s < static_cast<int>(in.size()));
+    output_ids_.push_back(in[s]);
+  }
+}
+
+Result<Relation> ProjectOp::Execute() {
+  BC_ASSIGN_OR_RETURN(Relation in, child_->Execute());
+  Relation out;
+  out.rows = in.num_rows();  // survives even if every column is dropped
+  out.column_names.reserve(keep_slots_.size());
+  out.column_ids.reserve(keep_slots_.size());
+  out.columns.reserve(keep_slots_.size());
+  for (int s : keep_slots_) {
+    out.column_names.push_back(std::move(in.column_names[s]));
+    out.column_ids.push_back(in.column_ids[s]);
+    out.columns.push_back(std::move(in.columns[s]));
+  }
+  stats_.columns_pruned =
+      static_cast<int64_t>(in.columns.size() - keep_slots_.size());
+  stats_.rows_out = out.num_rows();
+  stats_.values_out = out.num_values();
+  return out;
+}
+
+// --- HashJoinOp --------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(std::unique_ptr<PhysicalOperator> build,
+                       std::unique_ptr<PhysicalOperator> probe,
+                       std::vector<int> build_keys, std::vector<int> probe_keys,
+                       int dop)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      dop_(dop) {
+  output_ids_ = build_->output_columns();
+  const std::vector<ColumnId>& right = probe_->output_columns();
+  output_ids_.insert(output_ids_.end(), right.begin(), right.end());
+}
+
+void HashJoinOp::EnableSip(ScanOp* probe_scan, int probe_schema_column,
+                           int64_t probe_table_rows) {
+  BC_CHECK(probe_scan == probe_.get());
+  sip_scan_ = probe_scan;
+  sip_probe_column_ = probe_schema_column;
+  sip_probe_table_rows_ = probe_table_rows;
+}
+
+Result<Relation> HashJoinOp::Execute() {
+  BC_ASSIGN_OR_RETURN(Relation build, build_->Execute());
+
+  // Sideways information passing: publish the build keys as a Bloom filter
+  // into the probe scan when the build output is much smaller than the probe
+  // table (paper §3.1.2). Decided here, at runtime, from actual sizes.
+  std::unique_ptr<BloomFilter> sip_bloom;
+  if (sip_scan_ != nullptr &&
+      build.num_rows() * 2 < sip_probe_table_rows_) {
+    const std::vector<int64_t>& keys = build.columns[build_keys_[0]];
+    sip_bloom = std::make_unique<BloomFilter>(build.num_rows());
+    for (int64_t r = 0; r < build.num_rows(); ++r) {
+      sip_bloom->Add(keys[r]);
+    }
+    sip_scan_->SetSemiJoinFilter(sip_bloom.get(), sip_probe_column_);
+  }
+
+  BC_ASSIGN_OR_RETURN(Relation probe, probe_->Execute());
+  stats_.probe_rows = probe.num_rows();
+
+  JoinRunInfo info;
+  BC_ASSIGN_OR_RETURN(
+      Relation out,
+      HashJoin(build, probe, build_keys_, probe_keys_, dop_, &info));
+  stats_.dop_used = info.dop_used;
+  stats_.parallel_tasks = info.parallel_tasks;
+  stats_.rows_out = out.num_rows();
+  stats_.values_out = out.num_values();
+  return out;
+}
+
+// --- AggregateOp -------------------------------------------------------------
+
+AggregateOp::AggregateOp(std::unique_ptr<PhysicalOperator> child,
+                         std::vector<int> key_slots,
+                         std::vector<AggRequest> aggs, int64_t ndv_hint,
+                         int dop)
+    : child_(std::move(child)),
+      key_slots_(std::move(key_slots)),
+      aggs_(std::move(aggs)),
+      ndv_hint_(ndv_hint),
+      dop_(dop) {
+  const std::vector<ColumnId>& in = child_->output_columns();
+  output_ids_.reserve(key_slots_.size());
+  for (int s : key_slots_) {
+    BC_CHECK(s >= 0 && s < static_cast<int>(in.size()));
+    output_ids_.push_back(in[s]);
+  }
+}
+
+Result<Relation> AggregateOp::Execute() {
+  BC_ASSIGN_OR_RETURN(Relation in, child_->Execute());
+  result_ = HashAggregate(in, key_slots_, aggs_, ndv_hint_, dop_);
+  stats_.dop_used = result_.dop_used;
+  stats_.parallel_tasks = result_.parallel_tasks;
+  stats_.agg_resize_count = result_.resize_count;
+  stats_.agg_final_capacity = result_.final_capacity;
+  stats_.agg_merge_groups = result_.merge_groups;
+  stats_.rows_out = result_.num_groups;
+  stats_.values_out =
+      result_.num_groups * static_cast<int64_t>(key_slots_.size());
+
+  Relation groups;
+  groups.column_ids = output_ids_;
+  groups.column_names.reserve(key_slots_.size());
+  for (int s : key_slots_) {
+    groups.column_names.push_back(in.column_names[s]);
+  }
+  groups.columns = result_.group_keys;
+  groups.rows = result_.num_groups;
+  return groups;
+}
+
+// --- Compilation -------------------------------------------------------------
+
+Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
+                                       const PhysicalPlan& plan) {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  if (plan.scans.size() != query.tables.size()) {
+    return Status::InvalidArgument("plan/table count mismatch");
+  }
+
+  // Resolve the plan's join-order preference into a connected execution
+  // order: a table defers until it joins the placed prefix, so a default
+  // index order on e.g. a star schema never degenerates to a cross product.
+  std::vector<int> preference = plan.join_order;
+  if (preference.empty()) {
+    preference.resize(query.tables.size());
+    for (size_t i = 0; i < preference.size(); ++i) {
+      preference[i] = static_cast<int>(i);
+    }
+  }
+  std::vector<int> order;
+  order.reserve(preference.size());
+  {
+    std::vector<bool> placed(query.tables.size(), false);
+    auto connects = [&](int t) {
+      if (order.empty()) return true;
+      for (const JoinEdge& e : query.joins) {
+        if ((e.left_table == t && placed[e.right_table]) ||
+            (e.right_table == t && placed[e.left_table])) {
+          return true;
+        }
+      }
+      return false;
+    };
+    while (order.size() < preference.size()) {
+      bool advanced = false;
+      for (int t : preference) {
+        if (placed[t] || !connects(t)) continue;
+        order.push_back(t);
+        placed[t] = true;
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        return Status::InvalidArgument(
+            "disconnected join graph (cross products unsupported)");
+      }
+    }
+  }
+
+  // Column lifetimes for late projection (empty = keep everything).
+  std::vector<std::vector<ColumnId>> keep_after;
+  if (plan.prune_columns) {
+    keep_after = RequiredColumnsAfterJoin(query, order);
+  }
+
+  std::unique_ptr<PhysicalOperator> op =
+      std::make_unique<ScanOp>(query, order[0], plan.scans[order[0]]);
+  std::set<int> joined = {order[0]};
+
+  for (size_t step = 1; step < order.size(); ++step) {
+    const int t = order[step];
+    auto scan = std::make_unique<ScanOp>(query, t, plan.scans[t]);
+    ScanOp* scan_raw = scan.get();
+
+    // Resolve every edge connecting t to the prefix into slot pairs, in
+    // query.joins order (the first is also the SIP edge, matching the
+    // pre-DAG executor exactly).
+    std::vector<int> build_keys;
+    std::vector<int> probe_keys;
+    int sip_probe_schema_col = -1;
+    for (const JoinEdge& e : query.joins) {
+      int this_col = -1;
+      int other_table = -1;
+      int other_col = -1;
+      if (e.left_table == t && joined.count(e.right_table)) {
+        this_col = e.left_column;
+        other_table = e.right_table;
+        other_col = e.right_column;
+      } else if (e.right_table == t && joined.count(e.left_table)) {
+        this_col = e.right_column;
+        other_table = e.left_table;
+        other_col = e.left_column;
+      } else {
+        continue;
+      }
+      const int bk =
+          FindSlot(op->output_columns(), ColumnId{other_table, other_col});
+      const int pk = FindSlot(scan->output_columns(), ColumnId{t, this_col});
+      if (bk < 0 || pk < 0) {
+        return Status::Internal("join key column missing from relation");
+      }
+      if (build_keys.empty()) sip_probe_schema_col = this_col;
+      build_keys.push_back(bk);
+      probe_keys.push_back(pk);
+    }
+    if (build_keys.empty()) {
+      return Status::InvalidArgument(
+          "disconnected join graph (cross products unsupported)");
+    }
+
+    const int join_dop =
+        t < static_cast<int>(plan.join_dop.size()) ? plan.join_dop[t] : 1;
+    auto join = std::make_unique<HashJoinOp>(
+        std::move(op), std::move(scan), std::move(build_keys),
+        std::move(probe_keys), join_dop);
+    if (plan.use_sip) {
+      join->EnableSip(scan_raw, sip_probe_schema_col,
+                      query.tables[t].table->num_rows());
+    }
+    op = std::move(join);
+    joined.insert(t);
+
+    // Late projection: drop every slot whose last consumer has now run.
+    if (step - 1 < keep_after.size()) {
+      const std::vector<ColumnId>& needed = keep_after[step - 1];
+      const std::vector<ColumnId>& out = op->output_columns();
+      std::vector<int> keep_slots;
+      keep_slots.reserve(needed.size());
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (FindSlot(needed, out[i]) >= 0) {
+          keep_slots.push_back(static_cast<int>(i));
+        }
+      }
+      if (keep_slots.size() < out.size()) {
+        op = std::make_unique<ProjectOp>(std::move(op), std::move(keep_slots));
+      }
+    }
+  }
+
+  // Root aggregation: group keys and aggregate inputs resolved against the
+  // final layout.
+  std::vector<int> key_slots;
+  for (const GroupKeyRef& g : query.group_by) {
+    const int s = FindSlot(op->output_columns(), ColumnId{g.table, g.column});
+    if (s < 0) return Status::Internal("group key missing from relation");
+    key_slots.push_back(s);
+  }
+  std::vector<AggRequest> agg_requests;
+  for (const AggSpecRef& a : query.aggs) {
+    AggRequest req;
+    req.func = a.func;
+    if (a.column >= 0) {
+      req.input_column =
+          FindSlot(op->output_columns(), ColumnId{a.table, a.column});
+      if (req.input_column < 0) {
+        return Status::Internal("aggregate input missing from relation");
+      }
+    }
+    agg_requests.push_back(req);
+  }
+  if (agg_requests.empty()) {
+    agg_requests.push_back(AggRequest{AggFunc::kCountStar, -1});
+  }
+
+  CompiledDag dag;
+  dag.root = std::make_unique<AggregateOp>(
+      std::move(op), std::move(key_slots), std::move(agg_requests),
+      plan.group_ndv_hint, plan.agg_dop);
+  return dag;
+}
+
+}  // namespace bytecard::minihouse

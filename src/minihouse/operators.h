@@ -1,0 +1,231 @@
+#ifndef BYTECARD_MINIHOUSE_OPERATORS_H_
+#define BYTECARD_MINIHOUSE_OPERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bloom.h"
+#include "common/status.h"
+#include "minihouse/aggregate.h"
+#include "minihouse/io_stats.h"
+#include "minihouse/join.h"
+#include "minihouse/optimizer.h"
+#include "minihouse/query.h"
+#include "minihouse/relation.h"
+
+namespace bytecard::minihouse {
+
+// What one operator observed while executing. The executor driver walks the
+// compiled tree after execution and merges these into the query's ExecStats;
+// operators never touch global state.
+struct OperatorStats {
+  IoStats io;                    // scans only
+  int dop_used = 1;              // realized width (1 = ran serially)
+  int64_t parallel_tasks = 0;    // morsels/partitions through the pool
+  int64_t rows_out = 0;          // rows this operator produced
+  int64_t values_out = 0;        // rows_out x output width
+  int64_t probe_rows = 0;        // joins: probe-side input rows
+  int64_t columns_pruned = 0;    // projects: slots dropped
+  int64_t agg_resize_count = 0;  // aggregation hash-table accounting
+  int64_t agg_final_capacity = 0;
+  int64_t agg_merge_groups = 0;
+};
+
+enum class OpKind { kScan, kHashJoin, kProject, kAggregate };
+
+// A node of the physical operator DAG. Every node knows its children, the
+// column identity set it produces, and its degree of parallelism; Execute
+// runs the subtree rooted here (pull-based, one call per node per query) and
+// records what happened into stats(). Nodes are single-use: compile a fresh
+// tree per execution.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  virtual OpKind kind() const = 0;
+  virtual const char* name() const = 0;
+  virtual size_t num_children() const = 0;
+  virtual const PhysicalOperator* child(size_t i) const = 0;
+  virtual int dop() const { return 1; }
+  // Identity ({table, column}) of every output slot, in slot order.
+  virtual const std::vector<ColumnId>& output_columns() const = 0;
+
+  virtual Result<Relation> Execute() = 0;
+
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  OperatorStats stats_;
+};
+
+// Leaf: scans one bound table, materializing exactly the columns some
+// downstream operator consumes. A join above it may hand it a semi-join
+// filter (SIP) immediately before execution.
+class ScanOp : public PhysicalOperator {
+ public:
+  ScanOp(const BoundQuery& query, int table_idx, TableScanPlan scan_plan);
+
+  OpKind kind() const override { return OpKind::kScan; }
+  const char* name() const override { return "Scan"; }
+  size_t num_children() const override { return 0; }
+  const PhysicalOperator* child(size_t) const override { return nullptr; }
+  int dop() const override { return scan_plan_.dop; }
+  const std::vector<ColumnId>& output_columns() const override {
+    return output_ids_;
+  }
+
+  int table_index() const { return table_idx_; }
+
+  // Sideways information passing: `bloom` (not owned; must outlive Execute)
+  // prunes rows of schema column `column` before materialization. Set by the
+  // parent join after its build side resolves; cleared is the default.
+  void SetSemiJoinFilter(const BloomFilter* bloom, int column) {
+    sip_.bloom = bloom;
+    sip_.column = column;
+  }
+
+  Result<Relation> Execute() override;
+
+ private:
+  const BoundTableRef& ref_;
+  int table_idx_;
+  TableScanPlan scan_plan_;
+  SemiJoinFilter sip_;
+  std::vector<int> output_schema_columns_;  // schema indices, ascending
+  std::vector<ColumnId> output_ids_;
+  std::vector<std::string> output_names_;
+};
+
+// Late projection: keeps a subset of the child's slots (by moving the column
+// vectors — no copy) and drops the rest. Inserted by the compiler wherever
+// required-column analysis shows a slot's last consumer has run.
+class ProjectOp : public PhysicalOperator {
+ public:
+  ProjectOp(std::unique_ptr<PhysicalOperator> child,
+            std::vector<int> keep_slots);
+
+  OpKind kind() const override { return OpKind::kProject; }
+  const char* name() const override { return "Project"; }
+  size_t num_children() const override { return 1; }
+  const PhysicalOperator* child(size_t i) const override {
+    return i == 0 ? child_.get() : nullptr;
+  }
+  const std::vector<ColumnId>& output_columns() const override {
+    return output_ids_;
+  }
+
+  Result<Relation> Execute() override;
+
+ private:
+  std::unique_ptr<PhysicalOperator> child_;
+  std::vector<int> keep_slots_;  // ascending slot indices into the child
+  std::vector<ColumnId> output_ids_;
+};
+
+// Hash equi-join: left child is the accumulated build prefix, right child the
+// probe-side scan. When SIP is enabled and the build output is much smaller
+// than the probe table, the join publishes a Bloom filter of its first build
+// key into the probe ScanOp before executing it (paper §3.1.2).
+class HashJoinOp : public PhysicalOperator {
+ public:
+  HashJoinOp(std::unique_ptr<PhysicalOperator> build,
+             std::unique_ptr<PhysicalOperator> probe,
+             std::vector<int> build_keys, std::vector<int> probe_keys,
+             int dop);
+
+  OpKind kind() const override { return OpKind::kHashJoin; }
+  const char* name() const override { return "HashJoin"; }
+  size_t num_children() const override { return 2; }
+  const PhysicalOperator* child(size_t i) const override {
+    if (i == 0) return build_.get();
+    if (i == 1) return probe_.get();
+    return nullptr;
+  }
+  int dop() const override { return dop_; }
+  const std::vector<ColumnId>& output_columns() const override {
+    return output_ids_;
+  }
+
+  // Arms SIP: when the build output has fewer than half the probe table's
+  // rows, Execute publishes build slot build_keys[0] as a Bloom filter into
+  // `probe_scan` (which must be this node's probe child) on schema column
+  // `probe_schema_column`.
+  void EnableSip(ScanOp* probe_scan, int probe_schema_column,
+                 int64_t probe_table_rows);
+
+  Result<Relation> Execute() override;
+
+ private:
+  std::unique_ptr<PhysicalOperator> build_;
+  std::unique_ptr<PhysicalOperator> probe_;
+  std::vector<int> build_keys_;  // slots in the build child's output
+  std::vector<int> probe_keys_;  // slots in the probe child's output
+  int dop_;
+  ScanOp* sip_scan_ = nullptr;  // non-owning alias of probe_ when armed
+  int sip_probe_column_ = -1;
+  int64_t sip_probe_table_rows_ = 0;
+  std::vector<ColumnId> output_ids_;
+};
+
+// Root sink: hash-aggregates its child. Execute returns the group-key
+// relation (the operator's relational output); the full AggregateResult —
+// including double-typed aggregate values — is taken by the driver via
+// TakeResult().
+class AggregateOp : public PhysicalOperator {
+ public:
+  AggregateOp(std::unique_ptr<PhysicalOperator> child,
+              std::vector<int> key_slots, std::vector<AggRequest> aggs,
+              int64_t ndv_hint, int dop);
+
+  OpKind kind() const override { return OpKind::kAggregate; }
+  const char* name() const override { return "Aggregate"; }
+  size_t num_children() const override { return 1; }
+  const PhysicalOperator* child(size_t i) const override {
+    return i == 0 ? child_.get() : nullptr;
+  }
+  int dop() const override { return dop_; }
+  const std::vector<ColumnId>& output_columns() const override {
+    return output_ids_;
+  }
+
+  Result<Relation> Execute() override;
+
+  // Valid once Execute has succeeded.
+  AggregateResult TakeResult() { return std::move(result_); }
+
+ private:
+  std::unique_ptr<PhysicalOperator> child_;
+  std::vector<int> key_slots_;
+  std::vector<AggRequest> aggs_;
+  int64_t ndv_hint_;
+  int dop_;
+  std::vector<ColumnId> output_ids_;
+  AggregateResult result_;
+};
+
+// A compiled query: an AggregateOp owning the whole operator tree. Valid only
+// while `query` (and its tables) outlive it; compile immediately before
+// executing.
+struct CompiledDag {
+  std::unique_ptr<AggregateOp> root;
+};
+
+// Compiles a bound query + physical plan into an operator DAG:
+//   1. resolves the plan's join-order *preference* into a connected execution
+//      order (a table defers until it joins the prefix);
+//   2. builds a ScanOp per table over exactly its required columns;
+//   3. chains left-deep HashJoinOps, arming SIP per the plan;
+//   4. runs required-column analysis and inserts ProjectOps after any join
+//      step whose output carries dead columns (plan.prune_columns);
+//   5. roots the tree with an AggregateOp resolving group keys and aggregate
+//      inputs to slots via the column-identity map.
+// All slot arithmetic happens here, at compile time — execution never looks
+// up a column by name.
+Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
+                                       const PhysicalPlan& plan);
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_OPERATORS_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -47,6 +49,63 @@ std::string JoinKey(const std::vector<int>& table_subset) {
 }
 
 }  // namespace
+
+std::vector<int> RequiredScanColumns(const BoundQuery& query, int table_idx) {
+  std::set<int> needed;
+  for (const JoinEdge& e : query.joins) {
+    if (e.left_table == table_idx) needed.insert(e.left_column);
+    if (e.right_table == table_idx) needed.insert(e.right_column);
+  }
+  for (const GroupKeyRef& g : query.group_by) {
+    if (g.table == table_idx) needed.insert(g.column);
+  }
+  for (const AggSpecRef& a : query.aggs) {
+    if (a.table == table_idx && a.column >= 0) needed.insert(a.column);
+  }
+  return {needed.begin(), needed.end()};
+}
+
+std::vector<std::vector<ColumnId>> RequiredColumnsAfterJoin(
+    const BoundQuery& query, const std::vector<int>& order) {
+  // Position of each table in the join order; -1 = not joined (disconnected
+  // fallback orders may omit tables — their edges are then never consumed).
+  std::vector<int> position(query.tables.size(), -1);
+  for (size_t s = 0; s < order.size(); ++s) position[order[s]] = static_cast<int>(s);
+
+  // An edge is consumed at the step that joins its later endpoint; its key
+  // columns stop being needed once that step has run.
+  auto edge_consumed_at = [&](const JoinEdge& e) {
+    const int l = position[e.left_table];
+    const int r = position[e.right_table];
+    if (l < 0 || r < 0) return std::numeric_limits<int>::max();
+    return std::max(l, r);
+  };
+
+  std::vector<std::vector<ColumnId>> keep;
+  if (order.size() < 2) return keep;
+  keep.resize(order.size() - 1);
+  for (size_t s = 1; s < order.size(); ++s) {
+    std::set<std::pair<int, int>> needed;
+    for (const GroupKeyRef& g : query.group_by) needed.insert({g.table, g.column});
+    for (const AggSpecRef& a : query.aggs) {
+      if (a.column >= 0) needed.insert({a.table, a.column});
+    }
+    for (const JoinEdge& e : query.joins) {
+      if (edge_consumed_at(e) <= static_cast<int>(s)) continue;
+      needed.insert({e.left_table, e.left_column});
+      needed.insert({e.right_table, e.right_column});
+    }
+    std::vector<ColumnId>& out = keep[s - 1];
+    for (const auto& [t, c] : needed) {
+      // Only columns already inside the joined prefix can be carried (the
+      // rest arrive with future scans).
+      if (position[t] >= 0 && position[t] <= static_cast<int>(s)) {
+        out.push_back(ColumnId{t, c});
+      }
+    }
+  }
+  return keep;
+}
 
 std::shared_ptr<CardinalityEstimator> CardinalityEstimator::PinSnapshot() {
   // Non-owning alias: stateless estimators serve queries from `this`
@@ -261,6 +320,7 @@ PhysicalPlan Optimizer::Plan(const BoundQuery& query,
   std::vector<double> prefix_cards;
   plan.join_order = PlanJoinOrder(query, ctx, &prefix_cards);
   plan.use_sip = options_.enable_sip;
+  plan.prune_columns = options_.prune_columns;
   if (options_.use_ndv_hint && !query.group_by.empty()) {
     const double ndv = ctx->GroupNdv(query);
     plan.group_ndv_hint = std::max<int64_t>(0, static_cast<int64_t>(ndv));

@@ -9,6 +9,7 @@
 
 #include "minihouse/query.h"
 #include "minihouse/reader.h"
+#include "minihouse/relation.h"
 
 namespace bytecard::minihouse {
 
@@ -119,6 +120,11 @@ struct PhysicalPlan {
   int agg_dop = 1;                   // aggregation partitions
   int64_t group_ndv_hint = 0;        // 0 = no hint (engine default sizing)
   bool use_sip = true;               // sideways information passing enabled
+  // Late projection: insert ProjectOps that drop intermediate columns at
+  // their last consumer (required-column analysis). Results and I/O are
+  // identical either way; off carries every scanned column through every
+  // join, which is what the projection bench measures against.
+  bool prune_columns = true;
   double estimation_ms = 0.0;        // time spent inside the estimator
   EstimationStats estimation;        // estimation-path accounting
 };
@@ -149,7 +155,27 @@ struct OptimizerOptions {
   // optimizer grants it another: dop = work / min_dop_work_rows, clamped to
   // [1, max_dop].
   int64_t min_dop_work_rows = 2 * kBlockRows;
+  // Late projection (see PhysicalPlan::prune_columns).
+  bool prune_columns = true;
 };
+
+// --- Required-column analysis ----------------------------------------------
+// The optimizer pass behind late projection: purely structural (zero
+// estimator calls), shared with the operator-DAG compiler so the plan and
+// the compiled tree always agree on column lifetimes.
+
+// Columns of `table_idx` that must survive its scan: join keys, group keys,
+// and aggregate inputs, in ascending schema order.
+std::vector<int> RequiredScanColumns(const BoundQuery& query, int table_idx);
+
+// For a left-deep join `order`, the identity set of columns still needed
+// strictly *after* join step s (step s joins order[s], s in
+// [1, order.size())): group keys, aggregate inputs, and the keys of join
+// edges not yet fully consumed by the prefix order[0..s]. Entry s-1
+// corresponds to step s. A column absent from its step's set has had its
+// last consumer run and can be dropped by a ProjectOp.
+std::vector<std::vector<ColumnId>> RequiredColumnsAfterJoin(
+    const BoundQuery& query, const std::vector<int>& order);
 
 // Cost-based planner: reader selection, multi-stage column ordering,
 // join-order selection, and aggregation hash-table pre-sizing, all driven by

@@ -1,0 +1,67 @@
+#ifndef BYTECARD_MINIHOUSE_RELATION_H_
+#define BYTECARD_MINIHOUSE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bytecard::minihouse {
+
+// Identity of one relation slot: which bound table occurrence (index into
+// BoundQuery::tables) and which schema column it came from. Operators locate
+// join keys, group keys, and aggregate inputs through this map instead of
+// re-deriving qualified-name strings per lookup — the identity survives any
+// join order and any projection.
+struct ColumnId {
+  int table = -1;
+  int column = -1;
+
+  friend bool operator==(const ColumnId&, const ColumnId&) = default;
+};
+
+// An in-flight column-major relation: the unit flowing between scan, join,
+// project, and aggregation operators. `column_ids` carries the identity of
+// every slot when the relation was produced by the engine; hand-built
+// relations (tests, tools) may carry names only. `rows` is the authoritative
+// row count, so a relation that projects away every column — e.g. the input
+// to a COUNT(*) with no group keys — still knows its cardinality without
+// smuggling a dummy column.
+struct Relation {
+  std::vector<std::string> column_names;
+  std::vector<ColumnId> column_ids;  // empty or one id per column
+  std::vector<std::vector<int64_t>> columns;
+  int64_t rows = -1;  // explicit count; -1 = derive from the first column
+
+  int64_t num_rows() const {
+    if (rows >= 0) return rows;
+    return columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  }
+
+  int num_columns() const { return static_cast<int>(columns.size()); }
+
+  // Total values carried (rows x columns): the footprint late projection
+  // shrinks.
+  int64_t num_values() const {
+    return num_rows() * static_cast<int64_t>(columns.size());
+  }
+
+  bool has_ids() const { return column_ids.size() == columns.size(); }
+
+  int FindColumn(const std::string& qualified_name) const {
+    for (size_t i = 0; i < column_names.size(); ++i) {
+      if (column_names[i] == qualified_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int FindColumn(const ColumnId& id) const {
+    for (size_t i = 0; i < column_ids.size(); ++i) {
+      if (column_ids[i] == id) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_RELATION_H_

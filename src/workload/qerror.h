@@ -15,7 +15,10 @@ inline double QError(double estimate, double truth) {
   return std::max(e / t, t / e);
 }
 
-// Quantile of an unsorted sample (nearest-rank on a sorted copy).
+// Quantile of an unsorted sample: sorts a copy and linearly interpolates
+// between the two ranks straddling q * (n - 1) — the "linear" method of R /
+// NumPy, not nearest-rank. A quantile falling between observations returns a
+// weighted blend of the neighbors, so e.g. the median of {1, 3} is 2.
 inline double Quantile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());

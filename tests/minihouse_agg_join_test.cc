@@ -79,6 +79,13 @@ TEST(HashTableTest, DuplicateHeavyStreamNeverResizes) {
   EXPECT_EQ(table.capacity(), 512);
 }
 
+// Wraps bare columns as a nameless Relation (aggregation input).
+Relation AggInput(std::vector<std::vector<int64_t>> cols) {
+  Relation rel;
+  rel.columns = std::move(cols);
+  return rel;
+}
+
 TEST(HashAggregateTest, CountSumAvg) {
   // columns: key, value
   std::vector<std::vector<int64_t>> columns = {
@@ -88,7 +95,7 @@ TEST(HashAggregateTest, CountSumAvg) {
   const std::vector<AggRequest> aggs = {{AggFunc::kCountStar, -1},
                                         {AggFunc::kSum, 1},
                                         {AggFunc::kAvg, 1}};
-  const AggregateResult result = HashAggregate(columns, {0}, aggs, 0);
+  const AggregateResult result = HashAggregate(AggInput(columns), {0}, aggs, 0);
   ASSERT_EQ(result.num_groups, 2);
   // Group order is insertion order: key=1 first.
   EXPECT_EQ(result.group_keys[0][0], 1);
@@ -106,7 +113,7 @@ TEST(HashAggregateTest, CountDistinctPerGroup) {
       {7, 7, 8, 9},
   };
   const std::vector<AggRequest> aggs = {{AggFunc::kCountDistinct, 1}};
-  const AggregateResult result = HashAggregate(columns, {0}, aggs, 0);
+  const AggregateResult result = HashAggregate(AggInput(columns), {0}, aggs, 0);
   ASSERT_EQ(result.num_groups, 2);
   EXPECT_EQ(result.agg_values[0][0], 2.0);
   EXPECT_EQ(result.agg_values[0][1], 1.0);
@@ -115,7 +122,7 @@ TEST(HashAggregateTest, CountDistinctPerGroup) {
 TEST(HashAggregateTest, NoGroupByYieldsSingleGroup) {
   std::vector<std::vector<int64_t>> columns = {{5, 6, 7}};
   const std::vector<AggRequest> aggs = {{AggFunc::kCountStar, -1}};
-  const AggregateResult result = HashAggregate(columns, {}, aggs, 0);
+  const AggregateResult result = HashAggregate(AggInput(columns), {}, aggs, 0);
   ASSERT_EQ(result.num_groups, 1);
   EXPECT_EQ(result.agg_values[0][0], 3.0);
 }
@@ -123,7 +130,7 @@ TEST(HashAggregateTest, NoGroupByYieldsSingleGroup) {
 TEST(HashAggregateTest, EmptyInput) {
   std::vector<std::vector<int64_t>> columns = {{}};
   const std::vector<AggRequest> aggs = {{AggFunc::kCountStar, -1}};
-  const AggregateResult result = HashAggregate(columns, {0}, aggs, 0);
+  const AggregateResult result = HashAggregate(AggInput(columns), {0}, aggs, 0);
   EXPECT_EQ(result.num_groups, 0);
 }
 

@@ -224,6 +224,13 @@ TEST(ParallelJoinTest, MultiKeyParallelProbeIdenticalToSerial) {
 
 // --- Aggregation -----------------------------------------------------------
 
+// Wraps bare columns as a nameless Relation (aggregation input).
+Relation AggInput(std::vector<std::vector<int64_t>> cols) {
+  Relation rel;
+  rel.columns = std::move(cols);
+  return rel;
+}
+
 using GroupRow = std::pair<std::vector<int64_t>, std::vector<double>>;
 
 std::vector<GroupRow> SortedGroups(const AggregateResult& agg) {
@@ -250,12 +257,12 @@ TEST(ParallelAggregateTest, MultiKeyGroupByMatchesSerial) {
                                         {AggFunc::kAvg, 2},
                                         {AggFunc::kCountDistinct, 2}};
 
-  const AggregateResult serial = HashAggregate(columns, keys, aggs, 0, 1);
+  const AggregateResult serial = HashAggregate(AggInput(columns), keys, aggs, 0, 1);
   EXPECT_EQ(serial.dop_used, 1);
   EXPECT_EQ(serial.merge_groups, 0);
 
   for (int dop : {2, 4, 8}) {
-    const AggregateResult parallel = HashAggregate(columns, keys, aggs, 0, dop);
+    const AggregateResult parallel = HashAggregate(AggInput(columns), keys, aggs, 0, dop);
     EXPECT_EQ(parallel.dop_used, dop);
     EXPECT_EQ(parallel.num_groups, serial.num_groups);
     // Every partition saw every group here, so the merge folds dop * groups
@@ -273,11 +280,11 @@ TEST(ParallelAggregateTest, NdvHintPresizesEveryPartition) {
   for (int64_t i = 0; i < n; ++i) columns[0].push_back(i % 1000);
   const std::vector<AggRequest> aggs = {{AggFunc::kCountStar, -1}};
   // With an accurate hint, neither the partials nor the merge table resize.
-  const AggregateResult hinted = HashAggregate(columns, {0}, aggs, 1000, 4);
+  const AggregateResult hinted = HashAggregate(AggInput(columns), {0}, aggs, 1000, 4);
   EXPECT_EQ(hinted.num_groups, 1000);
   EXPECT_EQ(hinted.resize_count, 0);
   // Without it, default-sized tables must grow in every partition.
-  const AggregateResult unhinted = HashAggregate(columns, {0}, aggs, 0, 4);
+  const AggregateResult unhinted = HashAggregate(AggInput(columns), {0}, aggs, 0, 4);
   EXPECT_EQ(unhinted.num_groups, 1000);
   EXPECT_GT(unhinted.resize_count, 0);
 }

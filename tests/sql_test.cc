@@ -211,5 +211,44 @@ TEST_F(AnalyzerTest, AmbiguousColumnRejected) {
           .ok());
 }
 
+// Error paths carry distinguishable status codes: kNotFound for names that
+// resolve against nothing, kInvalidArgument for structurally bad queries.
+// Callers (and future error reporting) can branch on the code, not the text.
+
+TEST_F(AnalyzerTest, UnknownTableIsNotFound) {
+  const auto result = AnalyzeSql("SELECT COUNT(*) FROM nope", *db_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, UnknownFilterColumnIsNotFound) {
+  const auto result =
+      AnalyzeSql("SELECT COUNT(*) FROM fact WHERE nope = 1", *db_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, JoinOnMissingColumnIsNotFound) {
+  const auto result = AnalyzeSql(
+      "SELECT COUNT(*) FROM fact, dim WHERE fact.dim_id = dim.no_such_col",
+      *db_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, CountDistinctOnMissingColumnIsNotFound) {
+  const auto result =
+      AnalyzeSql("SELECT COUNT(DISTINCT ghost) FROM fact", *db_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerTest, AmbiguousColumnIsInvalidArgument) {
+  const auto result =
+      AnalyzeSql("SELECT COUNT(*) FROM fact a, fact b WHERE value = 1", *db_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace bytecard::sql

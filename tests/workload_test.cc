@@ -46,6 +46,26 @@ TEST(QErrorTest, Quantiles) {
   EXPECT_LE(summary.p99, summary.max);
 }
 
+TEST(QErrorTest, QuantileInterpolatesBetweenRanks) {
+  // Pins the linear-interpolation contract: quantiles that land between two
+  // observations blend them by distance, instead of snapping to the nearest
+  // rank (which would return a sample value here).
+  const std::vector<double> pair = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(pair, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(pair, 0.25), 1.5);
+  EXPECT_DOUBLE_EQ(Quantile(pair, 0.75), 2.5);
+
+  const std::vector<double> values = {10.0, 20.0, 40.0, 80.0};
+  // pos = q * 3: 0.5 -> rank 1.5 -> midway between 20 and 40.
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 30.0);
+  // 0.9 -> rank 2.7 -> 40 * 0.3 + 80 * 0.7.
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.9), 68.0);
+  // Exact ranks return the observation itself, at any position.
+  EXPECT_DOUBLE_EQ(Quantile({10.0, 20.0, 40.0}, 0.5), 20.0);
+  // A single observation is every quantile.
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.33), 7.0);
+}
+
 // --- Dataset generators ------------------------------------------------------------
 
 TEST(DatagenTest, ImdbShape) {

@@ -1,37 +1,75 @@
 // Ablation (paper §4.3 rationale for continuous retraining): model staleness
-// under data updates. Streams drifted batches through the Data Ingestor and
-// tracks the deployed BN's median probe Q-Error before refresh vs after the
-// ModelForge retrain + Model Loader refresh cycle.
+// under data updates, with and without the runtime-feedback subsystem.
+//
+// Leg 1 (feedback off): streams drifted batches through the Data Ingestor
+// and tracks the deployed BN's median probe Q-Error before refresh vs after
+// a *manually scheduled* ModelForge retrain + Model Loader refresh. Nothing
+// demotes the stale model in between — the paper's baseline operating mode.
+//
+// Leg 2 (feedback on): the same drifted batches, but the staleness signal
+// comes from real traffic. Anchored probe queries run through the engine;
+// the executor's estimate-vs-actual capture feeds the drift detector, and
+// ProcessFeedback demotes the drifted model and forges a replacement with no
+// synthetic monitor probes. We record time-to-demotion (queries of real
+// traffic), the q-error window that triggered it, and the post-demotion /
+// post-refresh estimate quality.
+//
+// Between the legs, a cache proof: a repeated single-table workload is
+// re-planned entirely from the feedback cache (feedback_hits > 0, zero
+// estimator calls) with results identical to cache-off runs.
+//
+// Everything lands in BENCH_feedback_staleness.json.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "bytecard/data_ingestor.h"
+#include "minihouse/executor.h"
 #include "workload/qerror.h"
-#include "workload/query_gen.h"
 #include "workload/truth.h"
 
 namespace bytecard::bench {
 namespace {
 
+// An anchored date-range filter: anchors are drawn from live rows, so after
+// a drifted batch a share of probes lands in regions the stale model has
+// never seen.
+minihouse::Conjunction AnchoredFilter(const minihouse::Table& table,
+                                      int date_col, Rng* rng) {
+  const int64_t anchor = table.column(date_col).NumericAt(
+      static_cast<int64_t>(rng->Uniform(table.num_rows())));
+  minihouse::ColumnPredicate pred;
+  pred.column = date_col;
+  pred.column_name = "event_date";
+  pred.op = minihouse::CompareOp::kBetween;
+  pred.operand = anchor - rng->UniformInt(0, 40);
+  pred.operand2 = anchor + rng->UniformInt(0, 40);
+  return {pred};
+}
+
+minihouse::BoundQuery ProbeQuery(const minihouse::Table* table,
+                                 minihouse::Conjunction filters) {
+  minihouse::BoundQuery query;
+  minihouse::BoundTableRef ref;
+  ref.table = table;
+  ref.alias = table->name();
+  ref.filters = std::move(filters);
+  query.tables = {ref};
+  query.aggs = {{minihouse::AggFunc::kCountStar, -1, -1}};
+  return query;
+}
+
 double MedianCountQError(ByteCard* bytecard, minihouse::Database* db,
                          const std::string& table_name, uint64_t seed) {
-  // Probes target the drifting dimension: date ranges anchored at live rows,
-  // so they hit regions the stale model has never seen.
   const minihouse::Table* table = db->FindTable(table_name).value();
   const int date_col = table->FindColumnIndex("event_date");
   Rng rng(seed);
   std::vector<double> qerrors;
   for (int i = 0; i < 20; ++i) {
-    const int64_t anchor = table->column(date_col).NumericAt(
-        static_cast<int64_t>(rng.Uniform(table->num_rows())));
-    minihouse::ColumnPredicate pred;
-    pred.column = date_col;
-    pred.column_name = "event_date";
-    pred.op = minihouse::CompareOp::kBetween;
-    pred.operand = anchor - rng.UniformInt(0, 40);
-    pred.operand2 = anchor + rng.UniformInt(0, 40);
-    const minihouse::Conjunction filters = {pred};
+    const minihouse::Conjunction filters =
+        AnchoredFilter(*table, date_col, &rng);
     std::vector<uint8_t> selection;
     minihouse::EvaluateConjunction(filters, *table, &selection);
     int64_t truth = 0;
@@ -43,6 +81,139 @@ double MedianCountQError(ByteCard* bytecard, minihouse::Database* db,
         workload::QError(estimate, static_cast<double>(truth)));
   }
   return workload::Quantile(qerrors, 0.5);
+}
+
+struct OffRound {
+  int round = 0;
+  double stale_p50 = 0.0;
+  double fresh_p50 = 0.0;
+};
+
+struct OnRound {
+  int round = 0;
+  double stale_p50 = 0.0;
+  int queries_to_demotion = -1;  // -1 = never demoted
+  double p90_at_demotion = 0.0;
+  double post_demotion_p50 = 0.0;  // fallback-served estimates
+  double post_refresh_p50 = 0.0;   // retrained model re-promoted
+};
+
+struct CacheProof {
+  int queries = 0;
+  int64_t baseline_estimator_calls = 0;  // serve-from-cache off
+  int64_t repeat_estimator_calls = 0;    // repeated pass, serving on
+  int64_t repeat_feedback_hits = 0;
+  bool identical_results = false;  // counts + blocks_read vs cache-off
+};
+
+// Repeated single-table workload, three passes: cache-off baseline, a
+// serving pass, and the measured repeat. The repeat must answer every
+// estimation question from the cache and reproduce the baseline exactly.
+CacheProof RunCacheProof(BenchContext* ctx, const minihouse::Table* events,
+                         int date_col) {
+  CacheProof proof;
+  feedback::FeedbackManager* manager = ctx->bytecard->feedback_manager();
+  minihouse::Optimizer optimizer;
+
+  std::vector<minihouse::BoundQuery> probes;
+  Rng rng(BenchSeed() ^ 0xcac4e);
+  for (int i = 0; i < 25; ++i) {
+    probes.push_back(
+        ProbeQuery(events, AnchoredFilter(*events, date_col, &rng)));
+  }
+  proof.queries = static_cast<int>(probes.size());
+
+  auto run_pass = [&](EstimationProfile* profile,
+                      std::vector<std::pair<int64_t, int64_t>>* results) {
+    for (const minihouse::BoundQuery& q : probes) {
+      auto r = minihouse::PlanAndExecute(q, optimizer, ctx->bytecard.get());
+      BC_CHECK_OK(r.status());
+      profile->Add(r.value().stats);
+      results->emplace_back(r.value().ScalarCount(),
+                            r.value().stats.io.blocks_read);
+    }
+  };
+
+  manager->set_serve_from_cache(false);
+  EstimationProfile baseline;
+  std::vector<std::pair<int64_t, int64_t>> baseline_results;
+  run_pass(&baseline, &baseline_results);
+  proof.baseline_estimator_calls = baseline.estimator_calls;
+
+  manager->set_serve_from_cache(true);
+  EstimationProfile serving;
+  std::vector<std::pair<int64_t, int64_t>> serving_results;
+  run_pass(&serving, &serving_results);  // warms serving-path plans
+
+  EstimationProfile repeat;
+  std::vector<std::pair<int64_t, int64_t>> repeat_results;
+  run_pass(&repeat, &repeat_results);
+  proof.repeat_estimator_calls = repeat.estimator_calls;
+  proof.repeat_feedback_hits = repeat.feedback_hits;
+  proof.identical_results = repeat_results == baseline_results &&
+                            serving_results == baseline_results;
+
+  BC_CHECK(proof.identical_results)
+      << "cache-served plans changed query results";
+  PrintRow({"cache proof", "queries", "est calls (off/repeat)",
+            "feedback hits", "identical"});
+  PrintRow({"", std::to_string(proof.queries),
+            std::to_string(proof.baseline_estimator_calls) + "/" +
+                std::to_string(proof.repeat_estimator_calls),
+            std::to_string(proof.repeat_feedback_hits),
+            proof.identical_results ? "yes" : "NO"});
+  return proof;
+}
+
+void WriteJson(const CacheProof& proof, const std::vector<OffRound>& off,
+               const std::vector<OnRound>& on) {
+  const char* path = "BENCH_feedback_staleness.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  WriteJsonProvenance(f);
+  std::fprintf(f, "  \"figure\": \"feedback_staleness\",\n");
+  std::fprintf(f, "  \"scale\": %.4f,\n", ScaleFactor());
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed()));
+  std::fprintf(f,
+               "  \"cache_proof\": {\"queries\": %d,"
+               " \"baseline_estimator_calls\": %lld,"
+               " \"repeat_estimator_calls\": %lld,"
+               " \"repeat_feedback_hits\": %lld,"
+               " \"identical_results\": %s},\n",
+               proof.queries,
+               static_cast<long long>(proof.baseline_estimator_calls),
+               static_cast<long long>(proof.repeat_estimator_calls),
+               static_cast<long long>(proof.repeat_feedback_hits),
+               proof.identical_results ? "true" : "false");
+  std::fprintf(f, "  \"feedback_off\": [\n");
+  for (size_t i = 0; i < off.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"round\": %d, \"stale_p50_qerror\": %.3f,"
+                 " \"fresh_p50_qerror\": %.3f, \"demoted\": false}%s\n",
+                 off[i].round, off[i].stale_p50, off[i].fresh_p50,
+                 i + 1 < off.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"feedback_on\": [\n");
+  for (size_t i = 0; i < on.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"round\": %d, \"stale_p50_qerror\": %.3f,"
+                 " \"queries_to_demotion\": %d,"
+                 " \"p90_at_demotion\": %.3f,"
+                 " \"post_demotion_p50_qerror\": %.3f,"
+                 " \"post_refresh_p50_qerror\": %.3f}%s\n",
+                 on[i].round, on[i].stale_p50, on[i].queries_to_demotion,
+                 on[i].p90_at_demotion, on[i].post_demotion_p50,
+                 on[i].post_refresh_p50, i + 1 < on.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 void Run() {
@@ -60,28 +231,99 @@ void Run() {
   const int date_col = events->FindColumnIndex("event_date");
   Rng rng(BenchSeed() ^ 0xfeed);
 
+  // --- Leg 1: feedback off — staleness persists until a manual retrain.
+  std::printf("feedback off (manual retrain schedule):\n");
   PrintRow({"ingested batches", "stale median Q-Error",
             "after retrain+refresh"});
-
-  for (int round = 1; round <= 3; ++round) {
+  std::vector<OffRound> off_rounds;
+  for (int round = 1; round <= 2; ++round) {
     // Drift: new events land ~1 year later than anything the model saw.
     BC_CHECK_OK(ingestor
                     .IngestDriftedBatch("ad_events",
                                         events->num_rows() / 2, date_col,
                                         400 * round, &rng)
                     .status());
-    const double stale = MedianCountQError(ctx.bytecard.get(), ctx.db.get(),
-                                           "ad_events",
-                                           BenchSeed() + round);
+    OffRound r;
+    r.round = round;
+    r.stale_p50 = MedianCountQError(ctx.bytecard.get(), ctx.db.get(),
+                                    "ad_events", BenchSeed() + round);
+    // Nothing demotes the stale model while we wait for the schedule.
+    BC_CHECK(ctx.bytecard->snapshot()->IsHealthy("ad_events"))
+        << "demotion without the feedback loop";
 
     BC_CHECK_OK(ctx.bytecard->RetrainTable(*events));
     BC_CHECK_OK(ctx.bytecard->RefreshModels().status());
     ingestor.MarkTrained("ad_events");
-    const double fresh = MedianCountQError(ctx.bytecard.get(), ctx.db.get(),
-                                           "ad_events",
-                                           BenchSeed() + round);
-    PrintRow({std::to_string(round), Fmt(stale), Fmt(fresh)});
+    r.fresh_p50 = MedianCountQError(ctx.bytecard.get(), ctx.db.get(),
+                                    "ad_events", BenchSeed() + round);
+    PrintRow({std::to_string(round), Fmt(r.stale_p50), Fmt(r.fresh_p50)});
+    off_rounds.push_back(r);
   }
+
+  // --- Feedback subsystem on: capture, cache serving, drift detection.
+  ctx.bytecard->EnableFeedback();
+  ingestor.SetObserver(ctx.bytecard->feedback_manager());
+
+  std::printf("\ncache serving on the repeated workload:\n");
+  const CacheProof proof = RunCacheProof(&ctx, events, date_col);
+
+  // --- Leg 2: feedback on — real traffic demotes and retrains the model.
+  std::printf("\nfeedback on (drift-driven demotion from real traffic):\n");
+  PrintRow({"round", "stale p50", "queries to demotion", "p90 at demotion",
+            "post-demotion p50", "post-refresh p50"});
+  std::vector<OnRound> on_rounds;
+  minihouse::Optimizer optimizer;
+  for (int round = 1; round <= 2; ++round) {
+    BC_CHECK_OK(ingestor
+                    .IngestDriftedBatch("ad_events",
+                                        events->num_rows() / 2, date_col,
+                                        400 * (round + 2), &rng)
+                    .status());
+    OnRound r;
+    r.round = round;
+    r.stale_p50 = MedianCountQError(ctx.bytecard.get(), ctx.db.get(),
+                                    "ad_events", BenchSeed() ^ (91 + round));
+
+    // Real traffic until the drift loop acts: each probe is one executed
+    // query whose scan observation lands in the detector.
+    Rng probe_rng(BenchSeed() ^ (0xd00d + round));
+    std::vector<ByteCard::FeedbackAction> actions;
+    int queries = 0;
+    for (int i = 0; i < 80 && actions.empty(); ++i) {
+      auto result = minihouse::PlanAndExecute(
+          ProbeQuery(events, AnchoredFilter(*events, date_col, &probe_rng)),
+          optimizer, ctx.bytecard.get());
+      BC_CHECK_OK(result.status());
+      ++queries;
+      actions = ctx.bytecard->ProcessFeedback(ctx.db.get());
+    }
+    if (!actions.empty() && actions[0].demoted) {
+      r.queries_to_demotion = queries;
+      r.p90_at_demotion = actions[0].report.p90;
+    }
+    BC_CHECK(!ctx.bytecard->snapshot()->IsHealthy("ad_events"))
+        << "drifted model still serving";
+    r.post_demotion_p50 = MedianCountQError(
+        ctx.bytecard.get(), ctx.db.get(), "ad_events",
+        BenchSeed() ^ (191 + round));
+
+    // ProcessFeedback already forged the replacement; the loader cycle
+    // publishes it and re-promotes the table.
+    BC_CHECK_OK(ctx.bytecard->RefreshModels().status());
+    ingestor.MarkTrained("ad_events");
+    BC_CHECK(ctx.bytecard->snapshot()->IsHealthy("ad_events"))
+        << "retrained model not re-promoted";
+    r.post_refresh_p50 = MedianCountQError(
+        ctx.bytecard.get(), ctx.db.get(), "ad_events",
+        BenchSeed() ^ (291 + round));
+    PrintRow({std::to_string(round), Fmt(r.stale_p50),
+              std::to_string(r.queries_to_demotion),
+              Fmt(r.p90_at_demotion), Fmt(r.post_demotion_p50),
+              Fmt(r.post_refresh_p50)});
+    on_rounds.push_back(r);
+  }
+
+  WriteJson(proof, off_rounds, on_rounds);
 }
 
 }  // namespace

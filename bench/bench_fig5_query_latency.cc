@@ -324,6 +324,7 @@ void WriteProjectionJson(
     return;
   }
   std::fprintf(f, "{\n");
+  WriteJsonProvenance(f);
   std::fprintf(f, "  \"figure\": \"fig5_projection_study\",\n");
   std::fprintf(f, "  \"scale\": %.4f,\n", ScaleFactor() * 12.0);
   std::fprintf(f, "  \"seed\": %llu,\n",
@@ -366,6 +367,7 @@ void WriteThreadSweepJson(
     return;
   }
   std::fprintf(f, "{\n");
+  WriteJsonProvenance(f);
   std::fprintf(f, "  \"figure\": \"fig5_thread_sweep\",\n");
   std::fprintf(f, "  \"scale\": %.4f,\n", ScaleFactor() * 12.0);
   std::fprintf(f, "  \"seed\": %llu,\n",

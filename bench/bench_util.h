@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -37,6 +38,43 @@ inline uint64_t BenchSeed() {
   const char* env = std::getenv("BYTECARD_SEED");
   if (env == nullptr) return 20240607;
   return static_cast<uint64_t>(std::atoll(env));
+}
+
+// --- Result provenance --------------------------------------------------------
+// Every BENCH_*.json is stamped with the commit and the wall-clock moment it
+// was produced, so result files stay attributable once they leave the tree.
+
+// BYTECARD_GIT_SHA overrides (CI sets it); otherwise ask git; "unknown" when
+// neither is available (e.g. running from an exported tarball).
+inline std::string GitSha() {
+  if (const char* env = std::getenv("BYTECARD_GIT_SHA")) return env;
+  std::string sha;
+  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buffer[128];
+    if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) sha = buffer;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+inline std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+// Emits the shared provenance fields; callers place this immediately after
+// the opening brace of the result object.
+inline void WriteJsonProvenance(FILE* f) {
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", GitSha().c_str());
+  std::fprintf(f, "  \"timestamp_utc\": \"%s\",\n",
+               IsoTimestampUtc().c_str());
 }
 
 // Everything one dataset's experiments need.
@@ -135,6 +173,8 @@ struct EstimationProfile {
   int64_t estimator_calls = 0;
   int64_t memo_hits = 0;
   int64_t fallback_estimates = 0;
+  int64_t feedback_hits = 0;      // estimates served by the feedback cache
+  int64_t feedback_records = 0;   // estimate-vs-actual observations emitted
   uint64_t snapshot_version = 0;  // last observed
   int threads_used = 1;           // max dop any operator ran at
   int64_t parallel_tasks = 0;     // summed morsels/partitions through the pool
@@ -144,6 +184,8 @@ struct EstimationProfile {
     estimator_calls += stats.estimator_calls;
     memo_hits += stats.memo_hits;
     fallback_estimates += stats.fallback_estimates;
+    feedback_hits += stats.feedback_hits;
+    feedback_records += stats.feedback_records;
     snapshot_version = stats.snapshot_version;
     threads_used = std::max(threads_used, stats.threads_used);
     parallel_tasks += stats.parallel_tasks;

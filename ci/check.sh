@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full pre-merge gate: the tier-1 build + test sweep, then both sanitizer
+# Full pre-merge gate: the tier-1 build + test sweep, then the sanitizer
 # legs (ThreadSanitizer for the shared-state suites, AddressSanitizer with
-# leak detection for the same set). This is the one script a contributor runs
-# before pushing; CI runs exactly the same thing.
+# leak detection, UndefinedBehaviorSanitizer for the same set). This is the
+# one script a contributor runs before pushing; CI runs exactly the same
+# thing.
 #
 # Usage: ci/check.sh [build-dir]
 set -euo pipefail
@@ -20,5 +21,8 @@ echo "== sanitizer: thread =="
 
 echo "== sanitizer: address =="
 "${REPO_ROOT}/ci/sanitize.sh" address
+
+echo "== sanitizer: undefined =="
+"${REPO_ROOT}/ci/sanitize.sh" undefined
 
 echo "check: OK"

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Sanitizer gate: builds the tree under ThreadSanitizer (or the sanitizer
-# named in $1: thread|address) and runs the suites that exercise shared
-# state — the concurrency tests (snapshot publish vs. estimation races), the
-# robustness tests (loader/deserializer abuse), and the parallel-execution
-# tests (thread pool, morsel-parallel scans/joins/aggregation).
+# named in $1: thread|address|undefined) and runs the suites that exercise
+# shared state — the concurrency tests (snapshot publish vs. estimation
+# races), the robustness tests (loader/deserializer abuse), the
+# parallel-execution tests (thread pool, morsel-parallel
+# scans/joins/aggregation), and the runtime-feedback tests (query threads
+# racing cache invalidation and drift aggregation).
 #
-# Usage: ci/sanitize.sh [thread|address] [build-dir]
+# Usage: ci/sanitize.sh [thread|address|undefined] [build-dir]
 # BYTECARD_THREADS overrides the worker-pool sizing (default 4 here, so the
 # parallel tests genuinely interleave even on small CI machines).
 set -euo pipefail
@@ -15,9 +17,9 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${2:-${REPO_ROOT}/build-${SANITIZER}san}"
 
 case "${SANITIZER}" in
-  thread|address) ;;
+  thread|address|undefined) ;;
   *)
-    echo "usage: $0 [thread|address] [build-dir]" >&2
+    echo "usage: $0 [thread|address|undefined] [build-dir]" >&2
     exit 2
     ;;
 esac
@@ -26,16 +28,17 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBYTECARD_SANITIZE="${SANITIZER}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target concurrency_test robustness_test \
+  --target concurrency_test robustness_test feedback_test \
            thread_pool_test minihouse_parallel_test minihouse_operator_test
 
 # halt_on_error makes a race fail the ctest run instead of just logging;
 # tsan.supp documents the known libstdc++ instrumentation gaps we ignore.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 suppressions=${REPO_ROOT}/ci/tsan.supp"
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 export BYTECARD_THREADS="${BYTECARD_THREADS:-4}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)" \
-  -R "ConcurrencyTest|RobustnessTest|ThreadPoolTest|ParallelMorselsTest|ParallelScanTest|ParallelJoinTest|ParallelAggregateTest|ParallelExecutorTest|ParallelOptimizerTest|OperatorDagTest"
+  -R "ConcurrencyTest|RobustnessTest|ThreadPoolTest|ParallelMorselsTest|ParallelScanTest|ParallelJoinTest|ParallelAggregateTest|ParallelExecutorTest|ParallelOptimizerTest|OperatorDagTest|FeedbackFingerprintTest|FeedbackLogTest|FeedbackCacheTest|DriftDetectorTest|FeedbackCaptureTest|FeedbackConcurrencyTest|FeedbackByteCardTest"
 
 echo "sanitize(${SANITIZER}): OK"

@@ -10,7 +10,21 @@
 namespace bytecard {
 
 ByteCard::ByteCard(Options options)
-    : options_(std::move(options)), monitor_(options_.monitor) {}
+    : options_(std::move(options)), monitor_(options_.monitor) {
+  if (options_.enable_feedback) {
+    feedback_owned_ =
+        std::make_unique<feedback::FeedbackManager>(options_.feedback);
+    feedback_.store(feedback_owned_.get(), std::memory_order_release);
+  }
+}
+
+void ByteCard::EnableFeedback() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (feedback_owned_ != nullptr) return;
+  feedback_owned_ =
+      std::make_unique<feedback::FeedbackManager>(options_.feedback);
+  feedback_.store(feedback_owned_.get(), std::memory_order_release);
+}
 
 Result<std::unique_ptr<ByteCard>> ByteCard::Bootstrap(
     const minihouse::Database& db,
@@ -187,11 +201,30 @@ Result<int> ByteCard::RefreshModels() {
   }
   if (applied.empty()) return 0;
 
+  // A freshly forged BN that passed validation supersedes the old model's
+  // health verdict: re-promote it so a post-drift retrain restores learned
+  // serving (the monitor — synthetic or drift-driven — can demote it again
+  // if the replacement is also bad).
+  for (const LoadedModel* model : applied) {
+    if (model->kind != "bn") continue;
+    builder.SetHealth(model->name, true);
+    monitor_.SetHealth(model->name, true);
+  }
+
   BC_ASSIGN_OR_RETURN(std::shared_ptr<const EstimatorSnapshot> snapshot,
                       builder.Finish());
+  const uint64_t version = snapshot->version();
   snapshot_.Publish(std::move(snapshot));
   for (const LoadedModel* model : applied) {
     loader_->CommitLoaded(model->kind, model->name, model->timestamp);
+  }
+  if (feedback_owned_ != nullptr) {
+    feedback_owned_->OnSnapshotPublished(version);
+    for (const LoadedModel* model : applied) {
+      if (model->kind == "bn") {
+        feedback_owned_->OnTableHealthChanged(model->name);
+      }
+    }
   }
   return static_cast<int>(applied.size());
 }
@@ -237,7 +270,12 @@ Result<MonitorReport> ByteCard::ProbeTable(const minihouse::Table& table) {
     builder.SetHealth(table.name(), report.healthy);
     BC_ASSIGN_OR_RETURN(std::shared_ptr<const EstimatorSnapshot> snapshot,
                         builder.Finish());
+    const uint64_t version = snapshot->version();
     snapshot_.Publish(std::move(snapshot));
+    if (feedback_owned_ != nullptr) {
+      feedback_owned_->OnSnapshotPublished(version);
+      feedback_owned_->OnTableHealthChanged(table.name());
+    }
   }
   return report;
 }
@@ -256,11 +294,47 @@ void ByteCard::SetTableHealth(const std::string& table, bool healthy) {
                     << "' failed: " << snapshot.status().ToString();
     return;
   }
+  const uint64_t version = snapshot.value()->version();
   snapshot_.Publish(std::move(snapshot).value());
+  if (feedback_owned_ != nullptr) {
+    feedback_owned_->OnSnapshotPublished(version);
+    feedback_owned_->OnTableHealthChanged(table);
+  }
 }
 
 std::shared_ptr<minihouse::CardinalityEstimator> ByteCard::PinSnapshot() {
-  return std::make_shared<SnapshotEstimator>(snapshot_.Acquire());
+  return std::make_shared<SnapshotEstimator>(
+      snapshot_.Acquire(), feedback_.load(std::memory_order_acquire));
+}
+
+std::vector<ByteCard::FeedbackAction> ByteCard::ProcessFeedback(
+    const minihouse::Database* db) {
+  std::vector<FeedbackAction> actions;
+  feedback::FeedbackManager* manager =
+      feedback_.load(std::memory_order_acquire);
+  if (manager == nullptr) return actions;
+  std::shared_ptr<const EstimatorSnapshot> current = snapshot_.Acquire();
+  for (const feedback::DriftReport& report : manager->drift().Reports()) {
+    if (!report.drifted) continue;
+    FeedbackAction action;
+    action.report = report;
+    // Demote only tables whose learned model is actually live and healthy —
+    // a table already on the fallback has nothing left to demote, and a
+    // table without a BN never served learned estimates.
+    if (current != nullptr && current->bn_context(report.table) != nullptr &&
+        current->IsHealthy(report.table)) {
+      SetTableHealth(report.table, false);
+      action.demoted = true;
+      if (db != nullptr) {
+        Result<const minihouse::Table*> table = db->FindTable(report.table);
+        if (table.ok()) {
+          action.retrain_started = RetrainTable(*table.value()).ok();
+        }
+      }
+    }
+    actions.push_back(std::move(action));
+  }
+  return actions;
 }
 
 uint64_t ByteCard::SnapshotVersion() const {

@@ -1,12 +1,14 @@
 #ifndef BYTECARD_BYTECARD_BYTECARD_H_
 #define BYTECARD_BYTECARD_BYTECARD_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "bytecard/feedback/feedback_manager.h"
 #include "bytecard/inference_engine.h"
 #include "bytecard/model_forge.h"
 #include "bytecard/model_loader.h"
@@ -68,6 +70,12 @@ class ByteCard : public minihouse::CardinalityEstimator {
     ModelMonitor::Options monitor;
     bool run_monitor = true;
     bool build_fallback_sketches = true;
+    // Runtime-feedback subsystem: capture estimate-vs-actual per executed
+    // query, serve repeated subplans from the feedback cache, and detect
+    // per-table drift from real traffic (no synthetic probes). Off by
+    // default; EnableFeedback() turns it on after Bootstrap too.
+    bool enable_feedback = false;
+    feedback::FeedbackOptions feedback;
     // Reuse a pre-trained workload-independent RBX artifact instead of
     // training (one offline session serves every dataset — paper §4.3).
     std::string pretrained_rbx_path;
@@ -124,6 +132,40 @@ class ByteCard : public minihouse::CardinalityEstimator {
   // publishes a successor snapshot. Safe to call concurrently with
   // estimation.
   void SetTableHealth(const std::string& table, bool healthy);
+
+  // --- Runtime feedback ------------------------------------------------------
+  // Turns the feedback subsystem on (idempotent): subsequent PinSnapshot
+  // views expose the manager as their QueryFeedbackHook, so the optimizer
+  // serves repeated subplans from the cache and the executor reports
+  // estimate-vs-actual observations into the log and drift detector.
+  void EnableFeedback();
+
+  // The feedback subsystem, or null while disabled. Also the IngestObserver
+  // to register on a DataIngestor so batch ingest invalidates cached actuals.
+  feedback::FeedbackManager* feedback_manager() {
+    return feedback_.load(std::memory_order_acquire);
+  }
+
+  minihouse::QueryFeedbackHook* feedback_hook() const override {
+    return feedback_.load(std::memory_order_acquire);
+  }
+
+  // One action the drift loop took (or declined) for a drifted table.
+  struct FeedbackAction {
+    feedback::DriftReport report;
+    bool demoted = false;          // published a successor with health=false
+    bool retrain_started = false;  // forged a replacement artifact
+  };
+
+  // The drift-driven health loop: reads the detector's verdicts and, for
+  // every drifted table whose model is live and healthy, demotes it to the
+  // traditional fallback (SetTableHealth(false) — same publish path the
+  // synthetic Model Monitor uses) and, when `db` is given, immediately
+  // forges a replacement model (pick it up with RefreshModels). Returns one
+  // action per drifted table. Thread-safe; call periodically or after
+  // workload bursts.
+  std::vector<FeedbackAction> ProcessFeedback(
+      const minihouse::Database* db = nullptr);
 
   // OR-query estimation (paper §5.1.2): COUNT of the union of single-table
   // filter conjunctions via the inclusion-exclusion principle. Disjuncts
@@ -185,6 +227,13 @@ class ByteCard : public minihouse::CardinalityEstimator {
   std::unique_ptr<ModelLoader> loader_;
   ModelMonitor monitor_;
   ModelValidator validator_;
+
+  // The runtime-feedback subsystem (null while disabled). Created at most
+  // once (under lifecycle_mu_) and never destroyed while the facade lives,
+  // so pinned views and query threads may hold the raw pointer across plan +
+  // execution; the atomic lets them read it without the lifecycle lock.
+  std::unique_ptr<feedback::FeedbackManager> feedback_owned_;
+  std::atomic<feedback::FeedbackManager*> feedback_{nullptr};
 
   // Immutable after Bootstrap; shared into every snapshot.
   std::shared_ptr<const std::map<std::string, stats::TableSample>> samples_;

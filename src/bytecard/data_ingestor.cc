@@ -47,6 +47,7 @@ Result<IngestionEvent> DataIngestor::AppendResampled(
   event.total_rows = table->num_rows();
   event.offset = ++next_offset_;
   events_.push_back(event);
+  if (observer_ != nullptr) observer_->OnIngest(event);
   return event;
 }
 

@@ -21,6 +21,16 @@ struct IngestionEvent {
   int64_t offset = 0;       // cumulative batch counter (Kafka-offset style)
 };
 
+// Synchronous tap on the consumption log: notified after each batch lands
+// (rows appended, table resealed). The feedback subsystem uses this as its
+// ingest-epoch signal — cached actual cardinalities for the grown table are
+// stale the moment the event fires.
+class IngestObserver {
+ public:
+  virtual ~IngestObserver() = default;
+  virtual void OnIngest(const IngestionEvent& event) = 0;
+};
+
 // Simulates ByteHouse's Data Ingestor: appends batches of rows to catalog
 // tables and accumulates the consumption log the training service reads to
 // decide when enough new data has arrived to retrain.
@@ -57,12 +67,17 @@ class DataIngestor {
   int64_t PendingRows(const std::string& table) const;
   void MarkTrained(const std::string& table);
 
+  // Registers `observer` (not owned; must outlive the ingestor or be reset
+  // to null) to be called after every ingested batch.
+  void SetObserver(IngestObserver* observer) { observer_ = observer; }
+
  private:
   Result<IngestionEvent> AppendResampled(const std::string& table,
                                          int64_t rows, int drift_column,
                                          int64_t drift_offset, Rng* rng);
 
   minihouse::Database* db_;
+  IngestObserver* observer_ = nullptr;
   std::vector<IngestionEvent> events_;
   std::map<std::string, int64_t> trained_watermark_;
   int64_t next_offset_ = 0;

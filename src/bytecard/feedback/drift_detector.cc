@@ -1,0 +1,90 @@
+#include "bytecard/feedback/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bytecard::feedback {
+
+namespace {
+
+// Linear-interpolation quantile over a sorted vector (same convention as the
+// workload layer's qerror summaries; restated because bytecard cannot depend
+// on the workload library).
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 1.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+OnlineDriftDetector::OnlineDriftDetector(Options options) : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.min_samples == 0) options_.min_samples = 1;
+}
+
+void OnlineDriftDetector::Observe(const std::string& table, double qerror) {
+  if (!std::isfinite(qerror)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<double>& window = windows_[table];
+  if (window.size() >= options_.window) window.pop_front();
+  window.push_back(std::max(qerror, 1.0));
+  ++observations_;
+}
+
+DriftReport OnlineDriftDetector::ReportLocked(
+    const std::string& table, const std::deque<double>& window) const {
+  DriftReport report;
+  report.table = table;
+  report.samples = window.size();
+  if (window.empty()) return report;
+  std::vector<double> sorted(window.begin(), window.end());
+  std::sort(sorted.begin(), sorted.end());
+  report.p50 = SortedQuantile(sorted, 0.5);
+  report.p90 = SortedQuantile(sorted, 0.9);
+  report.max = sorted.back();
+  report.drifted = report.samples >= options_.min_samples &&
+                   report.p90 > options_.qerror_threshold;
+  return report;
+}
+
+DriftReport OnlineDriftDetector::Report(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windows_.find(table);
+  if (it == windows_.end()) {
+    DriftReport report;
+    report.table = table;
+    return report;
+  }
+  return ReportLocked(table, it->second);
+}
+
+std::vector<DriftReport> OnlineDriftDetector::Reports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DriftReport> reports;
+  reports.reserve(windows_.size());
+  for (const auto& [table, window] : windows_) {
+    reports.push_back(ReportLocked(table, window));
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const DriftReport& a, const DriftReport& b) {
+              return a.table < b.table;
+            });
+  return reports;
+}
+
+void OnlineDriftDetector::ResetTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.erase(table);
+}
+
+int64_t OnlineDriftDetector::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_;
+}
+
+}  // namespace bytecard::feedback

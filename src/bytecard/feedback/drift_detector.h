@@ -1,0 +1,73 @@
+#ifndef BYTECARD_BYTECARD_FEEDBACK_DRIFT_DETECTOR_H_
+#define BYTECARD_BYTECARD_FEEDBACK_DRIFT_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bytecard::feedback {
+
+// Streaming drift verdict for one table's single-table estimates.
+struct DriftReport {
+  std::string table;
+  size_t samples = 0;  // q-errors in the window
+  double p50 = 1.0;
+  double p90 = 1.0;
+  double max = 1.0;
+  bool drifted = false;  // p90 over threshold with enough samples
+};
+
+// Aggregates per-table q-error quantiles from runtime feedback — the
+// ModelMonitor's health signal harvested from real traffic instead of
+// synthetic probes. Each table keeps a sliding window of the most recent
+// single-table q-errors; a table drifts when the window holds enough samples
+// and its p90 exceeds the threshold (quantile-based, matching the monitor's
+// Q-Error convention: one catastrophic outlier does not demote a table, a
+// consistent pattern does).
+//
+// Only model-answered single-table observations should be fed in: cache-served
+// estimates have q-error 1 by construction and would mask drift, and join
+// q-errors compound multiple tables' errors (FactorJoin bounds on top of BN
+// selectivities), so they cannot be attributed to one table's model.
+class OnlineDriftDetector {
+ public:
+  struct Options {
+    size_t window = 64;            // q-errors retained per table
+    size_t min_samples = 8;        // verdicts need at least this many
+    double qerror_threshold = 16;  // p90 above this = drifted
+  };
+
+  OnlineDriftDetector() : OnlineDriftDetector(Options{}) {}
+  explicit OnlineDriftDetector(Options options);
+
+  // Records one model-answered q-error observation for `table`.
+  void Observe(const std::string& table, double qerror);
+
+  // Current verdict for one table (zero-sample report if never observed).
+  DriftReport Report(const std::string& table) const;
+
+  // Verdicts for every observed table, sorted by table name.
+  std::vector<DriftReport> Reports() const;
+
+  // Clears a table's window — called when its model is retrained or demoted,
+  // so stale pre-action q-errors cannot re-trigger on the new regime.
+  void ResetTable(const std::string& table);
+
+  int64_t observations() const;
+
+ private:
+  DriftReport ReportLocked(const std::string& table,
+                           const std::deque<double>& window) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::deque<double>> windows_;
+  int64_t observations_ = 0;
+};
+
+}  // namespace bytecard::feedback
+
+#endif  // BYTECARD_BYTECARD_FEEDBACK_DRIFT_DETECTOR_H_

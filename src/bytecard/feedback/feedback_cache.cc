@@ -1,0 +1,85 @@
+#include "bytecard/feedback/feedback_cache.h"
+
+#include <algorithm>
+
+namespace bytecard::feedback {
+
+FeedbackCache::FeedbackCache(Options options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+void FeedbackCache::TouchLocked(Entry* entry, const std::string& fingerprint) {
+  lru_.erase(entry->lru_it);
+  lru_.push_front(fingerprint);
+  entry->lru_it = lru_.begin();
+}
+
+bool FeedbackCache::Lookup(const std::string& fingerprint,
+                           double* actual_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  TouchLocked(&it->second, fingerprint);
+  *actual_rows = it->second.actual_rows;
+  return true;
+}
+
+void FeedbackCache::Put(const std::string& fingerprint, double actual_rows,
+                        const std::vector<std::string>& tables) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) {
+    // Re-observation of a live entry: refresh the value in place (executions
+    // of the same subplan against unchanged data agree anyway).
+    it->second.actual_rows = actual_rows;
+    TouchLocked(&it->second, fingerprint);
+    return;
+  }
+  if (entries_.size() >= options_.capacity) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(fingerprint);
+  Entry entry;
+  entry.actual_rows = actual_rows;
+  entry.tables = tables;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(fingerprint, std::move(entry));
+  ++stats_.inserts;
+}
+
+void FeedbackCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const std::vector<std::string>& tables = it->second.tables;
+    if (std::find(tables.begin(), tables.end(), table) != tables.end()) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++stats_.invalidated;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FeedbackCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidated += static_cast<int64_t>(entries_.size());
+  entries_.clear();
+  lru_.clear();
+}
+
+FeedbackCache::Stats FeedbackCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace bytecard::feedback

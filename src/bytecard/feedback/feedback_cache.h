@@ -1,0 +1,75 @@
+#ifndef BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_CACHE_H_
+#define BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bytecard::feedback {
+
+// LRU cache of observed subplan cardinalities, keyed by the canonical
+// cross-query fingerprints from minihouse/feedback.h. A hit answers the
+// optimizer's question with the *exact* cardinality a previous execution of
+// the same subplan produced — no model call, q-error 1 by construction.
+//
+// Correctness rests entirely on invalidation: a cached actual is only valid
+// while the underlying data is. Entries are dropped (a) per base table when
+// the ingestor appends rows to it, and (b) wholesale when a new estimator
+// snapshot is published (model retrain/demotion implies the workload regime
+// changed; cheap full flush keeps the rule simple and obviously safe).
+class FeedbackCache {
+ public:
+  struct Options {
+    size_t capacity = 2048;  // entries (LRU eviction)
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t inserts = 0;
+    int64_t evictions = 0;    // LRU capacity evictions
+    int64_t invalidated = 0;  // entries dropped by invalidation
+    size_t entries = 0;       // currently cached
+  };
+
+  FeedbackCache() : FeedbackCache(Options{}) {}
+  explicit FeedbackCache(Options options);
+
+  // On hit, refreshes recency and writes the observed cardinality.
+  bool Lookup(const std::string& fingerprint, double* actual_rows);
+
+  // Inserts/overwrites the observation. `tables` scopes per-table
+  // invalidation (every base table the subplan reads).
+  void Put(const std::string& fingerprint, double actual_rows,
+           const std::vector<std::string>& tables);
+
+  // Drops every entry touching `table` (called on ingest into that table).
+  void InvalidateTable(const std::string& table);
+
+  // Drops everything (called on snapshot publish).
+  void InvalidateAll();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    double actual_rows = 0.0;
+    std::vector<std::string> tables;
+    std::list<std::string>::iterator lru_it;  // position in lru_
+  };
+
+  void TouchLocked(Entry* entry, const std::string& fingerprint);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  Stats stats_;
+};
+
+}  // namespace bytecard::feedback
+
+#endif  // BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_CACHE_H_

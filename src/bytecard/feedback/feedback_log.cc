@@ -1,0 +1,44 @@
+#include "bytecard/feedback/feedback_log.h"
+
+#include <utility>
+
+namespace bytecard::feedback {
+
+FeedbackLog::FeedbackLog(Options options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+void FeedbackLog::Append(minihouse::QueryFeedback record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++appended_;
+  if (records_.size() >= options_.capacity) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<minihouse::QueryFeedback> FeedbackLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {records_.begin(), records_.end()};
+}
+
+std::vector<minihouse::QueryFeedback> FeedbackLog::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<minihouse::QueryFeedback> out;
+  out.reserve(records_.size());
+  for (minihouse::QueryFeedback& r : records_) out.push_back(std::move(r));
+  records_.clear();
+  return out;
+}
+
+FeedbackLog::Stats FeedbackLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.appended = appended_;
+  s.dropped = dropped_;
+  s.records = records_.size();
+  return s;
+}
+
+}  // namespace bytecard::feedback

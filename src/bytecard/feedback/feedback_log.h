@@ -1,0 +1,53 @@
+#ifndef BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_LOG_H_
+#define BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "minihouse/feedback.h"
+
+namespace bytecard::feedback {
+
+// Bounded, thread-safe log of executed-query feedback records. Producers are
+// query threads (one Append per executed query, from the executor's feedback
+// emit); consumers are the drift detector's aggregation pass and diagnostics.
+// When full, the oldest record is dropped — the log is a recent-traffic
+// window, not an audit trail.
+class FeedbackLog {
+ public:
+  struct Options {
+    size_t capacity = 4096;  // records retained (FIFO eviction)
+  };
+
+  struct Stats {
+    int64_t appended = 0;  // lifetime Append calls
+    int64_t dropped = 0;   // records evicted by the capacity bound
+    size_t records = 0;    // currently retained
+  };
+
+  FeedbackLog() : FeedbackLog(Options{}) {}
+  explicit FeedbackLog(Options options);
+
+  void Append(minihouse::QueryFeedback record);
+
+  // Copies the retained records, oldest first.
+  std::vector<minihouse::QueryFeedback> Snapshot() const;
+
+  // Moves the retained records out, oldest first (log left empty).
+  std::vector<minihouse::QueryFeedback> Drain();
+
+  Stats stats() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::deque<minihouse::QueryFeedback> records_;
+  int64_t appended_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace bytecard::feedback
+
+#endif  // BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_LOG_H_

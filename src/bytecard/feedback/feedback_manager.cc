@@ -1,0 +1,47 @@
+#include "bytecard/feedback/feedback_manager.h"
+
+#include <utility>
+
+namespace bytecard::feedback {
+
+FeedbackManager::FeedbackManager(FeedbackOptions options)
+    : log_(options.log),
+      cache_(options.cache),
+      drift_(options.drift),
+      serve_from_cache_(options.serve_from_cache) {}
+
+bool FeedbackManager::LookupActual(const std::string& fingerprint,
+                                   double* actual_rows) {
+  if (!serve_from_cache_.load(std::memory_order_relaxed)) return false;
+  return cache_.Lookup(fingerprint, actual_rows);
+}
+
+void FeedbackManager::RecordQueryFeedback(minihouse::QueryFeedback feedback) {
+  for (const minihouse::OperatorFeedback& op : feedback.ops) {
+    // Every exact observation is cacheable, whatever answered the estimate.
+    cache_.Put(op.fingerprint, op.actual, op.tables);
+    // Drift detection sees only model-answered single-table observations:
+    // cache-served ones have q-error 1 by construction, and join q-errors
+    // compound several tables' models.
+    if (op.kind == minihouse::FeedbackKind::kScan && !op.served_from_cache &&
+        op.tables.size() == 1) {
+      drift_.Observe(op.tables[0], op.qerror);
+    }
+  }
+  log_.Append(std::move(feedback));
+}
+
+void FeedbackManager::OnIngest(const IngestionEvent& event) {
+  cache_.InvalidateTable(event.table);
+}
+
+void FeedbackManager::OnSnapshotPublished(uint64_t version) {
+  last_published_version_.store(version, std::memory_order_relaxed);
+  cache_.InvalidateAll();
+}
+
+void FeedbackManager::OnTableHealthChanged(const std::string& table) {
+  drift_.ResetTable(table);
+}
+
+}  // namespace bytecard::feedback

@@ -1,0 +1,80 @@
+#ifndef BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_MANAGER_H_
+#define BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "bytecard/data_ingestor.h"
+#include "bytecard/feedback/drift_detector.h"
+#include "bytecard/feedback/feedback_cache.h"
+#include "bytecard/feedback/feedback_log.h"
+#include "minihouse/feedback.h"
+
+namespace bytecard::feedback {
+
+struct FeedbackOptions {
+  FeedbackLog::Options log;
+  FeedbackCache::Options cache;
+  OnlineDriftDetector::Options drift;
+  // Serve cached actuals to the optimizer. Off leaves capture, the log, and
+  // drift detection running but answers every estimate from the model —
+  // the cache-ablation configuration.
+  bool serve_from_cache = true;
+};
+
+// The runtime-feedback subsystem behind the engine's QueryFeedbackHook: wires
+// the executor's estimate-vs-actual records into the bounded log, the
+// feedback cache, and the drift detector, and subscribes to the two
+// staleness signals (batch ingest → per-table invalidation; snapshot publish
+// → full invalidation). One instance per ByteCard facade; all entry points
+// are thread-safe.
+class FeedbackManager : public minihouse::QueryFeedbackHook,
+                        public IngestObserver {
+ public:
+  FeedbackManager() : FeedbackManager(FeedbackOptions{}) {}
+  explicit FeedbackManager(FeedbackOptions options);
+
+  // --- QueryFeedbackHook (called by optimizer / executor) -------------------
+  bool LookupActual(const std::string& fingerprint,
+                    double* actual_rows) override;
+  void RecordQueryFeedback(minihouse::QueryFeedback feedback) override;
+
+  // --- IngestObserver (called by DataIngestor) ------------------------------
+  void OnIngest(const IngestionEvent& event) override;
+
+  // --- Lifecycle signals (called by the ByteCard facade) --------------------
+  // A new estimator snapshot was published: all cached actuals refer to plans
+  // of a retired regime — flush.
+  void OnSnapshotPublished(uint64_t version);
+  // `table`'s model was demoted or re-promoted: its drift window reflects the
+  // previous regime — reset so the verdict restarts clean.
+  void OnTableHealthChanged(const std::string& table);
+
+  // Toggles cache serving (capture continues either way).
+  void set_serve_from_cache(bool serve) {
+    serve_from_cache_.store(serve, std::memory_order_relaxed);
+  }
+  bool serve_from_cache() const {
+    return serve_from_cache_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t last_published_version() const {
+    return last_published_version_.load(std::memory_order_relaxed);
+  }
+
+  FeedbackLog& log() { return log_; }
+  FeedbackCache& cache() { return cache_; }
+  OnlineDriftDetector& drift() { return drift_; }
+
+ private:
+  FeedbackLog log_;
+  FeedbackCache cache_;
+  OnlineDriftDetector drift_;
+  std::atomic<bool> serve_from_cache_;
+  std::atomic<uint64_t> last_published_version_{0};
+};
+
+}  // namespace bytecard::feedback
+
+#endif  // BYTECARD_BYTECARD_FEEDBACK_FEEDBACK_MANAGER_H_

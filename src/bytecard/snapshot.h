@@ -152,9 +152,12 @@ class SnapshotBuilder {
 // the query's fallback accounting. Lives on one query thread.
 class SnapshotEstimator : public minihouse::CardinalityEstimator {
  public:
+  // `hook` (optional, not owned) is the facade's runtime-feedback surface; it
+  // outlives every pinned view because the facade owns both.
   explicit SnapshotEstimator(
-      std::shared_ptr<const EstimatorSnapshot> snapshot)
-      : snapshot_(std::move(snapshot)) {}
+      std::shared_ptr<const EstimatorSnapshot> snapshot,
+      minihouse::QueryFeedbackHook* hook = nullptr)
+      : snapshot_(std::move(snapshot)), hook_(hook) {}
 
   std::string Name() const override { return "bytecard"; }
   double EstimateSelectivity(const minihouse::Table& table,
@@ -169,11 +172,15 @@ class SnapshotEstimator : public minihouse::CardinalityEstimator {
   int64_t FallbackEstimates() const override {
     return counters_.fallback_estimates;
   }
+  minihouse::QueryFeedbackHook* feedback_hook() const override {
+    return hook_;
+  }
 
   const EstimatorSnapshot* snapshot() const { return snapshot_.get(); }
 
  private:
   std::shared_ptr<const EstimatorSnapshot> snapshot_;
+  minihouse::QueryFeedbackHook* hook_ = nullptr;
   SnapshotCounters counters_;
 };
 

@@ -50,6 +50,30 @@ void MergeOperatorStats(const PhysicalOperator* op,
   }
 }
 
+// Collects one OperatorFeedback per stamped operator. SIP-pruned scans are
+// excluded: the Bloom filter drops filter-passing rows before
+// materialization, so their rows_out is not the filter's true cardinality
+// (join outputs remain exact under SIP and always qualify).
+void CollectFeedback(const PhysicalOperator* op, const PhysicalPlan& plan,
+                     QueryFeedback* fb) {
+  const FeedbackStamp& stamp = op->feedback_stamp();
+  if (stamp.stamped &&
+      !(op->kind() == OpKind::kScan && op->stats().sip_filtered)) {
+    OperatorFeedback obs;
+    obs.kind = stamp.kind;
+    obs.fingerprint = stamp.fingerprint;
+    obs.tables = stamp.tables;
+    obs.estimated = stamp.estimated;
+    obs.actual = static_cast<double>(op->stats().rows_out);
+    obs.qerror = FeedbackQError(obs.estimated, obs.actual);
+    obs.served_from_cache = plan.feedback_served.count(stamp.fingerprint) > 0;
+    fb->ops.push_back(std::move(obs));
+  }
+  for (size_t i = 0; i < op->num_children(); ++i) {
+    CollectFeedback(op->child(i), plan, fb);
+  }
+}
+
 }  // namespace
 
 Result<ExecResult> ExecuteQuery(const BoundQuery& query,
@@ -67,7 +91,22 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
   result.stats.estimator_calls = plan.estimation.estimator_calls;
   result.stats.memo_hits = plan.estimation.memo_hits;
   result.stats.fallback_estimates = plan.estimation.fallback_estimates;
+  result.stats.feedback_hits = plan.estimation.feedback_hits;
   result.stats.snapshot_version = plan.estimation.snapshot_version;
+
+  // Close the loop: report every stamped operator's estimate-vs-actual back
+  // to the estimator framework.
+  if (plan.feedback != nullptr) {
+    QueryFeedback fb;
+    fb.snapshot_version = plan.estimation.snapshot_version;
+    CollectFeedback(dag.root.get(), plan, &fb);
+    result.stats.feedback_records = static_cast<int64_t>(fb.ops.size());
+    for (const OperatorFeedback& obs : fb.ops) {
+      result.stats.max_op_qerror =
+          std::max(result.stats.max_op_qerror, obs.qerror);
+    }
+    if (!fb.ops.empty()) plan.feedback->RecordQueryFeedback(std::move(fb));
+  }
   return result;
 }
 

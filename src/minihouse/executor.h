@@ -40,7 +40,13 @@ struct ExecStats {
   int64_t estimator_calls = 0;
   int64_t memo_hits = 0;
   int64_t fallback_estimates = 0;
+  int64_t feedback_hits = 0;      // estimates served from the feedback cache
   uint64_t snapshot_version = 0;  // model snapshot the plan was built on
+  // Runtime-feedback capture for this query (0/1.0 when feedback is off):
+  // estimate-vs-actual observations emitted and the worst per-operator
+  // q-error among them.
+  int64_t feedback_records = 0;
+  double max_op_qerror = 1.0;
 };
 
 struct ExecResult {

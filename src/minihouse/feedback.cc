@@ -1,0 +1,106 @@
+#include "minihouse/feedback.h"
+
+#include <algorithm>
+
+namespace bytecard::minihouse {
+
+std::string PredicateToken(const ColumnPredicate& pred) {
+  return std::to_string(pred.column) + ":" +
+         std::to_string(static_cast<int>(pred.op)) + ":" +
+         std::to_string(pred.operand) + ":" + std::to_string(pred.operand2);
+}
+
+std::string TableFingerprint(const Table& table, const Conjunction& filters) {
+  std::vector<std::string> parts;
+  parts.reserve(filters.size());
+  for (const ColumnPredicate& pred : filters) {
+    parts.push_back(PredicateToken(pred));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key = table.name();
+  key += "{";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) key += "&";
+    key += parts[i];
+  }
+  key += "}";
+  return key;
+}
+
+std::string SubplanFingerprint(const BoundQuery& query,
+                               const std::vector<int>& subset) {
+  std::vector<std::string> table_tokens;  // indexed by position in `subset`
+  table_tokens.reserve(subset.size());
+  for (int t : subset) {
+    const BoundTableRef& ref = query.tables[t];
+    table_tokens.push_back(TableFingerprint(*ref.table, ref.filters));
+  }
+  if (subset.size() == 1) return table_tokens[0];
+
+  // Map query-table index -> its canonical token, for edge normalization.
+  auto token_of = [&](int query_table) -> const std::string* {
+    for (size_t i = 0; i < subset.size(); ++i) {
+      if (subset[i] == query_table) return &table_tokens[i];
+    }
+    return nullptr;
+  };
+
+  std::vector<std::string> edge_tokens;
+  for (const JoinEdge& e : query.joins) {
+    const std::string* lt = token_of(e.left_table);
+    const std::string* rt = token_of(e.right_table);
+    if (lt == nullptr || rt == nullptr) continue;  // edge leaves the subset
+    std::string a = *lt + "." + std::to_string(e.left_column);
+    std::string b = *rt + "." + std::to_string(e.right_column);
+    if (b < a) std::swap(a, b);  // direction-independent
+    edge_tokens.push_back(a + "=" + b);
+  }
+
+  std::sort(table_tokens.begin(), table_tokens.end());
+  std::sort(edge_tokens.begin(), edge_tokens.end());
+  std::string key = "J[";
+  for (size_t i = 0; i < table_tokens.size(); ++i) {
+    if (i > 0) key += ",";
+    key += table_tokens[i];
+  }
+  key += ";";
+  for (size_t i = 0; i < edge_tokens.size(); ++i) {
+    if (i > 0) key += ",";
+    key += edge_tokens[i];
+  }
+  key += "]";
+  return key;
+}
+
+std::string GroupNdvFingerprint(const BoundQuery& query) {
+  std::vector<int> all(query.tables.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  std::string key = "G[";
+  key += SubplanFingerprint(query, all);
+  std::vector<std::string> group_tokens;
+  group_tokens.reserve(query.group_by.size());
+  for (const GroupKeyRef& g : query.group_by) {
+    group_tokens.push_back(query.tables[g.table].table->name() + "." +
+                           std::to_string(g.column));
+  }
+  std::sort(group_tokens.begin(), group_tokens.end());
+  for (const std::string& tok : group_tokens) {
+    key += ";";
+    key += tok;
+  }
+  key += "]";
+  return key;
+}
+
+std::string JoinSubsetKey(const std::vector<int>& table_subset) {
+  std::vector<int> sorted = table_subset;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (int t : sorted) {
+    key += std::to_string(t);
+    key += ",";
+  }
+  return key;
+}
+
+}  // namespace bytecard::minihouse

@@ -1,0 +1,106 @@
+#ifndef BYTECARD_MINIHOUSE_FEEDBACK_H_
+#define BYTECARD_MINIHOUSE_FEEDBACK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minihouse/query.h"
+
+namespace bytecard::minihouse {
+
+// --- Canonical subplan fingerprints -----------------------------------------
+// A fingerprint identifies an estimation question *across queries*: two
+// queries that scan the same table under the same predicate set, or join the
+// same filtered tables over the same edges, produce the same fingerprint no
+// matter how their predicates, tables, or edges are ordered. The runtime
+// feedback cache is keyed by these strings, so an actual cardinality observed
+// while executing one query can answer the optimizer's question in the next.
+// The single-table form doubles as the per-query selectivity memo key (the
+// order-insensitive key introduced with EstimationContext).
+
+// "col:op:operand:operand2" — one predicate, order-independent of its siblings.
+std::string PredicateToken(const ColumnPredicate& pred);
+
+// "name{p1&p2&...}" with predicate tokens sorted; the canonical identity of
+// one filtered table occurrence.
+std::string TableFingerprint(const Table& table, const Conjunction& filters);
+
+// Canonical identity of the join of `subset` (indices into query.tables)
+// under their filters and the query's join edges restricted to the subset.
+// Table tokens and edge tokens are sorted, and each edge is normalized so its
+// lexicographically smaller endpoint comes first — the fingerprint does not
+// depend on enumeration order or edge direction. A one-element subset reduces
+// to TableFingerprint, so scan and selectivity questions share keys.
+std::string SubplanFingerprint(const BoundQuery& query,
+                               const std::vector<int>& subset);
+
+// Canonical identity of the query's GROUP BY output cardinality (the NDV
+// question behind hash-table pre-sizing): the full-join fingerprint plus the
+// sorted group-key columns.
+std::string GroupNdvFingerprint(const BoundQuery& query);
+
+// Order-insensitive *per-query* memo key for a join subset (table indices
+// only — scoped to one query, cheaper than the cross-query fingerprint).
+// Shared between EstimationContext's join memo and the plan's stamped
+// join-estimate map so the two can never disagree.
+std::string JoinSubsetKey(const std::vector<int>& table_subset);
+
+// Q-Error with both sides floored at 1 (same convention as workload/qerror.h,
+// re-stated here because the engine layer cannot depend on the workload
+// library).
+inline double FeedbackQError(double estimate, double actual) {
+  const double e = std::max(estimate, 1.0);
+  const double a = std::max(actual, 1.0);
+  return std::max(e / a, a / e);
+}
+
+// --- Runtime feedback records ------------------------------------------------
+
+enum class FeedbackKind {
+  kScan,      // single-table filter cardinality (actual = rows matched)
+  kJoin,      // join-prefix cardinality (actual = join output rows)
+  kGroupNdv,  // GROUP BY output cardinality (actual = group count)
+};
+
+// One operator's estimate-vs-actual observation.
+struct OperatorFeedback {
+  FeedbackKind kind = FeedbackKind::kScan;
+  std::string fingerprint;          // canonical subplan key (cache key)
+  std::vector<std::string> tables;  // base-table names the subplan touches
+  double estimated = -1.0;          // what the plan was built on
+  double actual = -1.0;             // what execution produced
+  double qerror = 1.0;              // FeedbackQError(estimated, actual)
+  // True when the estimate itself was served from the feedback cache: the
+  // observation validates the cache, not the model, and must not feed drift
+  // detection.
+  bool served_from_cache = false;
+};
+
+// Everything one executed query reports back to the estimator framework.
+struct QueryFeedback {
+  uint64_t snapshot_version = 0;  // model snapshot the plan was built on
+  std::vector<OperatorFeedback> ops;
+};
+
+// The estimator framework's runtime-feedback surface, as seen by the engine.
+// The optimizer consults LookupActual before paying for a model inference;
+// the executor emits one QueryFeedback per executed query. Implementations
+// must be thread-safe: many query threads plan and execute concurrently.
+class QueryFeedbackHook {
+ public:
+  virtual ~QueryFeedbackHook() = default;
+
+  // Serves the actual cardinality previously observed for `fingerprint`.
+  // Returns false on a miss (caller falls through to the model).
+  virtual bool LookupActual(const std::string& fingerprint,
+                            double* actual_rows) = 0;
+
+  // Records one executed query's estimate-vs-actual observations.
+  virtual void RecordQueryFeedback(QueryFeedback feedback) = 0;
+};
+
+}  // namespace bytecard::minihouse
+
+#endif  // BYTECARD_MINIHOUSE_FEEDBACK_H_

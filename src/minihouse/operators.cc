@@ -51,6 +51,7 @@ Result<Relation> ScanOp::Execute() {
                                  output_schema_columns_, options, &stats_.io);
   stats_.dop_used = scanned.dop_used;
   stats_.parallel_tasks = scanned.parallel_tasks;
+  stats_.sip_filtered = sip_.bloom != nullptr;
 
   Relation rel;
   rel.column_names = output_names_;
@@ -250,14 +251,37 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
     keep_after = RequiredColumnsAfterJoin(query, order);
   }
 
-  std::unique_ptr<PhysicalOperator> op =
+  // Runtime-feedback stamping: attach to each operator the estimation
+  // question its output cardinality answers. Filterless scans carry no
+  // question (the optimizer never priced them), and join steps are looked up
+  // by subset key so the connectivity fixup above cannot misattribute an
+  // estimate to the wrong prefix.
+  const bool capture = plan.feedback != nullptr;
+  auto stamp_scan = [&](ScanOp* scan_op, int t) {
+    if (!capture) return;
+    const BoundTableRef& ref = query.tables[t];
+    if (ref.filters.empty()) return;
+    FeedbackStamp fs;
+    fs.stamped = true;
+    fs.kind = FeedbackKind::kScan;
+    fs.fingerprint = TableFingerprint(*ref.table, ref.filters);
+    fs.estimated = plan.scans[t].estimated_selectivity *
+                   static_cast<double>(ref.table->num_rows());
+    fs.tables = {ref.table->name()};
+    scan_op->SetFeedbackStamp(std::move(fs));
+  };
+
+  auto first_scan =
       std::make_unique<ScanOp>(query, order[0], plan.scans[order[0]]);
+  stamp_scan(first_scan.get(), order[0]);
+  std::unique_ptr<PhysicalOperator> op = std::move(first_scan);
   std::set<int> joined = {order[0]};
 
   for (size_t step = 1; step < order.size(); ++step) {
     const int t = order[step];
     auto scan = std::make_unique<ScanOp>(query, t, plan.scans[t]);
     ScanOp* scan_raw = scan.get();
+    stamp_scan(scan_raw, t);
 
     // Resolve every edge connecting t to the prefix into slot pairs, in
     // query.joins order (the first is also the SIP edge, matching the
@@ -303,6 +327,25 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
     if (plan.use_sip) {
       join->EnableSip(scan_raw, sip_probe_schema_col,
                       query.tables[t].table->num_rows());
+    }
+    if (capture) {
+      std::vector<int> subset(order.begin(),
+                              order.begin() + static_cast<long>(step) + 1);
+      auto est = plan.join_estimates.find(JoinSubsetKey(subset));
+      // Unpriced prefixes (join ordering off, fallback orders) carry no
+      // estimate and produce no observation.
+      if (est != plan.join_estimates.end()) {
+        FeedbackStamp fs;
+        fs.stamped = true;
+        fs.kind = FeedbackKind::kJoin;
+        fs.fingerprint = SubplanFingerprint(query, subset);
+        fs.estimated = est->second;
+        fs.tables.reserve(subset.size());
+        for (int q : subset) {
+          fs.tables.push_back(query.tables[q].table->name());
+        }
+        join->SetFeedbackStamp(std::move(fs));
+      }
     }
     op = std::move(join);
     joined.insert(t);
@@ -353,6 +396,20 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
   dag.root = std::make_unique<AggregateOp>(
       std::move(op), std::move(key_slots), std::move(agg_requests),
       plan.group_ndv_hint, plan.agg_dop);
+  // Group-NDV observation: only when the optimizer actually priced the NDV
+  // question (hint > 0 means EstimateGroupNdv ran and sized the hash table).
+  if (capture && !query.group_by.empty() && plan.group_ndv_hint > 0) {
+    FeedbackStamp fs;
+    fs.stamped = true;
+    fs.kind = FeedbackKind::kGroupNdv;
+    fs.fingerprint = GroupNdvFingerprint(query);
+    fs.estimated = static_cast<double>(plan.group_ndv_hint);
+    fs.tables.reserve(query.tables.size());
+    for (const BoundTableRef& ref : query.tables) {
+      fs.tables.push_back(ref.table->name());
+    }
+    dag.root->SetFeedbackStamp(std::move(fs));
+  }
   return dag;
 }
 

@@ -9,6 +9,7 @@
 #include "common/bloom.h"
 #include "common/status.h"
 #include "minihouse/aggregate.h"
+#include "minihouse/feedback.h"
 #include "minihouse/io_stats.h"
 #include "minihouse/join.h"
 #include "minihouse/optimizer.h"
@@ -31,6 +32,22 @@ struct OperatorStats {
   int64_t agg_resize_count = 0;  // aggregation hash-table accounting
   int64_t agg_final_capacity = 0;
   int64_t agg_merge_groups = 0;
+  // Scans: a SIP Bloom filter pruned rows before materialization, so rows_out
+  // undercounts the filter's true cardinality. Feedback capture must skip
+  // such scans (join outputs stay exact — Bloom filters have no false
+  // negatives, so every SIP-dropped row would have been dropped by the join).
+  bool sip_filtered = false;
+};
+
+// The estimation question an operator's output answers, attached by the DAG
+// compiler when runtime feedback is on. After execution, {fingerprint,
+// estimated, stats().rows_out} becomes one OperatorFeedback observation.
+struct FeedbackStamp {
+  bool stamped = false;
+  FeedbackKind kind = FeedbackKind::kScan;
+  std::string fingerprint;          // canonical cross-query subplan key
+  double estimated = -1.0;          // cardinality the plan was built on
+  std::vector<std::string> tables;  // base tables (cache invalidation scope)
 };
 
 enum class OpKind { kScan, kHashJoin, kProject, kAggregate };
@@ -56,8 +73,14 @@ class PhysicalOperator {
 
   const OperatorStats& stats() const { return stats_; }
 
+  // Feedback capture (set at compile time, read by the executor's
+  // post-execution walk; unset when feedback is off).
+  void SetFeedbackStamp(FeedbackStamp stamp) { feedback_ = std::move(stamp); }
+  const FeedbackStamp& feedback_stamp() const { return feedback_; }
+
  protected:
   OperatorStats stats_;
+  FeedbackStamp feedback_;
 };
 
 // Leaf: scans one bound table, materializing exactly the columns some

@@ -12,43 +12,10 @@
 
 namespace bytecard::minihouse {
 
-namespace {
-
-// Order-insensitive memo key for a predicate set on one table. Two
-// conjunctions with the same predicates in different order are the same
-// estimation question, so they share one memo slot.
-std::string SelectivityKey(const Table& table, const Conjunction& filters) {
-  std::vector<std::string> parts;
-  parts.reserve(filters.size());
-  for (const ColumnPredicate& pred : filters) {
-    parts.push_back(std::to_string(pred.column) + ":" +
-                    std::to_string(static_cast<int>(pred.op)) + ":" +
-                    std::to_string(pred.operand) + ":" +
-                    std::to_string(pred.operand2));
-  }
-  std::sort(parts.begin(), parts.end());
-  std::string key = table.name();
-  for (const std::string& part : parts) {
-    key += "|";
-    key += part;
-  }
-  return key;
-}
-
-// Order-insensitive memo key for a join subset. The context is scoped to one
-// query, so table indices alone identify the subset.
-std::string JoinKey(const std::vector<int>& table_subset) {
-  std::vector<int> sorted = table_subset;
-  std::sort(sorted.begin(), sorted.end());
-  std::string key;
-  for (int t : sorted) {
-    key += std::to_string(t);
-    key += ",";
-  }
-  return key;
-}
-
-}  // namespace
+// The memo keys live in minihouse/feedback.h now: the selectivity memo key is
+// TableFingerprint (also the cross-query feedback-cache key) and the join
+// memo key is JoinSubsetKey (per-query; the cross-query form is
+// SubplanFingerprint).
 
 std::vector<int> RequiredScanColumns(const BoundQuery& query, int table_idx) {
   std::set<int> needed;
@@ -115,15 +82,29 @@ std::shared_ptr<CardinalityEstimator> CardinalityEstimator::PinSnapshot() {
 }
 
 EstimationContext::EstimationContext(CardinalityEstimator* root)
-    : pinned_(root->PinSnapshot()) {}
+    : pinned_(root->PinSnapshot()), hook_(pinned_->feedback_hook()) {}
 
 double EstimationContext::Selectivity(const Table& table,
                                       const Conjunction& filters) {
-  const std::string key = SelectivityKey(table, filters);
+  // The per-query memo key *is* the cross-query feedback fingerprint for a
+  // single filtered table, so one lookup string serves both layers.
+  std::string key = TableFingerprint(table, filters);
   auto it = selectivity_memo_.find(key);
   if (it != selectivity_memo_.end()) {
     ++memo_hits_;
     return it->second;
+  }
+  if (hook_ != nullptr) {
+    double actual = 0.0;
+    if (hook_->LookupActual(key, &actual)) {
+      ++feedback_hits_;
+      const double rows = static_cast<double>(table.num_rows());
+      const double sel =
+          rows > 0 ? std::clamp(actual / rows, 0.0, 1.0) : 0.0;
+      feedback_served_.insert(key);
+      selectivity_memo_.emplace(std::move(key), sel);
+      return sel;
+    }
   }
   ++estimator_calls_;
   const double sel = pinned_->EstimateSelectivity(table, filters);
@@ -133,11 +114,21 @@ double EstimationContext::Selectivity(const Table& table,
 
 double EstimationContext::JoinCardinality(
     const BoundQuery& query, const std::vector<int>& table_subset) {
-  const std::string key = JoinKey(table_subset);
+  std::string key = JoinSubsetKey(table_subset);
   auto it = join_memo_.find(key);
   if (it != join_memo_.end()) {
     ++memo_hits_;
     return it->second;
+  }
+  if (hook_ != nullptr) {
+    const std::string fingerprint = SubplanFingerprint(query, table_subset);
+    double actual = 0.0;
+    if (hook_->LookupActual(fingerprint, &actual)) {
+      ++feedback_hits_;
+      feedback_served_.insert(fingerprint);
+      join_memo_.emplace(std::move(key), actual);
+      return actual;
+    }
   }
   ++estimator_calls_;
   const double card = pinned_->EstimateJoinCardinality(query, table_subset);
@@ -146,6 +137,15 @@ double EstimationContext::JoinCardinality(
 }
 
 double EstimationContext::GroupNdv(const BoundQuery& query) {
+  if (hook_ != nullptr && !query.group_by.empty()) {
+    const std::string fingerprint = GroupNdvFingerprint(query);
+    double actual = 0.0;
+    if (hook_->LookupActual(fingerprint, &actual)) {
+      ++feedback_hits_;
+      feedback_served_.insert(fingerprint);
+      return actual;
+    }
+  }
   ++estimator_calls_;
   return pinned_->EstimateGroupNdv(query);
 }
@@ -155,6 +155,7 @@ EstimationStats EstimationContext::stats() const {
   stats.estimator_calls = estimator_calls_;
   stats.memo_hits = memo_hits_;
   stats.fallback_estimates = pinned_->FallbackEstimates();
+  stats.feedback_hits = feedback_hits_;
   stats.snapshot_version = pinned_->SnapshotVersion();
   return stats;
 }
@@ -366,6 +367,11 @@ PhysicalPlan Optimizer::Plan(const BoundQuery& query,
   }
   plan.estimation_ms = timer.ElapsedMillis();
   plan.estimation = ctx->stats();
+  if (ctx->feedback_hook() != nullptr) {
+    plan.feedback = ctx->feedback_hook();
+    plan.join_estimates = ctx->join_memo();
+    plan.feedback_served = ctx->feedback_served();
+  }
   return plan;
 }
 

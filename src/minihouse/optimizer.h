@@ -5,8 +5,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "minihouse/feedback.h"
 #include "minihouse/query.h"
 #include "minihouse/reader.h"
 #include "minihouse/relation.h"
@@ -54,6 +56,13 @@ class CardinalityEstimator {
   // model) since this instance was created. Meaningful on pinned views,
   // which live for exactly one query.
   virtual int64_t FallbackEstimates() const { return 0; }
+
+  // Runtime-feedback surface, if this estimator maintains one (the ByteCard
+  // facade's feedback manager). Non-null makes the optimizer consult the
+  // feedback cache before paying for model inference, and makes the executor
+  // report estimate-vs-actual observations after each query. Must stay valid
+  // through plan *and* execution of every query pinned on this view.
+  virtual QueryFeedbackHook* feedback_hook() const { return nullptr; }
 };
 
 // Estimation-path accounting for one planned query (lands in ExecStats).
@@ -61,6 +70,7 @@ struct EstimationStats {
   int64_t estimator_calls = 0;    // estimates actually forwarded to the model
   int64_t memo_hits = 0;          // estimates answered from the per-query memo
   int64_t fallback_estimates = 0; // estimates answered by the traditional path
+  int64_t feedback_hits = 0;      // estimates served from the feedback cache
   uint64_t snapshot_version = 0;  // model snapshot the whole plan was built on
 };
 
@@ -91,15 +101,35 @@ class EstimationContext {
   // The pinned per-query estimator view (for callers that need raw access).
   CardinalityEstimator* pinned() const { return pinned_.get(); }
 
+  // The pinned view's feedback surface (null when feedback is off).
+  QueryFeedbackHook* feedback_hook() const { return hook_; }
+
+  // Join-subset estimates priced so far, keyed by JoinSubsetKey. The plan
+  // copies this so the compiled DAG can stamp join operators even after the
+  // executor's connectivity fixup reorders steps.
+  const std::unordered_map<std::string, double>& join_memo() const {
+    return join_memo_;
+  }
+
+  // Cross-query fingerprints whose estimate came from the feedback cache
+  // (such observations must not feed drift detection — they would read as
+  // perfect model accuracy).
+  const std::unordered_set<std::string>& feedback_served() const {
+    return feedback_served_;
+  }
+
   // Counters so far, including the pinned view's fallback count.
   EstimationStats stats() const;
 
  private:
   std::shared_ptr<CardinalityEstimator> pinned_;
+  QueryFeedbackHook* hook_ = nullptr;
   std::unordered_map<std::string, double> selectivity_memo_;
   std::unordered_map<std::string, double> join_memo_;
+  std::unordered_set<std::string> feedback_served_;
   int64_t estimator_calls_ = 0;
   int64_t memo_hits_ = 0;
+  int64_t feedback_hits_ = 0;
 };
 
 struct TableScanPlan {
@@ -127,6 +157,16 @@ struct PhysicalPlan {
   bool prune_columns = true;
   double estimation_ms = 0.0;        // time spent inside the estimator
   EstimationStats estimation;        // estimation-path accounting
+  // Runtime feedback (all unset/empty when the estimator has no hook):
+  // the executor reports estimate-vs-actual observations here after running
+  // the plan. Must outlive execution (guaranteed by the snapshot pin the
+  // caller holds).
+  QueryFeedbackHook* feedback = nullptr;
+  // Join-subset estimates priced during planning, keyed by JoinSubsetKey —
+  // lets the DAG compiler stamp join operators independent of step order.
+  std::unordered_map<std::string, double> join_estimates;
+  // Fingerprints whose estimate was served from the feedback cache.
+  std::unordered_set<std::string> feedback_served;
 };
 
 struct OptimizerOptions {

@@ -1,0 +1,187 @@
+// Planning-latency study for per-query inference sessions (§4.1's constraint
+// that estimation must stay cheap on the critical path): plans every
+// multi-join workload query twice — once with the per-query InferenceSession
+// off (every join-order subset probe re-derives each table's BN marginal and
+// FactorJoin bucket vector) and once with it on (each per-table ingredient is
+// derived once per query) — and verifies the session changes *work only*:
+// every estimate, plan decision, and executed result must be byte-identical
+// across the two legs. Writes BENCH_planning_latency.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "minihouse/executor.h"
+#include "minihouse/optimizer.h"
+
+namespace bytecard::bench {
+namespace {
+
+// Sorted (fingerprint, estimate) pairs for exact cross-leg comparison.
+std::vector<std::pair<std::string, double>> SortedMemo(
+    const std::unordered_map<std::string, double>& memo) {
+  std::vector<std::pair<std::string, double>> entries(memo.begin(),
+                                                      memo.end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+struct LegTotals {
+  int64_t planning_nanos = 0;
+  int64_t probe_cache_hits = 0;
+  int64_t estimator_calls = 0;
+  int64_t fallback_estimates = 0;
+};
+
+struct DatasetReport {
+  std::string dataset;
+  int num_queries = 0;          // multi-join queries planned per leg
+  int executed = 0;             // queries also executed for result identity
+  LegTotals off;
+  LegTotals on;
+  bool estimates_identical = true;
+  bool results_identical = true;
+};
+
+DatasetReport RunDataset(const std::string& dataset) {
+  BenchContextOptions options;
+  options.build_traditional = false;
+  BenchContext ctx = BuildBenchContext(dataset, options);
+
+  DatasetReport report;
+  report.dataset = dataset;
+
+  const minihouse::Optimizer optimizer;
+  // Result-identity execution is capped: it validates the contract, the
+  // planning loop measures it. (The cap is a runtime bound, not sampling of
+  // the identity check — every query's *estimates* are compared.)
+  constexpr int kMaxExecuted = 12;
+
+  for (const auto& wq : ctx.workload.queries) {
+    if (wq.query.num_tables() < 2) continue;
+    ++report.num_queries;
+
+    minihouse::EstimationContext off(ctx.bytecard.get(),
+                                     /*use_session=*/false);
+    const minihouse::PhysicalPlan plan_off =
+        optimizer.Plan(wq.query, &off);
+    minihouse::EstimationContext on(ctx.bytecard.get(), /*use_session=*/true);
+    const minihouse::PhysicalPlan plan_on = optimizer.Plan(wq.query, &on);
+
+    report.off.planning_nanos += plan_off.estimation.planning_nanos;
+    report.off.probe_cache_hits += plan_off.estimation.probe_cache_hits;
+    report.off.estimator_calls += plan_off.estimation.estimator_calls;
+    report.off.fallback_estimates += plan_off.estimation.fallback_estimates;
+    report.on.planning_nanos += plan_on.estimation.planning_nanos;
+    report.on.probe_cache_hits += plan_on.estimation.probe_cache_hits;
+    report.on.estimator_calls += plan_on.estimation.estimator_calls;
+    report.on.fallback_estimates += plan_on.estimation.fallback_estimates;
+
+    // Byte-identity of everything the estimator decided.
+    bool same = SortedMemo(on.join_memo()) == SortedMemo(off.join_memo()) &&
+                plan_on.join_order == plan_off.join_order &&
+                plan_on.group_ndv_hint == plan_off.group_ndv_hint &&
+                plan_on.scans.size() == plan_off.scans.size();
+    if (same) {
+      for (size_t s = 0; s < plan_on.scans.size(); ++s) {
+        same = same &&
+               plan_on.scans[s].estimated_selectivity ==
+                   plan_off.scans[s].estimated_selectivity &&
+               plan_on.scans[s].filter_order == plan_off.scans[s].filter_order;
+      }
+    }
+    if (!same) report.estimates_identical = false;
+
+    if (report.executed < kMaxExecuted && !wq.aggregate) {
+      ++report.executed;
+      auto res_on = minihouse::ExecuteQuery(wq.query, plan_on);
+      auto res_off = minihouse::ExecuteQuery(wq.query, plan_off);
+      BC_CHECK_OK(res_on.status());
+      BC_CHECK_OK(res_off.status());
+      if (res_on.value().ScalarCount() != res_off.value().ScalarCount()) {
+        report.results_identical = false;
+      }
+    }
+  }
+  return report;
+}
+
+void WriteJson(const std::vector<DatasetReport>& reports) {
+  const char* path = "BENCH_planning_latency.json";
+  FILE* f = std::fopen(path, "w");
+  BC_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f, "{\n");
+  WriteJsonProvenance(f);
+  std::fprintf(f, "  \"bench\": \"planning_latency_inference_session\",\n");
+  std::fprintf(f, "  \"scale\": %.4f,\n", ScaleFactor());
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed()));
+  std::fprintf(f, "  \"datasets\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const DatasetReport& r = reports[i];
+    const double speedup =
+        r.on.planning_nanos > 0
+            ? static_cast<double>(r.off.planning_nanos) /
+                  static_cast<double>(r.on.planning_nanos)
+            : 0.0;
+    std::fprintf(f, "    {\"dataset\": \"%s\",\n", r.dataset.c_str());
+    std::fprintf(f, "     \"multi_join_queries\": %d, \"executed\": %d,\n",
+                 r.num_queries, r.executed);
+    std::fprintf(
+        f,
+        "     \"planning_nanos_session_off\": %lld,"
+        " \"planning_nanos_session_on\": %lld, \"speedup\": %.3f,\n",
+        static_cast<long long>(r.off.planning_nanos),
+        static_cast<long long>(r.on.planning_nanos), speedup);
+    std::fprintf(f,
+                 "     \"probe_cache_hits\": %lld,"
+                 " \"estimator_calls\": %lld,\n",
+                 static_cast<long long>(r.on.probe_cache_hits),
+                 static_cast<long long>(r.on.estimator_calls));
+    std::fprintf(f,
+                 "     \"estimates_identical\": %s,"
+                 " \"results_identical\": %s}%s\n",
+                 r.estimates_identical ? "true" : "false",
+                 r.results_identical ? "true" : "false",
+                 i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+void Run() {
+  std::vector<DatasetReport> reports;
+  for (const std::string dataset : {"stats", "imdb"}) {
+    reports.push_back(RunDataset(dataset));
+    const DatasetReport& r = reports.back();
+    PrintRow({"dataset", "queries", "plan ns (off)", "plan ns (on)",
+              "probe hits", "identical"});
+    PrintRow({r.dataset, std::to_string(r.num_queries),
+              std::to_string(r.off.planning_nanos),
+              std::to_string(r.on.planning_nanos),
+              std::to_string(r.on.probe_cache_hits),
+              (r.estimates_identical && r.results_identical) ? "yes" : "NO"});
+    BC_CHECK(r.estimates_identical)
+        << r.dataset << ": session changed an estimate";
+    BC_CHECK(r.results_identical)
+        << r.dataset << ": session changed a query result";
+    BC_CHECK(r.off.probe_cache_hits == 0)
+        << r.dataset << ": session-off leg must not memoize probes";
+    BC_CHECK(r.on.probe_cache_hits > 0)
+        << r.dataset << ": session served no probes on a multi-join workload";
+  }
+  WriteJson(reports);
+}
+
+}  // namespace
+}  // namespace bytecard::bench
+
+int main() {
+  bytecard::bench::Run();
+  return 0;
+}

@@ -175,6 +175,10 @@ struct EstimationProfile {
   int64_t fallback_estimates = 0;
   int64_t feedback_hits = 0;      // estimates served by the feedback cache
   int64_t feedback_records = 0;   // estimate-vs-actual observations emitted
+  // Per-table probes (BN marginals, FactorJoin bucket vectors) served from
+  // the per-query InferenceSession memo instead of recomputed.
+  int64_t probe_cache_hits = 0;
+  int64_t planning_nanos = 0;     // summed optimizer wall time
   uint64_t snapshot_version = 0;  // last observed
   int threads_used = 1;           // max dop any operator ran at
   int64_t parallel_tasks = 0;     // summed morsels/partitions through the pool
@@ -186,6 +190,8 @@ struct EstimationProfile {
     fallback_estimates += stats.fallback_estimates;
     feedback_hits += stats.feedback_hits;
     feedback_records += stats.feedback_records;
+    probe_cache_hits += stats.probe_cache_hits;
+    planning_nanos += stats.planning_nanos;
     snapshot_version = stats.snapshot_version;
     threads_used = std::max(threads_used, stats.threads_used);
     parallel_tasks += stats.parallel_tasks;
@@ -202,12 +208,13 @@ inline void PrintRow(const std::vector<std::string>& cells) {
 // Prints one estimation-profile row per method, in the given order.
 inline void PrintEstimationProfiles(
     const std::vector<std::pair<std::string, EstimationProfile>>& profiles) {
-  PrintRow({"method", "est calls", "memo hits", "fallbacks", "snapshot",
-            "max dop", "tasks"});
+  PrintRow({"method", "est calls", "memo hits", "fallbacks", "probe hits",
+            "snapshot", "max dop", "tasks"});
   for (const auto& [name, p] : profiles) {
     PrintRow({name, std::to_string(p.estimator_calls),
               std::to_string(p.memo_hits),
               std::to_string(p.fallback_estimates),
+              std::to_string(p.probe_cache_hits),
               "v" + std::to_string(p.snapshot_version),
               std::to_string(p.threads_used),
               std::to_string(p.parallel_tasks)});

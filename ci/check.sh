@@ -16,6 +16,11 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+echo "== bench smoke: planning latency (inference sessions) =="
+# Tiny scale: asserts internally that session-on/off estimates and results
+# are byte-identical and that the session actually served probes.
+(cd "${BUILD_DIR}/bench" && BYTECARD_SCALE=0.02 ./bench_planning_latency)
+
 echo "== sanitizer: thread =="
 "${REPO_ROOT}/ci/sanitize.sh" thread
 

@@ -342,12 +342,20 @@ uint64_t ByteCard::SnapshotVersion() const {
   return current == nullptr ? 0 : current->version();
 }
 
+double ByteCard::Estimate(const cardest::CardEstRequest& request,
+                          cardest::InferenceSession* session) {
+  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+  if (snap == nullptr) {
+    return request.target == cardest::CardEstTarget::kDisjunction ? 0.0 : 1.0;
+  }
+  return snap->Estimate(request, session);
+}
+
 double ByteCard::EstimateCountDisjunction(
     const minihouse::Table& table,
     const std::vector<minihouse::Conjunction>& disjuncts) {
-  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
-  if (snap == nullptr) return 0.0;
-  return snap->EstimateCountDisjunction(table, disjuncts);
+  return Estimate(cardest::CardEstRequest::Disjunction(table, disjuncts),
+                  nullptr);
 }
 
 const cardest::BnInferenceContext* ByteCard::bn_context(
@@ -372,35 +380,27 @@ const RbxNdvEngine& ByteCard::rbx_engine() const {
 
 double ByteCard::EstimateSelectivity(const minihouse::Table& table,
                                      const minihouse::Conjunction& filters) {
-  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
-  if (snap == nullptr) return 1.0;
-  return snap->EstimateSelectivity(table, filters);
+  return Estimate(cardest::CardEstRequest::Selectivity(table, filters),
+                  nullptr);
 }
 
 double ByteCard::EstimateJoinCardinality(const minihouse::BoundQuery& query,
                                          const std::vector<int>& subset) {
-  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
-  if (snap == nullptr) return 1.0;
-  return snap->EstimateJoinCardinality(query, subset);
+  return Estimate(cardest::CardEstRequest::JoinCount(query, subset), nullptr);
 }
 
 double ByteCard::EstimateCount(const minihouse::BoundQuery& query) {
-  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
-  if (snap == nullptr) return 1.0;
-  return snap->EstimateCount(query);
+  return Estimate(cardest::CardEstRequest::Count(query), nullptr);
 }
 
 double ByteCard::EstimateColumnNdv(const minihouse::Table& table, int column,
                                    const minihouse::Conjunction& filters) {
-  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
-  if (snap == nullptr) return 1.0;
-  return snap->EstimateColumnNdv(table, column, filters);
+  return Estimate(cardest::CardEstRequest::ColumnNdv(table, column, filters),
+                  nullptr);
 }
 
 double ByteCard::EstimateGroupNdv(const minihouse::BoundQuery& query) {
-  std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
-  if (snap == nullptr) return 1.0;
-  return snap->EstimateGroupNdv(query);
+  return Estimate(cardest::CardEstRequest::GroupNdv(query), nullptr);
 }
 
 }  // namespace bytecard

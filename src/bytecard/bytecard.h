@@ -94,6 +94,11 @@ class ByteCard : public minihouse::CardinalityEstimator {
 
   // --- CardinalityEstimator ------------------------------------------------
   std::string Name() const override { return "bytecard"; }
+  // Canonical entry point: acquires the current snapshot and dispatches the
+  // request through it. (Per-query work should pin once via PinSnapshot /
+  // EstimationContext instead of paying an acquire per call.)
+  double Estimate(const cardest::CardEstRequest& request,
+                  cardest::InferenceSession* session) override;
   double EstimateSelectivity(const minihouse::Table& table,
                              const minihouse::Conjunction& filters) override;
   double EstimateJoinCardinality(const minihouse::BoundQuery& query,

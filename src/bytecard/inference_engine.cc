@@ -14,9 +14,13 @@ Result<FeatureVector> CardEstInferenceEngine::FeaturizeSqlQuery(
     const std::string& sql, const minihouse::Database& db) const {
   // Default path: parse + bind, then reuse the AST featurizer. Concrete
   // engines may override with a direct SQL featurization for quick PoC
-  // integrations of research models.
-  BC_ASSIGN_OR_RETURN(minihouse::BoundQuery ast, sql::AnalyzeSql(sql, db));
-  return FeaturizeAst(ast);
+  // integrations of research models. The bound AST is parked on the
+  // FeatureVector so the featurizer's borrowed views survive this scope.
+  auto ast = std::make_shared<minihouse::BoundQuery>();
+  BC_ASSIGN_OR_RETURN(*ast, sql::AnalyzeSql(sql, db));
+  BC_ASSIGN_OR_RETURN(FeatureVector features, FeaturizeAst(*ast));
+  features.owned_query = std::move(ast);
+  return features;
 }
 
 // ---------------------------------------------------------------------------
@@ -41,10 +45,11 @@ Status BnCountEngine::InitContext() {
 Result<FeatureVector> BnCountEngine::FeaturizeAst(
     const minihouse::BoundQuery& ast) const {
   FeatureVector features;
-  // Extract the conjunction of the table this model was trained for.
+  // Borrow the conjunction of the table this model was trained for (the
+  // FeatureVector lifetime contract ties it to `ast`).
   for (const minihouse::BoundTableRef& ref : ast.tables) {
     if (ref.table->name() == model_.table_name()) {
-      features.conjunction = ref.filters;
+      features.conjunction = &ref.filters;
       return features;
     }
   }
@@ -56,7 +61,10 @@ Result<double> BnCountEngine::Estimate(const FeatureVector& features) const {
   if (context_ == nullptr) {
     return Status::Internal("BnCountEngine: InitContext not called");
   }
-  return context_->EstimateCount(features.conjunction);
+  // A null view means "no evidence": the unconditioned COUNT.
+  static const minihouse::Conjunction kNoEvidence;
+  return context_->EstimateCount(
+      features.conjunction != nullptr ? *features.conjunction : kNoEvidence);
 }
 
 int64_t BnCountEngine::ModelSizeBytes() const {
@@ -98,7 +106,7 @@ Status FactorJoinEngine::InitContext() {
 Result<FeatureVector> FactorJoinEngine::FeaturizeAst(
     const minihouse::BoundQuery& ast) const {
   FeatureVector features;
-  features.query = ast;
+  features.query = &ast;
   features.table_subset.resize(ast.num_tables());
   std::iota(features.table_subset.begin(), features.table_subset.end(), 0);
   return features;
@@ -109,8 +117,12 @@ Result<double> FactorJoinEngine::Estimate(
   if (estimator_ == nullptr) {
     return Status::Internal("FactorJoinEngine: InitContext not called");
   }
-  return estimator_->EstimateJoinCount(features.query,
-                                       features.table_subset);
+  if (features.query == nullptr) {
+    return Status::InvalidArgument(
+        "FactorJoin features carry no bound query");
+  }
+  return estimator_->EstimateJoinCount(*features.query, features.table_subset,
+                                       features.session);
 }
 
 int64_t FactorJoinEngine::ModelSizeBytes() const {

@@ -9,6 +9,7 @@
 #include "cardest/bayes/bayes_net.h"
 #include "cardest/factorjoin/factor_join.h"
 #include "cardest/ndv/rbx.h"
+#include "cardest/request.h"
 #include "common/status.h"
 #include "minihouse/database.h"
 #include "minihouse/query.h"
@@ -19,11 +20,24 @@ namespace bytecard {
 // Estimate (paper Fig. 4). Different model families consume different parts:
 // NN models (RBX) use the dense vector; probabilistic models (BN,
 // FactorJoin) use the structured evidence.
+//
+// The structured evidence is *borrowed*, not copied: `conjunction` and
+// `query` point into the caller's bound AST (featurization used to deep-copy
+// a whole BoundQuery per probe, which dominated join-order-search cost). A
+// FeatureVector is therefore call-scoped — it must not outlive the AST it
+// was featurized from, and engines treat null views as "no evidence".
 struct FeatureVector {
-  std::vector<double> dense;               // NN-style features
-  minihouse::Conjunction conjunction;      // single-table evidence
-  minihouse::BoundQuery query;             // join-shaped evidence
-  std::vector<int> table_subset;           // tables the estimate covers
+  std::vector<double> dense;                            // NN-style features
+  const minihouse::Conjunction* conjunction = nullptr;  // single-table evidence
+  const minihouse::BoundQuery* query = nullptr;         // join-shaped evidence
+  std::vector<int> table_subset;                        // tables covered
+  // Optional per-query inference session (owned by the calling query
+  // thread); engines that probe repeatedly memoize through it.
+  cardest::InferenceSession* session = nullptr;
+  // The rapid-PoC SQL path has no caller-owned AST: FeaturizeSqlQuery parks
+  // its bound query here so the views above stay valid. Empty on the
+  // production AST path.
+  std::shared_ptr<const minihouse::BoundQuery> owned_query;
 };
 
 // The paper's Inference Engine abstraction (§4.2, Fig. 4): a uniform

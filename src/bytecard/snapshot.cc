@@ -33,26 +33,113 @@ bool EstimatorSnapshot::IsHealthy(const std::string& table) const {
   return it == health_.end() ? true : it->second;
 }
 
+double EstimatorSnapshot::Estimate(const cardest::CardEstRequest& request,
+                                   cardest::InferenceSession* session,
+                                   SnapshotCounters* counters) const {
+  using cardest::CardEstTarget;
+  switch (request.target) {
+    case CardEstTarget::kSelectivity:
+      return SelectivityImpl(*request.table, *request.filters, session,
+                             counters);
+    case CardEstTarget::kJoinCount: {
+      // All-tables requests resolve through the session's cached iota when
+      // one is given — no per-call allocation on the planning hot path.
+      std::vector<int> scratch;
+      return JoinImpl(*request.query, request.ResolveTables(session, &scratch),
+                      session, counters);
+    }
+    case CardEstTarget::kGroupNdv:
+      return GroupNdvImpl(*request.query, session, counters);
+    case CardEstTarget::kColumnNdv:
+      return ColumnNdvImpl(*request.table, request.ndv_column,
+                           *request.filters, session, counters);
+    case CardEstTarget::kDisjunction:
+      return DisjunctionImpl(*request.table, *request.disjuncts, session,
+                             counters);
+  }
+  return 1.0;
+}
+
 double EstimatorSnapshot::EstimateSelectivity(
     const minihouse::Table& table, const minihouse::Conjunction& filters,
     SnapshotCounters* counters) const {
-  const cardest::BnInferenceContext* context = bn_context(table.name());
-  if (context != nullptr && IsHealthy(table.name())) {
-    return context->EstimateSelectivity(filters);
-  }
-  CountFallback(counters);
-  if (fallback_ != nullptr) {
-    return fallback_->EstimateSelectivity(table, filters);
-  }
-  return 1.0;
+  return Estimate(cardest::CardEstRequest::Selectivity(table, filters),
+                  nullptr, counters);
 }
 
 double EstimatorSnapshot::EstimateJoinCardinality(
     const minihouse::BoundQuery& query, const std::vector<int>& subset,
     SnapshotCounters* counters) const {
+  return Estimate(cardest::CardEstRequest::JoinCount(query, subset), nullptr,
+                  counters);
+}
+
+double EstimatorSnapshot::EstimateCount(const minihouse::BoundQuery& query,
+                                        SnapshotCounters* counters) const {
+  return Estimate(cardest::CardEstRequest::Count(query), nullptr, counters);
+}
+
+double EstimatorSnapshot::EstimateGroupNdv(const minihouse::BoundQuery& query,
+                                           SnapshotCounters* counters) const {
+  return Estimate(cardest::CardEstRequest::GroupNdv(query), nullptr,
+                  counters);
+}
+
+double EstimatorSnapshot::EstimateColumnNdv(
+    const minihouse::Table& table, int column,
+    const minihouse::Conjunction& filters, SnapshotCounters* counters) const {
+  return Estimate(cardest::CardEstRequest::ColumnNdv(table, column, filters),
+                  nullptr, counters);
+}
+
+double EstimatorSnapshot::EstimateCountDisjunction(
+    const minihouse::Table& table,
+    const std::vector<minihouse::Conjunction>& disjuncts,
+    SnapshotCounters* counters) const {
+  return Estimate(cardest::CardEstRequest::Disjunction(table, disjuncts),
+                  nullptr, counters);
+}
+
+double EstimatorSnapshot::SelectivityImpl(const minihouse::Table& table,
+                                          const minihouse::Conjunction& filters,
+                                          cardest::InferenceSession* session,
+                                          SnapshotCounters* counters) const {
+  // Health-aware selectivity, memoized under "sel:". Cached entries replay
+  // their fallback accounting so SnapshotCounters stay identical with the
+  // memo on or off.
+  std::string key;
+  if (session != nullptr) {
+    key = "sel:" + cardest::TableKey(table, filters);
+    double value = 0.0;
+    bool was_fallback = false;
+    if (session->LookupScalar(key, &value, &was_fallback)) {
+      if (was_fallback) CountFallback(counters);
+      return value;
+    }
+  }
+  double value = 1.0;
+  bool was_fallback = false;
+  const cardest::BnInferenceContext* context = bn_context(table.name());
+  if (context != nullptr && IsHealthy(table.name())) {
+    value = context->EstimateSelectivity(filters);
+  } else {
+    was_fallback = true;
+    CountFallback(counters);
+    if (fallback_ != nullptr) {
+      value = fallback_->EstimateSelectivity(table, filters);
+    }
+  }
+  if (session != nullptr) session->StoreScalar(key, value, was_fallback);
+  return value;
+}
+
+double EstimatorSnapshot::JoinImpl(const minihouse::BoundQuery& query,
+                                   const std::vector<int>& subset,
+                                   cardest::InferenceSession* session,
+                                   SnapshotCounters* counters) const {
   if (subset.size() == 1) {
     const minihouse::BoundTableRef& ref = query.tables[subset[0]];
-    return EstimateSelectivity(*ref.table, ref.filters, counters) *
+    return SelectivityImpl(*ref.table, ref.filters, session, counters) *
            static_cast<double>(ref.table->num_rows());
   }
   // Unhealthy single-table models poison join estimates too; fall back to
@@ -68,8 +155,9 @@ double EstimatorSnapshot::EstimateJoinCardinality(
   }
   if (fj_engine_ != nullptr) {
     FeatureVector features;
-    features.query = query;
+    features.query = &query;
     features.table_subset = subset;
+    features.session = session;
     Result<double> estimate = fj_engine_->Estimate(features);
     if (estimate.ok()) return estimate.value();
   }
@@ -79,16 +167,10 @@ double EstimatorSnapshot::EstimateJoinCardinality(
              : 1.0;
 }
 
-double EstimatorSnapshot::EstimateCount(const minihouse::BoundQuery& query,
-                                        SnapshotCounters* counters) const {
-  std::vector<int> all(query.num_tables());
-  std::iota(all.begin(), all.end(), 0);
-  return EstimateJoinCardinality(query, all, counters);
-}
-
-double EstimatorSnapshot::EstimateColumnNdv(
+double EstimatorSnapshot::ColumnNdvImpl(
     const minihouse::Table& table, int column,
-    const minihouse::Conjunction& filters, SnapshotCounters* counters) const {
+    const minihouse::Conjunction& filters, cardest::InferenceSession* session,
+    SnapshotCounters* counters) const {
   if (samples_ == nullptr || rbx_engine_ == nullptr) {
     CountFallback(counters);
     return 1.0;
@@ -111,7 +193,7 @@ double EstimatorSnapshot::EstimateColumnNdv(
 
   // Population under the filters comes from the COUNT model.
   const double filtered_rows =
-      EstimateSelectivity(table, filters, counters) *
+      SelectivityImpl(table, filters, session, counters) *
       static_cast<double>(table.num_rows());
   stats::SampleFrequencies frequencies = stats::ComputeFrequencies(
       values, std::max<int64_t>(1, static_cast<int64_t>(filtered_rows)));
@@ -125,23 +207,29 @@ double EstimatorSnapshot::EstimateColumnNdv(
   return estimate.value();
 }
 
-double EstimatorSnapshot::EstimateGroupNdv(const minihouse::BoundQuery& query,
-                                           SnapshotCounters* counters) const {
+double EstimatorSnapshot::GroupNdvImpl(const minihouse::BoundQuery& query,
+                                       cardest::InferenceSession* session,
+                                       SnapshotCounters* counters) const {
   if (query.group_by.empty()) return 1.0;
   double ndv = 1.0;
   for (const minihouse::GroupKeyRef& g : query.group_by) {
     const minihouse::BoundTableRef& ref = query.tables[g.table];
-    ndv *= std::max(
-        1.0, EstimateColumnNdv(*ref.table, g.column, ref.filters, counters));
+    ndv *= std::max(1.0, ColumnNdvImpl(*ref.table, g.column, ref.filters,
+                                       session, counters));
   }
-  const double rows = EstimateCount(query, counters);
+  std::vector<int> scratch;
+  const double rows =
+      JoinImpl(query,
+               cardest::CardEstRequest::Count(query).ResolveTables(session,
+                                                                   &scratch),
+               session, counters);
   return std::max(1.0, std::min(ndv, rows));
 }
 
-double EstimatorSnapshot::EstimateCountDisjunction(
+double EstimatorSnapshot::DisjunctionImpl(
     const minihouse::Table& table,
     const std::vector<minihouse::Conjunction>& disjuncts,
-    SnapshotCounters* counters) const {
+    cardest::InferenceSession* session, SnapshotCounters* counters) const {
   // Inclusion-exclusion over all non-empty disjunct subsets. |D| is small in
   // practice (OR lists in analytical filters); cap keeps this bounded.
   const int n = static_cast<int>(disjuncts.size());
@@ -157,7 +245,7 @@ double EstimatorSnapshot::EstimateCountDisjunction(
                       disjuncts[i].end());
       }
     }
-    const double term = EstimateSelectivity(table, merged, counters);
+    const double term = SelectivityImpl(table, merged, session, counters);
     selectivity += (__builtin_popcount(mask) % 2 == 1) ? term : -term;
   }
   selectivity = std::clamp(selectivity, 0.0, 1.0);
@@ -320,22 +408,30 @@ Result<std::shared_ptr<const EstimatorSnapshot>> SnapshotBuilder::Finish() {
 // SnapshotEstimator
 // ---------------------------------------------------------------------------
 
+double SnapshotEstimator::Estimate(const cardest::CardEstRequest& request,
+                                   cardest::InferenceSession* session) {
+  if (snapshot_ == nullptr) {
+    // No serving state: neutral answers (a disjunction "count" degrades to
+    // 0 rows, everything else to the multiplicative identity).
+    return request.target == cardest::CardEstTarget::kDisjunction ? 0.0 : 1.0;
+  }
+  return snapshot_->Estimate(request, session, &counters_);
+}
+
 double SnapshotEstimator::EstimateSelectivity(
     const minihouse::Table& table, const minihouse::Conjunction& filters) {
-  if (snapshot_ == nullptr) return 1.0;
-  return snapshot_->EstimateSelectivity(table, filters, &counters_);
+  return Estimate(cardest::CardEstRequest::Selectivity(table, filters),
+                  nullptr);
 }
 
 double SnapshotEstimator::EstimateJoinCardinality(
     const minihouse::BoundQuery& query, const std::vector<int>& subset) {
-  if (snapshot_ == nullptr) return 1.0;
-  return snapshot_->EstimateJoinCardinality(query, subset, &counters_);
+  return Estimate(cardest::CardEstRequest::JoinCount(query, subset), nullptr);
 }
 
 double SnapshotEstimator::EstimateGroupNdv(
     const minihouse::BoundQuery& query) {
-  if (snapshot_ == nullptr) return 1.0;
-  return snapshot_->EstimateGroupNdv(query, &counters_);
+  return Estimate(cardest::CardEstRequest::GroupNdv(query), nullptr);
 }
 
 }  // namespace bytecard

@@ -9,6 +9,7 @@
 
 #include "bytecard/inference_engine.h"
 #include "bytecard/model_validator.h"
+#include "cardest/request.h"
 #include "minihouse/optimizer.h"
 #include "stats/sampler.h"
 #include "stats/traditional_estimator.h"
@@ -40,6 +41,19 @@ class EstimatorSnapshot {
   uint64_t version() const { return version_; }
 
   // --- Estimation (const, lock-free) ---------------------------------------
+  // The one estimation entry point: every target kind dispatches through
+  // here. `session` (optional) is a per-query memo for repeated BN probes
+  // and FactorJoin bucket distributions; it belongs to the calling query
+  // thread and must not be shared across threads or outlive the pinned
+  // snapshot it first served. Estimates are byte-identical with and without
+  // a session — the memo replays cached values (including their fallback
+  // accounting), never recomputes differently.
+  double Estimate(const cardest::CardEstRequest& request,
+                  cardest::InferenceSession* session,
+                  SnapshotCounters* counters = nullptr) const;
+
+  // Typed convenience wrappers; each builds a CardEstRequest and delegates
+  // to Estimate with no session.
   double EstimateSelectivity(const minihouse::Table& table,
                              const minihouse::Conjunction& filters,
                              SnapshotCounters* counters = nullptr) const;
@@ -71,6 +85,28 @@ class EstimatorSnapshot {
  private:
   friend class SnapshotBuilder;
   EstimatorSnapshot() = default;
+
+  // Per-target implementations behind the Estimate dispatch; all thread the
+  // session down to the engines that can exploit it.
+  double SelectivityImpl(const minihouse::Table& table,
+                         const minihouse::Conjunction& filters,
+                         cardest::InferenceSession* session,
+                         SnapshotCounters* counters) const;
+  double JoinImpl(const minihouse::BoundQuery& query,
+                  const std::vector<int>& subset,
+                  cardest::InferenceSession* session,
+                  SnapshotCounters* counters) const;
+  double ColumnNdvImpl(const minihouse::Table& table, int column,
+                       const minihouse::Conjunction& filters,
+                       cardest::InferenceSession* session,
+                       SnapshotCounters* counters) const;
+  double GroupNdvImpl(const minihouse::BoundQuery& query,
+                      cardest::InferenceSession* session,
+                      SnapshotCounters* counters) const;
+  double DisjunctionImpl(const minihouse::Table& table,
+                         const std::vector<minihouse::Conjunction>& disjuncts,
+                         cardest::InferenceSession* session,
+                         SnapshotCounters* counters) const;
 
   uint64_t version_ = 0;
   // Engines are shared with predecessor/successor snapshots when unchanged;
@@ -160,6 +196,9 @@ class SnapshotEstimator : public minihouse::CardinalityEstimator {
       : snapshot_(std::move(snapshot)), hook_(hook) {}
 
   std::string Name() const override { return "bytecard"; }
+  // The canonical entry point (everything below delegates through it).
+  double Estimate(const cardest::CardEstRequest& request,
+                  cardest::InferenceSession* session) override;
   double EstimateSelectivity(const minihouse::Table& table,
                              const minihouse::Conjunction& filters) override;
   double EstimateJoinCardinality(const minihouse::BoundQuery& query,

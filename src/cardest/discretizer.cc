@@ -137,12 +137,15 @@ std::vector<double> Discretizer::PredicateWeights(
         weights[b] = 1.0;
         continue;
       }
-      // Partial overlap: interpolate over the bin's value span.
-      const double span = static_cast<double>(bin.hi - bin.lo) + 1.0;
-      const double covered =
-          static_cast<double>(std::min(hi, bin.hi) - std::max(lo, bin.lo)) +
-          1.0;
-      weights[b] = std::max(weights[b], covered / span);
+      // Partial overlap: interpolate over the bin's value span. Subtract in
+      // double: open-ended sentinel bins (lo == INT64_MIN / hi == INT64_MAX)
+      // would overflow int64 subtraction.
+      const double span =
+          static_cast<double>(bin.hi) - static_cast<double>(bin.lo) + 1.0;
+      const double covered = static_cast<double>(std::min(hi, bin.hi)) -
+                             static_cast<double>(std::max(lo, bin.lo)) + 1.0;
+      weights[b] =
+          std::max(weights[b], std::clamp(covered / span, 0.0, 1.0));
     }
   };
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <limits>
+#include <string>
 
 #include "common/logging.h"
 
@@ -130,53 +130,25 @@ Result<FactorJoinModel> FactorJoinModel::Deserialize(BufferReader* reader) {
 // FactorJoinEstimator
 // ---------------------------------------------------------------------------
 
-namespace {
-
-// Planner-call memo for per-table filtered bucket distributions. The greedy
-// join-order search asks for the same (table, column, filters) marginal for
-// every candidate subset; memoizing it keeps FactorJoin's planning overhead
-// flat in the number of subsets. thread_local keeps inference lock-free
-// (paper §4.1): each query thread owns its own memo.
-struct BucketCountCacheEntry {
-  uint64_t key = 0;
-  const void* model = nullptr;
-  std::vector<double> counts;
-  double total = 0.0;
-};
-
-uint64_t HashFilteredColumn(const minihouse::BoundTableRef& ref, int column) {
-  uint64_t h = std::hash<std::string>{}(ref.table->name());
-  auto mix = [&h](uint64_t x) {
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    h ^= (x ^ (x >> 27)) + (h << 6) + (h >> 2);
-  };
-  mix(static_cast<uint64_t>(column));
-  for (const minihouse::ColumnPredicate& pred : ref.filters) {
-    mix(static_cast<uint64_t>(pred.column));
-    mix(static_cast<uint64_t>(pred.op));
-    mix(static_cast<uint64_t>(pred.operand));
-    mix(static_cast<uint64_t>(pred.operand2));
-    for (int64_t v : pred.in_list) mix(static_cast<uint64_t>(v));
-  }
-  return h | 1ULL;  // 0 means "empty slot"
-}
-
-constexpr size_t kBucketCountCacheSlots = 128;
-
-}  // namespace
-
 std::vector<double> FactorJoinEstimator::FilteredBucketCounts(
     const minihouse::BoundQuery& query, int table_idx, int column, int group,
-    double* count_out) const {
+    double* count_out, InferenceSession* session) const {
   const minihouse::BoundTableRef& ref = query.tables[table_idx];
 
-  thread_local std::vector<BucketCountCacheEntry> cache(
-      kBucketCountCacheSlots);
-  const uint64_t key = HashFilteredColumn(ref, column);
-  BucketCountCacheEntry& slot = cache[key % kBucketCountCacheSlots];
-  if (slot.key == key && slot.model == model_) {
-    *count_out = slot.total;
-    return slot.counts;
+  // The join-order search asks for the same (table, filters, column)
+  // marginal for every candidate subset; the per-query inference session
+  // memoizes it so FactorJoin's planning overhead stays flat in the number
+  // of subsets. The session is owned by the calling query thread, keeping
+  // inference lock-free (paper §4.1).
+  std::string key;
+  if (session != nullptr) {
+    key = "fjb:" + session->TableToken(query, table_idx) + ":" +
+          std::to_string(column);
+    double total = 0.0;
+    if (const std::vector<double>* hit = session->LookupBuckets(key, &total)) {
+      *count_out = total;
+      return *hit;
+    }
   }
   const int nb = model_->groups()[group].buckets.num_buckets();
   const BucketStats* stats = model_->FindStats(ref.table->name(), column);
@@ -209,7 +181,7 @@ std::vector<double> FactorJoinEstimator::FilteredBucketCounts(
         total += counts[b];
       }
       *count_out = total;
-      slot = {key, model_, counts, total};
+      if (session != nullptr) session->StoreBuckets(key, counts, total);
       return counts;
     }
   }
@@ -231,21 +203,34 @@ std::vector<double> FactorJoinEstimator::FilteredBucketCounts(
     total = rows;
   }
   *count_out = total;
-  slot = {key, model_, counts, total};
+  if (session != nullptr) session->StoreBuckets(key, counts, total);
   return counts;
 }
 
 double FactorJoinEstimator::EstimateJoinCount(
-    const minihouse::BoundQuery& query, const std::vector<int>& subset) const {
+    const minihouse::BoundQuery& query, const std::vector<int>& subset,
+    InferenceSession* session) const {
   if (subset.empty()) return 0.0;
 
+  // Raw BN-filtered row count of one table. Memoized under "fjsel:" —
+  // distinct from the snapshot's health-aware "sel:" entries, which may be
+  // served by the fallback estimator instead of the BN.
   auto table_count = [&](int t) {
     const minihouse::BoundTableRef& ref = query.tables[t];
+    std::string key;
+    if (session != nullptr) {
+      key = "fjsel:" + session->TableToken(query, t);
+      double value = 0.0;
+      bool was_fallback = false;
+      if (session->LookupScalar(key, &value, &was_fallback)) return value;
+    }
     auto it = bn_contexts_->find(ref.table->name());
     const double sel = it == bn_contexts_->end()
                            ? 1.0
                            : it->second->EstimateSelectivity(ref.filters);
-    return sel * static_cast<double>(ref.table->num_rows());
+    const double count = sel * static_cast<double>(ref.table->num_rows());
+    if (session != nullptr) session->StoreScalar(key, count, false);
+    return count;
   };
 
   if (subset.size() == 1) return table_count(subset[0]);
@@ -296,7 +281,8 @@ double FactorJoinEstimator::EstimateJoinCount(
       gs.model_group = model_group_of(key_groups[gi]);
       if (gs.model_group < 0) continue;  // untrained key: stays inactive
       double total = 0.0;
-      gs.cnt = FilteredBucketCounts(query, t, column, gs.model_group, &total);
+      gs.cnt = FilteredBucketCounts(query, t, column, gs.model_group, &total,
+                                    session);
       const BucketStats* stats =
           model_->FindStats(query.tables[t].table->name(), column);
       const int nb = static_cast<int>(gs.cnt.size());
@@ -341,7 +327,8 @@ double FactorJoinEstimator::EstimateJoinCount(
       if (!gs.active || column < 0) continue;
       double t_total = 0.0;
       const std::vector<double> cnt_t =
-          FilteredBucketCounts(query, t, column, gs.model_group, &t_total);
+          FilteredBucketCounts(query, t, column, gs.model_group, &t_total,
+                               session);
       const BucketStats* stats =
           model_->FindStats(query.tables[t].table->name(), column);
       const int nb = static_cast<int>(gs.cnt.size());

@@ -8,6 +8,7 @@
 #include "cardest/bayes/bayes_net.h"
 #include "cardest/factorjoin/factor_graph.h"
 #include "cardest/factorjoin/join_bucket.h"
+#include "cardest/request.h"
 #include "common/serde.h"
 #include "minihouse/database.h"
 #include "minihouse/query.h"
@@ -85,8 +86,12 @@ class FactorJoinEstimator {
       : model_(model), bn_contexts_(bn_contexts), mode_(mode) {}
 
   // Estimated COUNT(*) of the join of `subset` under the query's filters.
+  // `session` (optional) memoizes the per-table BN probes and filtered
+  // bucket distributions across the many subset calls of one query's
+  // join-order search; it must belong to the calling query thread.
   double EstimateJoinCount(const minihouse::BoundQuery& query,
-                           const std::vector<int>& subset) const;
+                           const std::vector<int>& subset,
+                           InferenceSession* session = nullptr) const;
 
  private:
   // Filtered per-bucket row counts for `table_idx`'s key `column`:
@@ -94,7 +99,8 @@ class FactorJoinEstimator {
   // back to scaling the unfiltered bucket counts by the BN selectivity.
   std::vector<double> FilteredBucketCounts(const minihouse::BoundQuery& query,
                                            int table_idx, int column,
-                                           int group, double* count_out) const;
+                                           int group, double* count_out,
+                                           InferenceSession* session) const;
 
   const FactorJoinModel* model_;
   const std::map<std::string, const BnInferenceContext*>* bn_contexts_;

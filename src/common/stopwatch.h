@@ -21,6 +21,12 @@ class Stopwatch {
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

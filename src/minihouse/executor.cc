@@ -92,6 +92,8 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
   result.stats.memo_hits = plan.estimation.memo_hits;
   result.stats.fallback_estimates = plan.estimation.fallback_estimates;
   result.stats.feedback_hits = plan.estimation.feedback_hits;
+  result.stats.probe_cache_hits = plan.estimation.probe_cache_hits;
+  result.stats.planning_nanos = plan.estimation.planning_nanos;
   result.stats.snapshot_version = plan.estimation.snapshot_version;
 
   // Close the loop: report every stamped operator's estimate-vs-actual back

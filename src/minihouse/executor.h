@@ -41,6 +41,10 @@ struct ExecStats {
   int64_t memo_hits = 0;
   int64_t fallback_estimates = 0;
   int64_t feedback_hits = 0;      // estimates served from the feedback cache
+  // Per-query inference-session probes answered from the session memo (BN
+  // probes / FactorJoin bucket vectors reused across join-order subsets).
+  int64_t probe_cache_hits = 0;
+  int64_t planning_nanos = 0;     // optimizer wall time, ns (= plan_ms source)
   uint64_t snapshot_version = 0;  // model snapshot the plan was built on
   // Runtime-feedback capture for this query (0/1.0 when feedback is off):
   // estimate-vs-actual observations emitted and the worst per-operator

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cardest/request.h"
 #include "minihouse/query.h"
 
 namespace bytecard::minihouse {
@@ -17,35 +18,31 @@ namespace bytecard::minihouse {
 // matter how their predicates, tables, or edges are ordered. The runtime
 // feedback cache is keyed by these strings, so an actual cardinality observed
 // while executing one query can answer the optimizer's question in the next.
-// The single-table form doubles as the per-query selectivity memo key (the
-// order-insensitive key introduced with EstimationContext).
+// The single-table form doubles as the per-query selectivity memo key.
+//
+// The one canonical implementation lives in cardest/request.h (the
+// CardEstRequest token grammar); these aliases keep the engine-layer call
+// sites readable. The old per-query JoinSubsetKey is gone — the optimizer's
+// join memo, the plan's stamped join-estimate map, and the feedback cache all
+// key on the same SubplanFingerprint string now.
 
-// "col:op:operand:operand2" — one predicate, order-independent of its siblings.
-std::string PredicateToken(const ColumnPredicate& pred);
+inline std::string PredicateToken(const ColumnPredicate& pred) {
+  return cardest::PredicateToken(pred);
+}
 
-// "name{p1&p2&...}" with predicate tokens sorted; the canonical identity of
-// one filtered table occurrence.
-std::string TableFingerprint(const Table& table, const Conjunction& filters);
+inline std::string TableFingerprint(const Table& table,
+                                    const Conjunction& filters) {
+  return cardest::TableKey(table, filters);
+}
 
-// Canonical identity of the join of `subset` (indices into query.tables)
-// under their filters and the query's join edges restricted to the subset.
-// Table tokens and edge tokens are sorted, and each edge is normalized so its
-// lexicographically smaller endpoint comes first — the fingerprint does not
-// depend on enumeration order or edge direction. A one-element subset reduces
-// to TableFingerprint, so scan and selectivity questions share keys.
-std::string SubplanFingerprint(const BoundQuery& query,
-                               const std::vector<int>& subset);
+inline std::string SubplanFingerprint(const BoundQuery& query,
+                                      const std::vector<int>& subset) {
+  return cardest::SubplanKey(query, subset);
+}
 
-// Canonical identity of the query's GROUP BY output cardinality (the NDV
-// question behind hash-table pre-sizing): the full-join fingerprint plus the
-// sorted group-key columns.
-std::string GroupNdvFingerprint(const BoundQuery& query);
-
-// Order-insensitive *per-query* memo key for a join subset (table indices
-// only — scoped to one query, cheaper than the cross-query fingerprint).
-// Shared between EstimationContext's join memo and the plan's stamped
-// join-estimate map so the two can never disagree.
-std::string JoinSubsetKey(const std::vector<int>& table_subset);
+inline std::string GroupNdvFingerprint(const BoundQuery& query) {
+  return cardest::GroupNdvKey(query);
+}
 
 // Q-Error with both sides floored at 1 (same convention as workload/qerror.h,
 // re-stated here because the engine layer cannot depend on the workload

@@ -331,14 +331,17 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
     if (capture) {
       std::vector<int> subset(order.begin(),
                               order.begin() + static_cast<long>(step) + 1);
-      auto est = plan.join_estimates.find(JoinSubsetKey(subset));
+      // The canonical fingerprint is both the join_estimates key (the
+      // optimizer memoed under it) and the stamp the executor reports under.
+      const std::string fingerprint = SubplanFingerprint(query, subset);
+      auto est = plan.join_estimates.find(fingerprint);
       // Unpriced prefixes (join ordering off, fallback orders) carry no
       // estimate and produce no observation.
       if (est != plan.join_estimates.end()) {
         FeedbackStamp fs;
         fs.stamped = true;
         fs.kind = FeedbackKind::kJoin;
-        fs.fingerprint = SubplanFingerprint(query, subset);
+        fs.fingerprint = fingerprint;
         fs.estimated = est->second;
         fs.tables.reserve(subset.size());
         for (int q : subset) {

@@ -12,10 +12,9 @@
 
 namespace bytecard::minihouse {
 
-// The memo keys live in minihouse/feedback.h now: the selectivity memo key is
-// TableFingerprint (also the cross-query feedback-cache key) and the join
-// memo key is JoinSubsetKey (per-query; the cross-query form is
-// SubplanFingerprint).
+// Every memo in this file keys on CardEstRequest::Fingerprint — the one
+// canonical subplan identity (cardest/request.h), shared with the feedback
+// cache and the operator stamps.
 
 std::vector<int> RequiredScanColumns(const BoundQuery& query, int table_idx) {
   std::set<int> needed;
@@ -81,14 +80,62 @@ std::shared_ptr<CardinalityEstimator> CardinalityEstimator::PinSnapshot() {
                                                [](CardinalityEstimator*) {});
 }
 
-EstimationContext::EstimationContext(CardinalityEstimator* root)
-    : pinned_(root->PinSnapshot()), hook_(pinned_->feedback_hook()) {}
+double CardinalityEstimator::Estimate(const cardest::CardEstRequest& request,
+                                      cardest::InferenceSession* session) {
+  using cardest::CardEstTarget;
+  switch (request.target) {
+    case CardEstTarget::kSelectivity:
+      return EstimateSelectivity(*request.table, *request.filters);
+    case CardEstTarget::kJoinCount: {
+      std::vector<int> scratch;
+      return EstimateJoinCardinality(
+          *request.query, request.ResolveTables(session, &scratch));
+    }
+    case CardEstTarget::kGroupNdv:
+      return EstimateGroupNdv(*request.query);
+    case CardEstTarget::kColumnNdv:
+      // The typed interface carries no NDV-under-filters question; a neutral
+      // 1 keeps consumers (hash-table sizing) conservative.
+      return 1.0;
+    case CardEstTarget::kDisjunction: {
+      // Inclusion-exclusion over the typed selectivity entry point (same
+      // bound as the snapshot's native path).
+      const auto& disjuncts = *request.disjuncts;
+      const int n = static_cast<int>(disjuncts.size());
+      if (n == 0) return 0.0;
+      BC_CHECK(n <= 16) << "inclusion-exclusion over too many disjuncts";
+      double selectivity = 0.0;
+      for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+        Conjunction merged;
+        for (int i = 0; i < n; ++i) {
+          if (mask & (1u << i)) {
+            merged.insert(merged.end(), disjuncts[i].begin(),
+                          disjuncts[i].end());
+          }
+        }
+        const double term = EstimateSelectivity(*request.table, merged);
+        selectivity += (__builtin_popcount(mask) % 2 == 1) ? term : -term;
+      }
+      selectivity = std::clamp(selectivity, 0.0, 1.0);
+      return selectivity * static_cast<double>(request.table->num_rows());
+    }
+  }
+  return 1.0;
+}
+
+EstimationContext::EstimationContext(CardinalityEstimator* root,
+                                     bool use_session)
+    : pinned_(root->PinSnapshot()),
+      hook_(pinned_->feedback_hook()),
+      use_session_(use_session) {}
 
 double EstimationContext::Selectivity(const Table& table,
                                       const Conjunction& filters) {
   // The per-query memo key *is* the cross-query feedback fingerprint for a
   // single filtered table, so one lookup string serves both layers.
-  std::string key = TableFingerprint(table, filters);
+  const cardest::CardEstRequest request =
+      cardest::CardEstRequest::Selectivity(table, filters);
+  std::string key = request.Fingerprint(session());
   auto it = selectivity_memo_.find(key);
   if (it != selectivity_memo_.end()) {
     ++memo_hits_;
@@ -107,38 +154,43 @@ double EstimationContext::Selectivity(const Table& table,
     }
   }
   ++estimator_calls_;
-  const double sel = pinned_->EstimateSelectivity(table, filters);
+  const double sel = pinned_->Estimate(request, session());
   selectivity_memo_.emplace(std::move(key), sel);
   return sel;
 }
 
 double EstimationContext::JoinCardinality(
     const BoundQuery& query, const std::vector<int>& table_subset) {
-  std::string key = JoinSubsetKey(table_subset);
+  // One fingerprint serves as per-query memo key, feedback-cache key, and
+  // (via the plan's join_estimates copy) the operator stamp.
+  const cardest::CardEstRequest request =
+      cardest::CardEstRequest::JoinCount(query, table_subset);
+  std::string key = request.Fingerprint(session());
   auto it = join_memo_.find(key);
   if (it != join_memo_.end()) {
     ++memo_hits_;
     return it->second;
   }
   if (hook_ != nullptr) {
-    const std::string fingerprint = SubplanFingerprint(query, table_subset);
     double actual = 0.0;
-    if (hook_->LookupActual(fingerprint, &actual)) {
+    if (hook_->LookupActual(key, &actual)) {
       ++feedback_hits_;
-      feedback_served_.insert(fingerprint);
+      feedback_served_.insert(key);
       join_memo_.emplace(std::move(key), actual);
       return actual;
     }
   }
   ++estimator_calls_;
-  const double card = pinned_->EstimateJoinCardinality(query, table_subset);
+  const double card = pinned_->Estimate(request, session());
   join_memo_.emplace(std::move(key), card);
   return card;
 }
 
 double EstimationContext::GroupNdv(const BoundQuery& query) {
+  const cardest::CardEstRequest request =
+      cardest::CardEstRequest::GroupNdv(query);
   if (hook_ != nullptr && !query.group_by.empty()) {
-    const std::string fingerprint = GroupNdvFingerprint(query);
+    const std::string fingerprint = request.Fingerprint(session());
     double actual = 0.0;
     if (hook_->LookupActual(fingerprint, &actual)) {
       ++feedback_hits_;
@@ -147,7 +199,7 @@ double EstimationContext::GroupNdv(const BoundQuery& query) {
     }
   }
   ++estimator_calls_;
-  return pinned_->EstimateGroupNdv(query);
+  return pinned_->Estimate(request, session());
 }
 
 EstimationStats EstimationContext::stats() const {
@@ -156,6 +208,7 @@ EstimationStats EstimationContext::stats() const {
   stats.memo_hits = memo_hits_;
   stats.fallback_estimates = pinned_->FallbackEstimates();
   stats.feedback_hits = feedback_hits_;
+  stats.probe_cache_hits = session_.stats().probe_cache_hits;
   stats.snapshot_version = pinned_->SnapshotVersion();
   return stats;
 }
@@ -367,6 +420,7 @@ PhysicalPlan Optimizer::Plan(const BoundQuery& query,
   }
   plan.estimation_ms = timer.ElapsedMillis();
   plan.estimation = ctx->stats();
+  plan.estimation.planning_nanos = timer.ElapsedNanos();
   if (ctx->feedback_hook() != nullptr) {
     plan.feedback = ctx->feedback_hook();
     plan.join_estimates = ctx->join_memo();

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cardest/request.h"
 #include "minihouse/feedback.h"
 #include "minihouse/query.h"
 #include "minihouse/reader.h"
@@ -26,6 +27,21 @@ class CardinalityEstimator {
   virtual ~CardinalityEstimator() = default;
 
   virtual std::string Name() const = 0;
+
+  // The canonical entry point: answers any estimation-request shape (see
+  // cardest/request.h) — this is the one code path every estimator serves,
+  // and the only one EstimationContext calls. The default implementation
+  // adapts onto the typed virtuals below (disjunctions by
+  // inclusion-exclusion over EstimateSelectivity; column NDV neutrally at 1),
+  // so sketches, samples, and test stubs participate unchanged. Estimators
+  // with a native canonical path (the ByteCard snapshot view, the baseline
+  // adapters) override this instead. `session` is the caller's per-query
+  // probe memo; null is always valid and never changes the estimate.
+  virtual double Estimate(const cardest::CardEstRequest& request,
+                          cardest::InferenceSession* session);
+
+  // --- Typed convenience entry points ---------------------------------------
+  // Thin shapes over Estimate for callers that know their question statically.
 
   // Fraction of `table`'s rows satisfying the conjunction, in [0, 1].
   virtual double EstimateSelectivity(const Table& table,
@@ -71,6 +87,11 @@ struct EstimationStats {
   int64_t memo_hits = 0;          // estimates answered from the per-query memo
   int64_t fallback_estimates = 0; // estimates answered by the traditional path
   int64_t feedback_hits = 0;      // estimates served from the feedback cache
+  // Per-table probe work the InferenceSession saved inside the estimator
+  // (BN selectivities / FactorJoin bucket vectors served from the session
+  // memo instead of recomputed; 0 when the session is off).
+  int64_t probe_cache_hits = 0;
+  int64_t planning_nanos = 0;     // wall time inside Optimizer::Plan
   uint64_t snapshot_version = 0;  // model snapshot the whole plan was built on
 };
 
@@ -80,7 +101,12 @@ struct EstimationStats {
 // loops. Not thread-safe — one context per query, on the query's thread.
 class EstimationContext {
  public:
-  explicit EstimationContext(CardinalityEstimator* root);
+  // `use_session` gates the per-query InferenceSession handed to every
+  // estimator call: off recomputes every per-table probe (the identity
+  // baseline the session bench compares against); estimates are byte-
+  // identical either way.
+  explicit EstimationContext(CardinalityEstimator* root,
+                             bool use_session = true);
 
   EstimationContext(const EstimationContext&) = delete;
   EstimationContext& operator=(const EstimationContext&) = delete;
@@ -101,12 +127,19 @@ class EstimationContext {
   // The pinned per-query estimator view (for callers that need raw access).
   CardinalityEstimator* pinned() const { return pinned_.get(); }
 
+  // The query's inference session (null when memoization is off).
+  cardest::InferenceSession* session() {
+    return use_session_ ? &session_ : nullptr;
+  }
+
   // The pinned view's feedback surface (null when feedback is off).
   QueryFeedbackHook* feedback_hook() const { return hook_; }
 
-  // Join-subset estimates priced so far, keyed by JoinSubsetKey. The plan
-  // copies this so the compiled DAG can stamp join operators even after the
-  // executor's connectivity fixup reorders steps.
+  // Join-subset estimates priced so far, keyed by the canonical subplan
+  // fingerprint — the same string the feedback cache and operator stamps
+  // use, so the three layers can never disagree. The plan copies this so the
+  // compiled DAG can stamp join operators even after the executor's
+  // connectivity fixup reorders steps.
   const std::unordered_map<std::string, double>& join_memo() const {
     return join_memo_;
   }
@@ -124,6 +157,8 @@ class EstimationContext {
  private:
   std::shared_ptr<CardinalityEstimator> pinned_;
   QueryFeedbackHook* hook_ = nullptr;
+  cardest::InferenceSession session_;
+  bool use_session_ = true;
   std::unordered_map<std::string, double> selectivity_memo_;
   std::unordered_map<std::string, double> join_memo_;
   std::unordered_set<std::string> feedback_served_;
@@ -162,7 +197,8 @@ struct PhysicalPlan {
   // the plan. Must outlive execution (guaranteed by the snapshot pin the
   // caller holds).
   QueryFeedbackHook* feedback = nullptr;
-  // Join-subset estimates priced during planning, keyed by JoinSubsetKey —
+  // Join-subset estimates priced during planning, keyed by the canonical
+  // subplan fingerprint (the same string operators are stamped with) —
   // lets the DAG compiler stamp join operators independent of step order.
   std::unordered_map<std::string, double> join_estimates;
   // Fingerprints whose estimate was served from the feedback cache.

@@ -190,11 +190,7 @@ TEST(FeedbackFingerprintTest, GroupNdvFingerprintSortsKeys) {
             minihouse::GroupNdvFingerprint(c));
 }
 
-TEST(FeedbackFingerprintTest, JoinSubsetKeyAndQError) {
-  EXPECT_EQ(minihouse::JoinSubsetKey({2, 0, 1}),
-            minihouse::JoinSubsetKey({0, 1, 2}));
-  EXPECT_NE(minihouse::JoinSubsetKey({0, 1}),
-            minihouse::JoinSubsetKey({0, 2}));
+TEST(FeedbackFingerprintTest, QError) {
   EXPECT_DOUBLE_EQ(minihouse::FeedbackQError(100, 400), 4.0);
   EXPECT_DOUBLE_EQ(minihouse::FeedbackQError(400, 100), 4.0);
   // Both sides floored at 1.

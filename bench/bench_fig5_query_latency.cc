@@ -175,8 +175,8 @@ std::vector<SweepPoint> RunThreadSweep(BenchContext& ctx,
               ctx.workload_name.c_str(),
               static_cast<long long>(kSweepBlockLatencyNanos / 1000));
 
-  minihouse::SetStorageCostFactor(0);
-  minihouse::SetStorageBlockLatencyNanos(kSweepBlockLatencyNanos);
+  ctx.db->SetStorageCostFactor(0);
+  ctx.db->SetStorageBlockLatencyNanos(kSweepBlockLatencyNanos);
 
   minihouse::OptimizerOptions opt;
   opt.max_dop = common::kDefaultMaxDop;
@@ -219,15 +219,16 @@ std::vector<SweepPoint> RunThreadSweep(BenchContext& ctx,
     SweepPoint point;
     point.dop = dop;
     for (double v : exec_ms) point.total_ms += v;
-    point.p50_ms = workload::Quantile(exec_ms, 0.5);
-    point.p99_ms = workload::Quantile(exec_ms, 0.99);
+    const LatencyPercentiles pct = ComputePercentiles(exec_ms);
+    point.p50_ms = pct.p50;
+    point.p99_ms = pct.p99;
     point.speedup =
         sweep.empty() ? 1.0 : sweep.front().total_ms / point.total_ms;
     sweep.push_back(point);
   }
 
-  minihouse::SetStorageBlockLatencyNanos(0);
-  minihouse::SetStorageCostFactor(24);
+  ctx.db->SetStorageBlockLatencyNanos(0);
+  ctx.db->SetStorageCostFactor(24);
 
   PrintRow({"dop", "total ms", "P50 ms", "P99 ms", "speedup"});
   for (const SweepPoint& p : sweep) {
@@ -395,11 +396,6 @@ void WriteThreadSweepJson(
 }
 
 void Run() {
-  // Emulate ByteHouse's regime: scan volume dominates query latency (the
-  // storage layer is remote/disk-bound in production). With this knob the
-  // latency distribution tracks read I/O, which is the mechanism ByteCard's
-  // materialization decisions improve (Figure 6a).
-  minihouse::SetStorageCostFactor(24);
   std::printf(
       "Figure 5: Query Performance (normalized latency percentiles)\n");
   std::printf("scale=%.3f seed=%llu\n", ScaleFactor(),
@@ -412,6 +408,11 @@ void Run() {
     BenchContextOptions options;
     options.scale = ScaleFactor() * 12.0;
     BenchContext ctx = BuildBenchContext(dataset, options);
+    // Emulate ByteHouse's regime: scan volume dominates query latency (the
+    // storage layer is remote/disk-bound in production). With this knob the
+    // latency distribution tracks read I/O, which is the mechanism ByteCard's
+    // materialization decisions improve (Figure 6a).
+    ctx.db->SetStorageCostFactor(24);
     const std::vector<int> executable = RunWorkload(ctx);
     sweeps.emplace_back(ctx.workload_name, RunThreadSweep(ctx, executable));
     projections.emplace_back(ctx.workload_name,

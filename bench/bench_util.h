@@ -20,6 +20,7 @@
 #include "minihouse/executor.h"
 #include "stats/traditional_estimator.h"
 #include "workload/datagen.h"
+#include "workload/qerror.h"
 #include "workload/workload.h"
 
 namespace bytecard::bench {
@@ -197,6 +198,25 @@ struct EstimationProfile {
     parallel_tasks += stats.parallel_tasks;
   }
 };
+
+// --- Latency percentiles ------------------------------------------------------
+// The tail summary every latency bench reports. Delegates to
+// workload::Quantile so latency percentiles and the q-error violin summaries
+// interpolate identically (the linear method of R / NumPy — a quantile
+// falling between observations blends the neighbors).
+struct LatencyPercentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+inline LatencyPercentiles ComputePercentiles(const std::vector<double>& values) {
+  LatencyPercentiles p;
+  p.p50 = workload::Quantile(values, 0.50);
+  p.p90 = workload::Quantile(values, 0.90);
+  p.p99 = workload::Quantile(values, 0.99);
+  return p;
+}
 
 // Markdown-ish row printer so bench output diff-compares cleanly.
 inline void PrintRow(const std::vector<std::string>& cells) {

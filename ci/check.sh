@@ -21,6 +21,12 @@ echo "== bench smoke: planning latency (inference sessions) =="
 # are byte-identical and that the session actually served probes.
 (cd "${BUILD_DIR}/bench" && BYTECARD_SCALE=0.02 ./bench_planning_latency)
 
+echo "== bench smoke: concurrent serving (scheduler) =="
+# Tiny scale, 1/8 streams: asserts internally that concurrently scheduled
+# queries return serial-identical groups and that 1 -> 8 streams more than
+# doubles aggregate QPS in the latency-bound regime.
+(cd "${BUILD_DIR}/bench" && ./bench_concurrent_serving --smoke)
+
 echo "== sanitizer: thread =="
 "${REPO_ROOT}/ci/sanitize.sh" thread
 

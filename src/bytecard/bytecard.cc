@@ -26,6 +26,26 @@ void ByteCard::EnableFeedback() {
   feedback_.store(feedback_owned_.get(), std::memory_order_release);
 }
 
+void ByteCard::StartServing(minihouse::SchedulerOptions options) {
+  scheduler_.reset();  // drain any previous front-end first
+  scheduler_ = std::make_unique<minihouse::QueryScheduler>(this,
+                                                           std::move(options));
+}
+
+void ByteCard::StopServing() { scheduler_.reset(); }
+
+std::shared_ptr<minihouse::QueryTicket> ByteCard::Submit(
+    const minihouse::BoundQuery& query) {
+  BC_CHECK(scheduler_ != nullptr);  // StartServing first
+  return scheduler_->Submit(query);
+}
+
+Result<minihouse::ExecResult> ByteCard::Wait(
+    const std::shared_ptr<minihouse::QueryTicket>& ticket) {
+  BC_CHECK(scheduler_ != nullptr);
+  return scheduler_->Wait(ticket);
+}
+
 Result<std::unique_ptr<ByteCard>> ByteCard::Bootstrap(
     const minihouse::Database& db,
     const std::vector<minihouse::BoundQuery>& workload_hint,

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "minihouse/database.h"
 #include "minihouse/optimizer.h"
+#include "minihouse/scheduler.h"
 #include "stats/sampler.h"
 #include "stats/traditional_estimator.h"
 
@@ -172,6 +173,29 @@ class ByteCard : public minihouse::CardinalityEstimator {
   std::vector<FeedbackAction> ProcessFeedback(
       const minihouse::Database* db = nullptr);
 
+  // --- Concurrent serving ----------------------------------------------------
+  // Brings up the query scheduler front-end over this estimator: subsequent
+  // Submit/Wait calls plan each query against a pinned snapshot and execute
+  // it on the two-lane pool, with admission driven by the query's own
+  // estimated intermediate cardinalities (see minihouse/scheduler.h). Call
+  // once, before serving threads start; replaces (after draining) any
+  // previous scheduler. Model lifecycle calls (RefreshModels, RetrainTable,
+  // ProcessFeedback) remain safe to run while queries are in flight.
+  void StartServing(minihouse::SchedulerOptions options = {});
+
+  // Drains in-flight queries and tears the scheduler down. Call only when no
+  // thread is submitting.
+  void StopServing();
+
+  // Forwarders to the scheduler (StartServing must have run).
+  std::shared_ptr<minihouse::QueryTicket> Submit(
+      const minihouse::BoundQuery& query);
+  Result<minihouse::ExecResult> Wait(
+      const std::shared_ptr<minihouse::QueryTicket>& ticket);
+
+  // Null before StartServing / after StopServing.
+  minihouse::QueryScheduler* scheduler() { return scheduler_.get(); }
+
   // OR-query estimation (paper §5.1.2): COUNT of the union of single-table
   // filter conjunctions via the inclusion-exclusion principle. Disjuncts
   // must all reference `table`; the whole disjunction is answered by one
@@ -239,6 +263,10 @@ class ByteCard : public minihouse::CardinalityEstimator {
   // execution; the atomic lets them read it without the lifecycle lock.
   std::unique_ptr<feedback::FeedbackManager> feedback_owned_;
   std::atomic<feedback::FeedbackManager*> feedback_{nullptr};
+
+  // The serving front-end (null until StartServing). Created/destroyed only
+  // from quiescent call sites; serving threads reach it through Submit/Wait.
+  std::unique_ptr<minihouse::QueryScheduler> scheduler_;
 
   // Immutable after Bootstrap; shared into every snapshot.
   std::shared_ptr<const std::map<std::string, stats::TableSample>> samples_;

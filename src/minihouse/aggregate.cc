@@ -189,7 +189,8 @@ void MergePartial(const std::vector<AggRequest>& aggs, int key_width,
 AggregateResult HashAggregate(const Relation& input,
                               const std::vector<int>& key_columns,
                               const std::vector<AggRequest>& aggs,
-                              int64_t ndv_hint, int dop) {
+                              int64_t ndv_hint, int dop,
+                              const common::MorselPolicy& policy) {
   const std::vector<std::vector<int64_t>>& columns = input.columns;
   AggregateResult result;
   const int key_width = std::max<int>(1, static_cast<int>(key_columns.size()));
@@ -212,10 +213,13 @@ AggregateResult HashAggregate(const Relation& input,
     for (int p = 0; p < dop; ++p) {
       parts.emplace_back(key_width, ndv_hint, num_aggs);
     }
-    common::ParallelMorsels(dop, dop, [&](int64_t p, int /*slot*/) {
-      AccumulateRange(columns, key_columns, aggs, num_rows * p / dop,
-                      num_rows * (p + 1) / dop, &parts[p]);
-    });
+    common::ParallelMorsels(common::ThreadPool::Global(), dop, dop, policy,
+                            [&](int64_t p, int /*slot*/) {
+                              AccumulateRange(columns, key_columns, aggs,
+                                              num_rows * p / dop,
+                                              num_rows * (p + 1) / dop,
+                                              &parts[p]);
+                            });
     parts.emplace_back(key_width, ndv_hint, num_aggs);
     final_part = &parts.back();
     for (int p = 0; p < dop; ++p) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "minihouse/hash_table.h"
 #include "minihouse/query.h"
 #include "minihouse/relation.h"
@@ -47,10 +48,13 @@ struct AggregateResult {
 // identical at any dop; group order and resize_count may differ, so parallel
 // consumers compare results group-key-sorted. resize_count sums over every
 // table involved (partials + final).
+// `policy` schedules the partition helper tasks (the owning query's lane and
+// morsel budget).
 AggregateResult HashAggregate(const Relation& input,
                               const std::vector<int>& key_columns,
                               const std::vector<AggRequest>& aggs,
-                              int64_t ndv_hint, int dop = 1);
+                              int64_t ndv_hint, int dop = 1,
+                              const common::MorselPolicy& policy = {});
 
 }  // namespace bytecard::minihouse
 

@@ -51,29 +51,9 @@ void Column::AppendNumeric(int64_t code) {
 }
 
 namespace {
-std::atomic<int> g_storage_cost_factor{0};
-std::atomic<int64_t> g_storage_block_latency_nanos{0};
 // Sink defeating dead-code elimination of the simulated-storage passes.
 std::atomic<int64_t> g_storage_sink{0};
 }  // namespace
-
-void SetStorageCostFactor(int factor) {
-  g_storage_cost_factor.store(factor < 0 ? 0 : factor,
-                              std::memory_order_relaxed);
-}
-
-int StorageCostFactor() {
-  return g_storage_cost_factor.load(std::memory_order_relaxed);
-}
-
-void SetStorageBlockLatencyNanos(int64_t nanos) {
-  g_storage_block_latency_nanos.store(nanos < 0 ? 0 : nanos,
-                                      std::memory_order_relaxed);
-}
-
-int64_t StorageBlockLatencyNanos() {
-  return g_storage_block_latency_nanos.load(std::memory_order_relaxed);
-}
 
 void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
                        IoStats* io) const {
@@ -88,21 +68,25 @@ void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
   } else {
     std::memcpy(out->data(), ints_.data() + begin, rows * sizeof(int64_t));
   }
-  // Simulated storage latency: extra passes proportional to block volume,
-  // so wall-clock tracks blocks_read the way it does on a disk-bound
-  // warehouse node.
-  const int cost = StorageCostFactor();
-  for (int pass = 0; pass < cost; ++pass) {
-    int64_t checksum = 0;
-    for (int64_t v : *out) checksum += v;
-    g_storage_sink.fetch_add(checksum, std::memory_order_relaxed);
-  }
-  // Simulated storage latency: a blocking wait per block read. Concurrent
-  // readers overlap these waits, so parallel scans recover them — the
-  // disk-bound behaviour the cost-factor spin cannot model.
-  const int64_t latency = StorageBlockLatencyNanos();
-  if (latency > 0) {
-    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+  if (storage_ != nullptr) {
+    // Simulated storage cost: extra passes proportional to block volume, so
+    // wall-clock tracks blocks_read the way it does on a disk-bound
+    // warehouse node.
+    const int cost = storage_->cost_factor.load(std::memory_order_relaxed);
+    for (int pass = 0; pass < cost; ++pass) {
+      int64_t checksum = 0;
+      for (int64_t v : *out) checksum += v;
+      g_storage_sink.fetch_add(checksum, std::memory_order_relaxed);
+    }
+    // Simulated storage latency: a blocking wait per block read. Concurrent
+    // readers overlap these waits, so parallel scans — and concurrent
+    // queries under the scheduler — recover them; the cost-factor spin
+    // cannot model that.
+    const int64_t latency =
+        storage_->block_latency_nanos.load(std::memory_order_relaxed);
+    if (latency > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+    }
   }
   if (io != nullptr) io->AddBlock(rows, bytes_per_row());
 }

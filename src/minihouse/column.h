@@ -101,11 +101,19 @@ class Column {
 
   int64_t bytes_per_row() const { return 8; }
 
+  // Points this column at its database's simulated-storage config. Called by
+  // Database::AddTable; a detached column (unit tests, builders) reads with
+  // no simulated cost or latency.
+  void AttachStorageProfile(const StorageProfile* profile) {
+    storage_ = profile;
+  }
+
   // Approximate in-memory footprint (used by the size checker).
   int64_t MemoryBytes() const;
 
  private:
   DataType type_;
+  const StorageProfile* storage_ = nullptr;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::vector<int64_t>> arrays_;

@@ -7,6 +7,7 @@ Status Database::AddTable(std::unique_ptr<Table> table) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
+  table->AttachStorageProfile(&storage_profile_);
   tables_[name] = std::move(table);
   return Status::Ok();
 }

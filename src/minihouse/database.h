@@ -33,8 +33,22 @@ class Database {
   int64_t TotalRows() const;
   int64_t MemoryBytes() const;
 
+  // Simulated-storage tuning for this database only (see StorageProfile).
+  // Thread-safe; benches may retune while queries are in flight, and two
+  // databases never share a knob.
+  void SetStorageCostFactor(int factor) {
+    storage_profile_.cost_factor.store(factor < 0 ? 0 : factor,
+                                       std::memory_order_relaxed);
+  }
+  void SetStorageBlockLatencyNanos(int64_t nanos) {
+    storage_profile_.block_latency_nanos.store(nanos < 0 ? 0 : nanos,
+                                               std::memory_order_relaxed);
+  }
+  const StorageProfile& storage_profile() const { return storage_profile_; }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  StorageProfile storage_profile_;
 };
 
 }  // namespace bytecard::minihouse

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "minihouse/operators.h"
 
@@ -77,24 +78,30 @@ void CollectFeedback(const PhysicalOperator* op, const PhysicalPlan& plan,
 }  // namespace
 
 Result<ExecResult> ExecuteQuery(const BoundQuery& query,
-                                const PhysicalPlan& plan) {
+                                const PhysicalPlan& plan, QueryContext* ctx) {
+  BC_CHECK(ctx != nullptr);
   Stopwatch timer;
-  BC_ASSIGN_OR_RETURN(CompiledDag dag, CompileOperatorDag(query, plan));
+  BC_ASSIGN_OR_RETURN(CompiledDag dag, CompileOperatorDag(query, plan, ctx));
   BC_ASSIGN_OR_RETURN(Relation groups, dag.root->Execute());
   (void)groups;  // the relational view; benches consume the AggregateResult
 
+  // Merge the per-operator observations into the context's private stats.
+  // Each operator's OperatorStats was written only by this query's operator
+  // tree, and this walk runs after the tree finished, on one thread — the
+  // merge is deterministic and race-free by construction.
   ExecResult result;
   result.agg = dag.root->TakeResult();
-  MergeOperatorStats(dag.root.get(), nullptr, &result.stats);
-  result.stats.exec_ms = timer.ElapsedMillis();
-  result.stats.plan_ms = plan.estimation_ms;
-  result.stats.estimator_calls = plan.estimation.estimator_calls;
-  result.stats.memo_hits = plan.estimation.memo_hits;
-  result.stats.fallback_estimates = plan.estimation.fallback_estimates;
-  result.stats.feedback_hits = plan.estimation.feedback_hits;
-  result.stats.probe_cache_hits = plan.estimation.probe_cache_hits;
-  result.stats.planning_nanos = plan.estimation.planning_nanos;
-  result.stats.snapshot_version = plan.estimation.snapshot_version;
+  ExecStats* stats = ctx->mutable_stats();
+  MergeOperatorStats(dag.root.get(), nullptr, stats);
+  stats->exec_ms = timer.ElapsedMillis();
+  stats->plan_ms = plan.estimation_ms;
+  stats->estimator_calls = plan.estimation.estimator_calls;
+  stats->memo_hits = plan.estimation.memo_hits;
+  stats->fallback_estimates = plan.estimation.fallback_estimates;
+  stats->feedback_hits = plan.estimation.feedback_hits;
+  stats->probe_cache_hits = plan.estimation.probe_cache_hits;
+  stats->planning_nanos = plan.estimation.planning_nanos;
+  stats->snapshot_version = plan.estimation.snapshot_version;
 
   // Close the loop: report every stamped operator's estimate-vs-actual back
   // to the estimator framework.
@@ -102,25 +109,38 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
     QueryFeedback fb;
     fb.snapshot_version = plan.estimation.snapshot_version;
     CollectFeedback(dag.root.get(), plan, &fb);
-    result.stats.feedback_records = static_cast<int64_t>(fb.ops.size());
+    stats->feedback_records = static_cast<int64_t>(fb.ops.size());
     for (const OperatorFeedback& obs : fb.ops) {
-      result.stats.max_op_qerror =
-          std::max(result.stats.max_op_qerror, obs.qerror);
+      stats->max_op_qerror = std::max(stats->max_op_qerror, obs.qerror);
     }
     if (!fb.ops.empty()) plan.feedback->RecordQueryFeedback(std::move(fb));
   }
+  result.stats = *stats;
   return result;
+}
+
+Result<ExecResult> ExecuteQuery(const BoundQuery& query,
+                                const PhysicalPlan& plan) {
+  QueryContext ctx;
+  return ExecuteQuery(query, plan, &ctx);
+}
+
+Result<ExecResult> PlanAndExecute(const BoundQuery& query,
+                                  const Optimizer& optimizer,
+                                  QueryContext* ctx) {
+  // One estimation scope for the whole query: the snapshot pinned at plan
+  // time stays pinned until execution finishes, so late estimator reads
+  // (none today, but e.g. adaptive re-planning later) stay consistent.
+  BC_CHECK(ctx != nullptr && ctx->estimation() != nullptr);
+  const PhysicalPlan plan = optimizer.Plan(query, ctx);
+  return ExecuteQuery(query, plan, ctx);
 }
 
 Result<ExecResult> PlanAndExecute(const BoundQuery& query,
                                   const Optimizer& optimizer,
                                   CardinalityEstimator* estimator) {
-  // One estimation scope for the whole query: the snapshot pinned at plan
-  // time stays pinned until execution finishes, so late estimator reads
-  // (none today, but e.g. adaptive re-planning later) stay consistent.
-  EstimationContext ctx(estimator);
-  const PhysicalPlan plan = optimizer.Plan(query, &ctx);
-  return ExecuteQuery(query, plan);
+  QueryContext ctx(estimator);
+  return PlanAndExecute(query, optimizer, &ctx);
 }
 
 }  // namespace bytecard::minihouse

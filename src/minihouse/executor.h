@@ -9,49 +9,9 @@
 #include "minihouse/join.h"
 #include "minihouse/optimizer.h"
 #include "minihouse/query.h"
+#include "minihouse/query_context.h"
 
 namespace bytecard::minihouse {
-
-// Everything the benches observe about one query execution.
-struct ExecStats {
-  IoStats io;
-  int64_t agg_resize_count = 0;
-  int64_t agg_final_capacity = 0;
-  int64_t intermediate_rows = 0;  // summed join-output sizes
-  // Rows materialized by probe-side scans (what SIP prunes).
-  int64_t probe_rows_materialized = 0;
-  // Late-projection accounting. intermediate_values sums, over join steps,
-  // rows x width of what actually flows downstream (after any ProjectOp);
-  // peak_intermediate_values is the largest single step. columns_pruned
-  // counts slots dropped by ProjectOps across the query.
-  int64_t intermediate_values = 0;
-  int64_t peak_intermediate_values = 0;
-  int64_t columns_pruned = 0;
-  // Parallel execution: max dop any operator ran at (1 = fully serial) and
-  // total morsels/partitions executed through the thread pool.
-  int threads_used = 1;
-  int64_t parallel_tasks = 0;
-  // Partial groups folded during parallel aggregation merges (0 when the
-  // aggregation ran serially).
-  int64_t agg_merge_groups = 0;
-  double exec_ms = 0.0;           // execution only
-  double plan_ms = 0.0;           // optimizer (incl. estimator) time
-  // Estimation-path accounting (copied from the plan's EstimationStats).
-  int64_t estimator_calls = 0;
-  int64_t memo_hits = 0;
-  int64_t fallback_estimates = 0;
-  int64_t feedback_hits = 0;      // estimates served from the feedback cache
-  // Per-query inference-session probes answered from the session memo (BN
-  // probes / FactorJoin bucket vectors reused across join-order subsets).
-  int64_t probe_cache_hits = 0;
-  int64_t planning_nanos = 0;     // optimizer wall time, ns (= plan_ms source)
-  uint64_t snapshot_version = 0;  // model snapshot the plan was built on
-  // Runtime-feedback capture for this query (0/1.0 when feedback is off):
-  // estimate-vs-actual observations emitted and the worst per-operator
-  // q-error among them.
-  int64_t feedback_records = 0;
-  double max_op_qerror = 1.0;
-};
 
 struct ExecResult {
   AggregateResult agg;
@@ -64,15 +24,30 @@ struct ExecResult {
   }
 };
 
-// Runs a bound query under a physical plan: compiles it into a physical
-// operator DAG (scans with reader choice + column order, left-deep hash
-// joins in plan order with late projection, hash aggregation with the plan's
-// NDV hint — see operators.h), executes the tree, and merges the
-// per-operator stats into one ExecStats.
+// Runs a bound query under a physical plan within `ctx`'s scope: compiles it
+// into a physical operator DAG (scans with reader choice + column order,
+// left-deep hash joins in plan order with late projection, hash aggregation
+// with the plan's NDV hint — see operators.h), executes the tree under the
+// context's lane/morsel budget, and merges the per-operator stats into the
+// context's private ExecStats (also returned in the result). `ctx` must be
+// non-null and serve only this query.
+Result<ExecResult> ExecuteQuery(const BoundQuery& query,
+                                const PhysicalPlan& plan, QueryContext* ctx);
+
+// Single-query convenience: executes under a fresh default context (fast
+// lane, unbudgeted, no estimation scope).
 Result<ExecResult> ExecuteQuery(const BoundQuery& query,
                                 const PhysicalPlan& plan);
 
-// Plans with `optimizer`/`estimator` and executes; fills both timing fields.
+// Plans and executes inside `ctx`'s estimation scope (which must exist): the
+// snapshot pinned at plan time stays pinned until execution finishes. Fills
+// both timing fields.
+Result<ExecResult> PlanAndExecute(const BoundQuery& query,
+                                  const Optimizer& optimizer,
+                                  QueryContext* ctx);
+
+// Single-query convenience: plans and executes under a fresh context pinning
+// `estimator`.
 Result<ExecResult> PlanAndExecute(const BoundQuery& query,
                                   const Optimizer& optimizer,
                                   CardinalityEstimator* estimator);

@@ -1,6 +1,7 @@
 #ifndef BYTECARD_MINIHOUSE_IO_STATS_H_
 #define BYTECARD_MINIHOUSE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace bytecard::minihouse {
@@ -10,21 +11,28 @@ namespace bytecard::minihouse {
 // reader saves I/O precisely by skipping blocks whose candidate set is empty.
 inline constexpr int64_t kBlockRows = 4096;
 
-// Simulated storage cost: when > 0, every block read performs `factor`
-// extra passes over the block, emulating an I/O-bound storage layer (the
-// regime ByteHouse operates in, where scan volume dominates latency).
-// Default 0 = pure in-memory. Benches that reproduce latency figures set it;
-// tests leave it off.
-void SetStorageCostFactor(int factor);
-int StorageCostFactor();
-
-// Simulated storage *latency*: when > 0, every block read blocks the calling
-// thread for this many nanoseconds. Unlike the cost factor (CPU passes that
-// serialize on the core), latency overlaps across concurrent readers — the
-// property of a remote/disk-bound storage layer that morsel-parallel scans
-// recover, and what the Fig 5 thread sweep measures. Default 0 = off.
-void SetStorageBlockLatencyNanos(int64_t nanos);
-int64_t StorageBlockLatencyNanos();
+// Simulated storage behaviour for one database, owned by the Database and
+// shared (read-only) by its columns. Replaces the former process-global
+// SetStorageCostFactor / SetStorageBlockLatencyNanos knobs so that benches
+// with different latency configs can run concurrently without interfering —
+// a requirement once the scheduler keeps N queries in flight.
+//
+//   cost_factor          > 0: every block read performs that many extra
+//                         passes over the block (CPU work that serializes on
+//                         the core), emulating an I/O-bound storage layer.
+//   block_latency_nanos  > 0: every block read sleeps this long. Unlike the
+//                         cost factor, these waits overlap across concurrent
+//                         readers — the remote/disk-bound behaviour that
+//                         morsel-parallel scans (Fig 5) and the concurrent
+//                         scheduler recover.
+//
+// Both default to 0 = pure in-memory. Benches that reproduce latency figures
+// set them per database; tests leave them off. Fields are atomic so a bench
+// can retune them while queries are in flight.
+struct StorageProfile {
+  std::atomic<int> cost_factor{0};
+  std::atomic<int64_t> block_latency_nanos{0};
+};
 
 // Per-query I/O accounting. The executor threads one IoStats through a query;
 // Figure 6a reports the blocks_read totals.

@@ -108,7 +108,8 @@ JoinHashTable::JoinHashTable(const Relation& build,
 Result<Relation> HashJoin(const Relation& left, const Relation& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys, int dop,
-                          JoinRunInfo* info) {
+                          JoinRunInfo* info,
+                          const common::MorselPolicy& policy) {
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
@@ -156,7 +157,8 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
     // serial probe because matches within a probe row are already emitted in
     // ascending build-row order.
     std::vector<ProbePart> parts(dop);
-    common::ParallelMorsels(dop, dop, [&](int64_t p, int /*slot*/) {
+    common::ParallelMorsels(common::ThreadPool::Global(), dop, dop, policy,
+                            [&](int64_t p, int /*slot*/) {
       const int64_t r0 = probe_rows_total * p / dop;
       const int64_t r1 = probe_rows_total * (p + 1) / dop;
       ProbeRange(ht, build, build_keys, probe, probe_keys, r0, r1, &parts[p]);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "minihouse/relation.h"
 
 namespace bytecard::minihouse {
@@ -58,11 +59,13 @@ struct JoinRunInfo {
 // Builds on the smaller side (always serially); with dop > 1 the probe side
 // is split into contiguous partitions probed concurrently and concatenated in
 // partition order, so output is identical at any dop. Output carries all
-// columns of both inputs.
+// columns of both inputs. `policy` schedules the probe partitions' helper
+// tasks (the owning query's lane and morsel budget).
 Result<Relation> HashJoin(const Relation& left, const Relation& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys, int dop = 1,
-                          JoinRunInfo* info = nullptr);
+                          JoinRunInfo* info = nullptr,
+                          const common::MorselPolicy& policy = {});
 
 }  // namespace bytecard::minihouse
 

@@ -28,8 +28,10 @@ int FindSlot(const std::vector<ColumnId>& ids, const ColumnId& id) {
 
 // --- ScanOp ------------------------------------------------------------------
 
-ScanOp::ScanOp(const BoundQuery& query, int table_idx, TableScanPlan scan_plan)
+ScanOp::ScanOp(const BoundQuery& query, int table_idx, TableScanPlan scan_plan,
+               const QueryContext* ctx)
     : ref_(query.tables[table_idx]),
+      ctx_(ctx),
       table_idx_(table_idx),
       scan_plan_(std::move(scan_plan)),
       output_schema_columns_(RequiredScanColumns(query, table_idx)) {
@@ -47,6 +49,7 @@ Result<Relation> ScanOp::Execute() {
   options.filter_order = scan_plan_.filter_order;
   options.sip = sip_;
   options.dop = scan_plan_.dop;
+  options.morsel_policy = ctx_->morsel_policy();
   ScanResult scanned = ScanTable(*ref_.table, ref_.filters,
                                  output_schema_columns_, options, &stats_.io);
   stats_.dop_used = scanned.dop_used;
@@ -102,12 +105,13 @@ Result<Relation> ProjectOp::Execute() {
 HashJoinOp::HashJoinOp(std::unique_ptr<PhysicalOperator> build,
                        std::unique_ptr<PhysicalOperator> probe,
                        std::vector<int> build_keys, std::vector<int> probe_keys,
-                       int dop)
+                       int dop, const QueryContext* ctx)
     : build_(std::move(build)),
       probe_(std::move(probe)),
       build_keys_(std::move(build_keys)),
       probe_keys_(std::move(probe_keys)),
-      dop_(dop) {
+      dop_(dop),
+      ctx_(ctx) {
   output_ids_ = build_->output_columns();
   const std::vector<ColumnId>& right = probe_->output_columns();
   output_ids_.insert(output_ids_.end(), right.begin(), right.end());
@@ -142,9 +146,9 @@ Result<Relation> HashJoinOp::Execute() {
   stats_.probe_rows = probe.num_rows();
 
   JoinRunInfo info;
-  BC_ASSIGN_OR_RETURN(
-      Relation out,
-      HashJoin(build, probe, build_keys_, probe_keys_, dop_, &info));
+  BC_ASSIGN_OR_RETURN(Relation out,
+                      HashJoin(build, probe, build_keys_, probe_keys_, dop_,
+                               &info, ctx_->morsel_policy()));
   stats_.dop_used = info.dop_used;
   stats_.parallel_tasks = info.parallel_tasks;
   stats_.rows_out = out.num_rows();
@@ -157,12 +161,13 @@ Result<Relation> HashJoinOp::Execute() {
 AggregateOp::AggregateOp(std::unique_ptr<PhysicalOperator> child,
                          std::vector<int> key_slots,
                          std::vector<AggRequest> aggs, int64_t ndv_hint,
-                         int dop)
+                         int dop, const QueryContext* ctx)
     : child_(std::move(child)),
       key_slots_(std::move(key_slots)),
       aggs_(std::move(aggs)),
       ndv_hint_(ndv_hint),
-      dop_(dop) {
+      dop_(dop),
+      ctx_(ctx) {
   const std::vector<ColumnId>& in = child_->output_columns();
   output_ids_.reserve(key_slots_.size());
   for (int s : key_slots_) {
@@ -173,7 +178,8 @@ AggregateOp::AggregateOp(std::unique_ptr<PhysicalOperator> child,
 
 Result<Relation> AggregateOp::Execute() {
   BC_ASSIGN_OR_RETURN(Relation in, child_->Execute());
-  result_ = HashAggregate(in, key_slots_, aggs_, ndv_hint_, dop_);
+  result_ = HashAggregate(in, key_slots_, aggs_, ndv_hint_, dop_,
+                          ctx_->morsel_policy());
   stats_.dop_used = result_.dop_used;
   stats_.parallel_tasks = result_.parallel_tasks;
   stats_.agg_resize_count = result_.resize_count;
@@ -197,7 +203,9 @@ Result<Relation> AggregateOp::Execute() {
 // --- Compilation -------------------------------------------------------------
 
 Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
-                                       const PhysicalPlan& plan) {
+                                       const PhysicalPlan& plan,
+                                       const QueryContext* ctx) {
+  BC_CHECK(ctx != nullptr);
   if (query.tables.empty()) {
     return Status::InvalidArgument("query has no tables");
   }
@@ -272,14 +280,14 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
   };
 
   auto first_scan =
-      std::make_unique<ScanOp>(query, order[0], plan.scans[order[0]]);
+      std::make_unique<ScanOp>(query, order[0], plan.scans[order[0]], ctx);
   stamp_scan(first_scan.get(), order[0]);
   std::unique_ptr<PhysicalOperator> op = std::move(first_scan);
   std::set<int> joined = {order[0]};
 
   for (size_t step = 1; step < order.size(); ++step) {
     const int t = order[step];
-    auto scan = std::make_unique<ScanOp>(query, t, plan.scans[t]);
+    auto scan = std::make_unique<ScanOp>(query, t, plan.scans[t], ctx);
     ScanOp* scan_raw = scan.get();
     stamp_scan(scan_raw, t);
 
@@ -323,7 +331,7 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
         t < static_cast<int>(plan.join_dop.size()) ? plan.join_dop[t] : 1;
     auto join = std::make_unique<HashJoinOp>(
         std::move(op), std::move(scan), std::move(build_keys),
-        std::move(probe_keys), join_dop);
+        std::move(probe_keys), join_dop, ctx);
     if (plan.use_sip) {
       join->EnableSip(scan_raw, sip_probe_schema_col,
                       query.tables[t].table->num_rows());
@@ -398,7 +406,7 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
   CompiledDag dag;
   dag.root = std::make_unique<AggregateOp>(
       std::move(op), std::move(key_slots), std::move(agg_requests),
-      plan.group_ndv_hint, plan.agg_dop);
+      plan.group_ndv_hint, plan.agg_dop, ctx);
   // Group-NDV observation: only when the optimizer actually priced the NDV
   // question (hint > 0 means EstimateGroupNdv ran and sized the hash table).
   if (capture && !query.group_by.empty() && plan.group_ndv_hint > 0) {

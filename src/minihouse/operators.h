@@ -14,6 +14,7 @@
 #include "minihouse/join.h"
 #include "minihouse/optimizer.h"
 #include "minihouse/query.h"
+#include "minihouse/query_context.h"
 #include "minihouse/relation.h"
 
 namespace bytecard::minihouse {
@@ -88,7 +89,10 @@ class PhysicalOperator {
 // filter (SIP) immediately before execution.
 class ScanOp : public PhysicalOperator {
  public:
-  ScanOp(const BoundQuery& query, int table_idx, TableScanPlan scan_plan);
+  // `ctx` (non-null, not owned) supplies the owning query's morsel policy;
+  // it must outlive Execute.
+  ScanOp(const BoundQuery& query, int table_idx, TableScanPlan scan_plan,
+         const QueryContext* ctx);
 
   OpKind kind() const override { return OpKind::kScan; }
   const char* name() const override { return "Scan"; }
@@ -113,6 +117,7 @@ class ScanOp : public PhysicalOperator {
 
  private:
   const BoundTableRef& ref_;
+  const QueryContext* ctx_;
   int table_idx_;
   TableScanPlan scan_plan_;
   SemiJoinFilter sip_;
@@ -153,10 +158,11 @@ class ProjectOp : public PhysicalOperator {
 // key into the probe ScanOp before executing it (paper §3.1.2).
 class HashJoinOp : public PhysicalOperator {
  public:
+  // `ctx` (non-null, not owned) supplies the owning query's morsel policy.
   HashJoinOp(std::unique_ptr<PhysicalOperator> build,
              std::unique_ptr<PhysicalOperator> probe,
              std::vector<int> build_keys, std::vector<int> probe_keys,
-             int dop);
+             int dop, const QueryContext* ctx);
 
   OpKind kind() const override { return OpKind::kHashJoin; }
   const char* name() const override { return "HashJoin"; }
@@ -186,6 +192,7 @@ class HashJoinOp : public PhysicalOperator {
   std::vector<int> build_keys_;  // slots in the build child's output
   std::vector<int> probe_keys_;  // slots in the probe child's output
   int dop_;
+  const QueryContext* ctx_;
   ScanOp* sip_scan_ = nullptr;  // non-owning alias of probe_ when armed
   int sip_probe_column_ = -1;
   int64_t sip_probe_table_rows_ = 0;
@@ -198,9 +205,10 @@ class HashJoinOp : public PhysicalOperator {
 // TakeResult().
 class AggregateOp : public PhysicalOperator {
  public:
+  // `ctx` (non-null, not owned) supplies the owning query's morsel policy.
   AggregateOp(std::unique_ptr<PhysicalOperator> child,
               std::vector<int> key_slots, std::vector<AggRequest> aggs,
-              int64_t ndv_hint, int dop);
+              int64_t ndv_hint, int dop, const QueryContext* ctx);
 
   OpKind kind() const override { return OpKind::kAggregate; }
   const char* name() const override { return "Aggregate"; }
@@ -224,6 +232,7 @@ class AggregateOp : public PhysicalOperator {
   std::vector<AggRequest> aggs_;
   int64_t ndv_hint_;
   int dop_;
+  const QueryContext* ctx_;
   std::vector<ColumnId> output_ids_;
   AggregateResult result_;
 };
@@ -245,9 +254,12 @@ struct CompiledDag {
 //   5. roots the tree with an AggregateOp resolving group keys and aggregate
 //      inputs to slots via the column-identity map.
 // All slot arithmetic happens here, at compile time — execution never looks
-// up a column by name.
+// up a column by name. `ctx` is the owning query's context (non-null, not
+// owned): every operator in the tree schedules its fan-outs through the
+// context's lane and morsel budget, and must not outlive it.
 Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
-                                       const PhysicalPlan& plan);
+                                       const PhysicalPlan& plan,
+                                       const QueryContext* ctx);
 
 }  // namespace bytecard::minihouse
 

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "minihouse/query_context.h"
 
 namespace bytecard::minihouse {
 
@@ -421,9 +422,13 @@ PhysicalPlan Optimizer::Plan(const BoundQuery& query,
   plan.estimation_ms = timer.ElapsedMillis();
   plan.estimation = ctx->stats();
   plan.estimation.planning_nanos = timer.ElapsedNanos();
+  // The join-subset estimates priced during planning travel on the plan
+  // unconditionally: operator feedback stamping *and* the scheduler's
+  // admission classification read them, and the latter must work with
+  // feedback off.
+  plan.join_estimates = ctx->join_memo();
   if (ctx->feedback_hook() != nullptr) {
     plan.feedback = ctx->feedback_hook();
-    plan.join_estimates = ctx->join_memo();
     plan.feedback_served = ctx->feedback_served();
   }
   return plan;
@@ -433,6 +438,12 @@ PhysicalPlan Optimizer::Plan(const BoundQuery& query,
                              CardinalityEstimator* estimator) const {
   EstimationContext ctx(estimator);
   return Plan(query, &ctx);
+}
+
+PhysicalPlan Optimizer::Plan(const BoundQuery& query,
+                             QueryContext* ctx) const {
+  BC_CHECK(ctx != nullptr && ctx->estimation() != nullptr);
+  return Plan(query, ctx->estimation());
 }
 
 }  // namespace bytecard::minihouse

@@ -16,6 +16,8 @@
 
 namespace bytecard::minihouse {
 
+class QueryContext;  // query_context.h (which includes this header)
+
 // The estimator interface the optimizer is parameterized by. Implemented by
 // the traditional sketch-based estimator, the sample-based estimator, and the
 // ByteCard facade — the three systems Figure 5/6/7 compare. Estimation cost
@@ -269,6 +271,11 @@ class Optimizer {
   // Plans inside a caller-owned estimation scope (the caller controls the
   // snapshot pin's lifetime — e.g. to extend it over execution).
   PhysicalPlan Plan(const BoundQuery& query, EstimationContext* ctx) const;
+
+  // Plans inside a query context's estimation scope (which must exist): the
+  // per-query entry point the scheduler and executor use. The pin lives as
+  // long as the context — through execution.
+  PhysicalPlan Plan(const BoundQuery& query, QueryContext* ctx) const;
 
  private:
   TableScanPlan PlanScan(const BoundTableRef& ref,

@@ -203,12 +203,14 @@ ScanResult ScanTable(const Table& table, const Conjunction& filters,
       dop, (num_blocks + kScanMorselBlocks - 1) / kScanMorselBlocks);
   std::vector<ScanResult> parts(morsels);
   std::vector<IoStats> worker_io(dop);
-  common::ParallelMorsels(morsels, dop, [&](int64_t m, int slot) {
-    parts[m].materialized.resize(output_columns.size());
-    const int64_t b0 = num_blocks * m / morsels;
-    const int64_t b1 = num_blocks * (m + 1) / morsels;
-    scan_range(b0, b1, &parts[m], &worker_io[slot]);
-  });
+  common::ParallelMorsels(common::ThreadPool::Global(), morsels, dop,
+                          options.morsel_policy, [&](int64_t m, int slot) {
+                            parts[m].materialized.resize(
+                                output_columns.size());
+                            const int64_t b0 = num_blocks * m / morsels;
+                            const int64_t b1 = num_blocks * (m + 1) / morsels;
+                            scan_range(b0, b1, &parts[m], &worker_io[slot]);
+                          });
 
   int64_t total_rows = 0;
   for (const ScanResult& part : parts) total_rows += part.rows_matched();

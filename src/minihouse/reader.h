@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bloom.h"
+#include "common/thread_pool.h"
 #include "minihouse/io_stats.h"
 #include "minihouse/predicate.h"
 #include "minihouse/table.h"
@@ -42,6 +43,10 @@ struct ScanOptions {
   // block ranges merged back in block order, and every block is read by
   // exactly one worker.
   int dop = 1;
+  // Scheduling of the scan's helper tasks: the owning query's lane and
+  // morsel budget (from its QueryContext). Defaults reproduce standalone
+  // behaviour — fast lane, unbudgeted.
+  common::MorselPolicy morsel_policy;
 };
 
 // Output of a table scan: surviving row ids plus materialized tuples for the

@@ -38,6 +38,13 @@ class Table {
   // Call once after bulk-building the columns.
   Status Seal();
 
+  // Forwards the owning database's simulated-storage config to every column.
+  // Database::AddTable calls this; columns_ never reallocates after
+  // construction, so the pointer each column keeps stays valid.
+  void AttachStorageProfile(const StorageProfile* profile) {
+    for (Column& c : columns_) c.AttachStorageProfile(profile);
+  }
+
   int64_t MemoryBytes() const;
 
  private:

@@ -330,7 +330,8 @@ TEST(RequestFingerprintTest, MemoFeedbackAndStampKeysAgree) {
   EXPECT_TRUE(asked.count(gndv)) << gndv;
 
   // Operator stamps in the compiled DAG carry the same keys.
-  auto dag = minihouse::CompileOperatorDag(query, plan);
+  minihouse::QueryContext qctx;
+  auto dag = minihouse::CompileOperatorDag(query, plan, &qctx);
   ASSERT_TRUE(dag.ok()) << dag.status().ToString();
   std::set<std::string> stamped;
   std::vector<const minihouse::PhysicalOperator*> walk = {

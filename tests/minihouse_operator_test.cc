@@ -127,9 +127,11 @@ TEST(RequiredColumnsTest, JoinKeysDieAtTheirConsumingStep) {
 TEST(OperatorDagTest, CompilesProjectionsAtColumnDeathPoints) {
   auto db = BuildThreeTableDb();
   const BoundQuery query = ThreeTableQuery(*db);
+  QueryContext qctx;
   Result<CompiledDag> dag =
       CompileOperatorDag(query, MakePlan(query, /*prune=*/true,
-                                         /*sip=*/true, /*dop=*/1));
+                                         /*sip=*/true, /*dop=*/1),
+                         &qctx);
   ASSERT_TRUE(dag.ok()) << dag.status().ToString();
 
   // Aggregate -> Project -> HashJoin -> {Project -> HashJoin -> {Scan, Scan},
@@ -162,9 +164,11 @@ TEST(OperatorDagTest, CompilesProjectionsAtColumnDeathPoints) {
 TEST(OperatorDagTest, NoProjectionsWhenPruningDisabled) {
   auto db = BuildThreeTableDb();
   const BoundQuery query = ThreeTableQuery(*db);
+  QueryContext qctx;
   Result<CompiledDag> dag =
       CompileOperatorDag(query, MakePlan(query, /*prune=*/false,
-                                         /*sip=*/true, /*dop=*/1));
+                                         /*sip=*/true, /*dop=*/1),
+                         &qctx);
   ASSERT_TRUE(dag.ok());
   const PhysicalOperator* op = dag.value().root.get();
   while (op != nullptr) {
@@ -177,8 +181,9 @@ TEST(OperatorDagTest, RejectsDisconnectedJoinGraph) {
   auto db = BuildThreeTableDb();
   BoundQuery query = ThreeTableQuery(*db);
   query.joins.pop_back();  // item no longer reachable
+  QueryContext qctx;
   Result<CompiledDag> dag =
-      CompileOperatorDag(query, MakePlan(query, true, true, 1));
+      CompileOperatorDag(query, MakePlan(query, true, true, 1), &qctx);
   ASSERT_FALSE(dag.ok());
   EXPECT_EQ(dag.status().code(), StatusCode::kInvalidArgument);
 }

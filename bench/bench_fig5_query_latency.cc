@@ -7,7 +7,10 @@
 //
 // A second pass per workload sweeps the degree of parallelism (1/2/4/8) over
 // the same executable queries under a latency-bound storage model and writes
-// the results to BENCH_fig5_threads.json.
+// the results to BENCH_fig5_threads.json. A third pass runs the same slice
+// with kernel specialization (DESIGN.md §11) on vs off at dop 1 in the
+// CPU-bound regime; its per-workload gains ride in the same JSON under
+// "specialization".
 
 #include <algorithm>
 #include <cmath>
@@ -238,6 +241,93 @@ std::vector<SweepPoint> RunThreadSweep(BenchContext& ctx,
   return sweep;
 }
 
+// --- Specialization study ----------------------------------------------------
+
+// What the estimate-driven operator kernels (DESIGN.md §11) gain end-to-end:
+// the executable slice runs twice at dop 1 — specialization on and off — in
+// the CPU-bound regime (no simulated storage cost), where kernel choice is
+// the only thing that can move the needle. Results must be identical.
+struct SpecializationPoint {
+  int queries = 0;
+  double on_ms = 0.0;
+  double off_ms = 0.0;
+  double speedup = 1.0;  // off total / on total
+  int64_t specialized_ops = 0;
+  int64_t dense_agg_ops = 0;
+  int64_t array_join_ops = 0;
+  int64_t predicate_kernel_blocks = 0;
+  int64_t despecialized_morsels = 0;
+};
+
+SpecializationPoint RunSpecializationStudy(BenchContext& ctx,
+                                           const std::vector<int>& executable) {
+  std::printf("\nFigure 5 specialization study (%s): dop 1, CPU-bound\n",
+              ctx.workload_name.c_str());
+
+  ctx.db->SetStorageCostFactor(0);
+  ctx.db->SetStorageBlockLatencyNanos(0);
+
+  const minihouse::Optimizer specialized;  // specialize_operators defaults on
+  minihouse::OptimizerOptions generic_opt;
+  generic_opt.specialize_operators = false;
+  generic_opt.specialized_predicates = false;
+  const minihouse::Optimizer generic(generic_opt);
+
+  SpecializationPoint point;
+  for (int qi : executable) {
+    const auto& wq = ctx.workload.queries[qi];
+    const minihouse::PhysicalPlan on_plan =
+        ClampPlanDop(specialized.Plan(wq.query, ctx.bytecard.get()), 1);
+    const minihouse::PhysicalPlan off_plan =
+        ClampPlanDop(generic.Plan(wq.query, ctx.bytecard.get()), 1);
+
+    Stopwatch on_timer;
+    auto on = minihouse::ExecuteQuery(wq.query, on_plan);
+    const double on_ms = on_timer.ElapsedMillis();
+    Stopwatch off_timer;
+    auto off = minihouse::ExecuteQuery(wq.query, off_plan);
+    const double off_ms = off_timer.ElapsedMillis();
+    BC_CHECK_OK(on.status());
+    BC_CHECK_OK(off.status());
+
+    // Identity: specialization must not change results or I/O, and the
+    // generic leg must not report any specialized work.
+    CheckSameGroups(SortedGroups(off.value().agg),
+                    SortedGroups(on.value().agg), 1, qi);
+    BC_CHECK(on.value().stats.io.blocks_read ==
+             off.value().stats.io.blocks_read)
+        << "query " << qi << ": specialization changed blocks_read";
+    BC_CHECK(off.value().stats.specialized_ops == 0 &&
+             off.value().stats.predicate_kernel_blocks == 0)
+        << "query " << qi << ": generic leg ran specialized kernels";
+
+    point.queries += 1;
+    point.on_ms += on_ms;
+    point.off_ms += off_ms;
+    point.specialized_ops += on.value().stats.specialized_ops;
+    point.dense_agg_ops += on.value().stats.dense_agg_ops;
+    point.array_join_ops += on.value().stats.array_join_ops;
+    point.predicate_kernel_blocks += on.value().stats.predicate_kernel_blocks;
+    point.despecialized_morsels += on.value().stats.despecialized_morsels;
+  }
+  if (point.on_ms > 0.0) point.speedup = point.off_ms / point.on_ms;
+
+  ctx.db->SetStorageCostFactor(24);
+
+  PrintRow({"leg", "total ms", "specialized ops", "kernel blocks"});
+  PrintRow({"specialization off", Fmt(point.off_ms), "0", "0"});
+  PrintRow({"specialization on", Fmt(point.on_ms),
+            std::to_string(point.specialized_ops),
+            std::to_string(point.predicate_kernel_blocks)});
+  std::printf("speedup %sx (dense agg %lld, array join %lld, "
+              "despecialized %lld)\n",
+              Fmt(point.speedup).c_str(),
+              static_cast<long long>(point.dense_agg_ops),
+              static_cast<long long>(point.array_join_ops),
+              static_cast<long long>(point.despecialized_morsels));
+  return point;
+}
+
 // --- Projection study --------------------------------------------------------
 
 // What late projection saves on one workload: the width of the data flowing
@@ -359,8 +449,8 @@ void WriteProjectionJson(
 }
 
 void WriteThreadSweepJson(
-    const std::vector<std::pair<std::string, std::vector<SweepPoint>>>&
-        sweeps) {
+    const std::vector<std::pair<std::string, std::vector<SweepPoint>>>& sweeps,
+    const std::vector<std::pair<std::string, SpecializationPoint>>& specs) {
   const char* path = "BENCH_fig5_threads.json";
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -388,7 +478,24 @@ void WriteThreadSweepJson(
                    p.dop, p.total_ms, p.p50_ms, p.p99_ms, p.speedup,
                    i + 1 < points.size() ? "," : "");
     }
-    std::fprintf(f, "    ]}%s\n", w + 1 < sweeps.size() ? "," : "");
+    std::fprintf(f, "    ],\n");
+    const SpecializationPoint& s = specs[w].second;
+    std::fprintf(f,
+                 "     \"specialization\": {\"on_ms\": %.3f, \"off_ms\": %.3f,"
+                 " \"speedup\": %.3f,\n",
+                 s.on_ms, s.off_ms, s.speedup);
+    std::fprintf(f,
+                 "       \"specialized_ops\": %lld, \"dense_agg_ops\": %lld,"
+                 " \"array_join_ops\": %lld,\n",
+                 static_cast<long long>(s.specialized_ops),
+                 static_cast<long long>(s.dense_agg_ops),
+                 static_cast<long long>(s.array_join_ops));
+    std::fprintf(f,
+                 "       \"predicate_kernel_blocks\": %lld,"
+                 " \"despecialized_morsels\": %lld}}%s\n",
+                 static_cast<long long>(s.predicate_kernel_blocks),
+                 static_cast<long long>(s.despecialized_morsels),
+                 w + 1 < sweeps.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -401,6 +508,7 @@ void Run() {
   std::printf("scale=%.3f seed=%llu\n", ScaleFactor(),
               static_cast<unsigned long long>(BenchSeed()));
   std::vector<std::pair<std::string, std::vector<SweepPoint>>> sweeps;
+  std::vector<std::pair<std::string, SpecializationPoint>> specs;
   std::vector<std::pair<std::string, ProjectionPoint>> projections;
   for (const char* dataset : {"imdb", "stats", "aeolus"}) {
     // Figure 5 is an end-to-end latency figure: run at 12x the base scale so
@@ -415,10 +523,12 @@ void Run() {
     ctx.db->SetStorageCostFactor(24);
     const std::vector<int> executable = RunWorkload(ctx);
     sweeps.emplace_back(ctx.workload_name, RunThreadSweep(ctx, executable));
+    specs.emplace_back(ctx.workload_name,
+                       RunSpecializationStudy(ctx, executable));
     projections.emplace_back(ctx.workload_name,
                              RunProjectionStudy(ctx, executable));
   }
-  WriteThreadSweepJson(sweeps);
+  WriteThreadSweepJson(sweeps, specs);
   WriteProjectionJson(projections);
 }
 

@@ -58,9 +58,15 @@ void Run() {
     options.agg_queries = 4;
     BenchContext ctx = BuildBenchContext("aeolus", options);
 
-    minihouse::Optimizer with_hint;
+    // Kernel specialization off for every leg: this figure isolates the
+    // hash-table sizing mechanism, and the dense-array aggregate (which
+    // never resizes) would flatten the signal it measures.
+    minihouse::OptimizerOptions hinted;
+    hinted.specialize_operators = false;
+    minihouse::Optimizer with_hint(hinted);
     minihouse::OptimizerOptions no_hint;
     no_hint.use_ndv_hint = false;
+    no_hint.specialize_operators = false;
     minihouse::Optimizer without_hint(no_hint);
 
     int64_t with = 0;

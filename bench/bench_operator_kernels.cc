@@ -1,0 +1,308 @@
+// Microbenchmark for the estimate-driven specialized operator kernels
+// (DESIGN.md §11): the dense-array (counting) aggregate vs the aggregation
+// hash table, the array-index join vs the hash join, and the tight-loop
+// predicate kernels vs the generic row-at-a-time path — all at dop 1, each
+// leg asserting result identity against its generic twin before reporting.
+// Writes BENCH_operator_kernels.json.
+//
+// Usage: bench_operator_kernels [--smoke]
+//   --smoke (or BYTECARD_SMOKE=1): smaller inputs, fewer repetitions — the
+//   CI smoke configuration. The identity checks and the >= 2x headline
+//   assertion (on the best of the two guarded kernels) run in both modes.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "minihouse/aggregate.h"
+#include "minihouse/join.h"
+#include "minihouse/predicate.h"
+#include "minihouse/relation.h"
+
+namespace bytecard::bench {
+namespace {
+
+using minihouse::AggFunc;
+using minihouse::AggregateResult;
+using minihouse::AggRequest;
+using minihouse::ArrayJoinSpec;
+using minihouse::ColumnPredicate;
+using minihouse::CompareOp;
+using minihouse::DenseAggSpec;
+using minihouse::HashAggregate;
+using minihouse::HashJoin;
+using minihouse::JoinRunInfo;
+using minihouse::Relation;
+
+struct KernelPoint {
+  std::string name;
+  double generic_ms = 0.0;
+  double specialized_ms = 0.0;
+  double speedup = 1.0;
+};
+
+// Deterministic 64-bit LCG: the bench depends on no workload machinery.
+uint64_t Next(uint64_t* state) {
+  *state = *state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return *state;
+}
+
+struct PairTiming {
+  double generic_ms = 0.0;      // fastest generic rep
+  double specialized_ms = 0.0;  // fastest specialized rep
+  double speedup = 1.0;         // median of per-rep adjacent ratios
+};
+
+// Interleaved best-of-N: each rep times the generic and the specialized leg
+// back-to-back, so frequency scaling and scheduler noise on the 1-core CI
+// box hit both legs alike; the speedup is the median of the per-rep ratios
+// (robust to one slow slice), while the reported times are the per-leg
+// minima.
+template <typename G, typename S>
+PairTiming MeasurePair(int reps, G&& generic, S&& specialized) {
+  PairTiming timing;
+  std::vector<double> ratios;
+  ratios.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch generic_timer;
+    generic();
+    const double generic_ms = generic_timer.ElapsedMillis();
+    Stopwatch specialized_timer;
+    specialized();
+    const double specialized_ms = specialized_timer.ElapsedMillis();
+    if (r == 0 || generic_ms < timing.generic_ms) {
+      timing.generic_ms = generic_ms;
+    }
+    if (r == 0 || specialized_ms < timing.specialized_ms) {
+      timing.specialized_ms = specialized_ms;
+    }
+    ratios.push_back(generic_ms / specialized_ms);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  timing.speedup = ratios[ratios.size() / 2];
+  return timing;
+}
+
+Relation KeyedRelation(int64_t rows, int64_t domain, uint64_t seed) {
+  Relation rel;
+  rel.column_names = {"k", "v"};
+  rel.column_ids = {{0, 0}, {0, 1}};
+  rel.columns.resize(2);
+  rel.columns[0].reserve(rows);
+  rel.columns[1].reserve(rows);
+  uint64_t state = seed;
+  for (int64_t i = 0; i < rows; ++i) {
+    rel.columns[0].push_back(static_cast<int64_t>(Next(&state) % domain));
+    rel.columns[1].push_back(static_cast<int64_t>(i % 1001) - 500);
+  }
+  rel.rows = rows;
+  return rel;
+}
+
+void CheckSameAggregate(const AggregateResult& a, const AggregateResult& b) {
+  BC_CHECK(a.num_groups == b.num_groups) << "group counts diverge";
+  BC_CHECK(a.group_keys == b.group_keys) << "group keys/order diverge";
+  BC_CHECK(a.agg_values == b.agg_values) << "aggregate values diverge";
+}
+
+// Counting aggregate: single group key over a narrow dense domain. Both legs
+// get the perfect NDV hint, so the delta is the group index alone (array
+// load vs hash-probe), not table sizing.
+KernelPoint RunAggKernel(int64_t rows, int reps) {
+  const int64_t domain = 1024;
+  const Relation in = KeyedRelation(rows, domain, 20240607);
+  const std::vector<AggRequest> aggs = {{AggFunc::kCountStar, -1},
+                                        {AggFunc::kSum, 1}};
+  DenseAggSpec spec;
+  spec.enabled = true;
+  spec.domain_min = 0;
+  spec.domain_max = domain - 1;
+
+  AggregateResult generic = HashAggregate(in, {0}, aggs, domain);
+  AggregateResult dense = HashAggregate(in, {0}, aggs, domain, 1, {}, spec);
+  BC_CHECK(dense.specialized && dense.despecialized_morsels == 0);
+  CheckSameAggregate(generic, dense);
+
+  const PairTiming timing = MeasurePair(
+      reps, [&] { HashAggregate(in, {0}, aggs, domain); },
+      [&] { HashAggregate(in, {0}, aggs, domain, 1, {}, spec); });
+  KernelPoint point;
+  point.name = "counting_agg_vs_hash_agg";
+  point.generic_ms = timing.generic_ms;
+  point.specialized_ms = timing.specialized_ms;
+  point.speedup = timing.speedup;
+  return point;
+}
+
+// Array-index join: narrow dense build-side key domain. Three quarters of
+// the probe keys miss (drawn from 4x the build domain), stressing the
+// lookup itself — hash-and-chase vs bounds-check-and-load — rather than the
+// output materialization the two paths share.
+KernelPoint RunJoinKernel(int64_t probe_rows, int reps) {
+  const int64_t domain = 1 << 14;
+  const Relation build = KeyedRelation(domain, domain, 7);
+  const Relation probe = KeyedRelation(probe_rows, 4 * domain, 11);
+  ArrayJoinSpec spec;
+  spec.enabled = true;
+  spec.left_min = 0;
+  spec.left_max = domain - 1;
+  spec.right_min = 0;
+  spec.right_max = 4 * domain - 1;
+  spec.budget = 1 << 20;
+
+  JoinRunInfo gi, si;
+  auto generic = HashJoin(build, probe, {0}, {0}, 1, &gi);
+  auto special = HashJoin(build, probe, {0}, {0}, 1, &si, {}, spec);
+  BC_CHECK_OK(generic.status());
+  BC_CHECK_OK(special.status());
+  BC_CHECK(si.specialized && !si.despecialized);
+  BC_CHECK(generic.value().num_rows() == special.value().num_rows());
+  BC_CHECK(generic.value().columns == special.value().columns)
+      << "join outputs diverge";
+
+  const PairTiming timing = MeasurePair(
+      reps,
+      [&] {
+        JoinRunInfo info;
+        BC_CHECK_OK(HashJoin(build, probe, {0}, {0}, 1, &info).status());
+      },
+      [&] {
+        JoinRunInfo info;
+        BC_CHECK_OK(
+            HashJoin(build, probe, {0}, {0}, 1, &info, {}, spec).status());
+      });
+  KernelPoint point;
+  point.name = "array_index_join_vs_hash_join";
+  point.generic_ms = timing.generic_ms;
+  point.specialized_ms = timing.specialized_ms;
+  point.speedup = timing.speedup;
+  return point;
+}
+
+// Predicate kernels: branch-free tight loops vs per-row Matches dispatch,
+// over an in-memory block (the scan's unit of evaluation).
+KernelPoint RunPredicateKernel(int64_t rows, int reps) {
+  const int64_t block_rows = 8192;
+  std::vector<int64_t> block;
+  block.reserve(block_rows);
+  uint64_t state = 3;
+  for (int64_t i = 0; i < block_rows; ++i) {
+    block.push_back(static_cast<int64_t>(Next(&state) % 10000));
+  }
+  ColumnPredicate between;
+  between.column = 0;
+  between.op = CompareOp::kBetween;
+  between.operand = 1000;
+  between.operand2 = 7000;
+  ColumnPredicate in_list;
+  in_list.column = 0;
+  in_list.op = CompareOp::kIn;
+  in_list.in_list = {11, 222, 3333, 4444};
+
+  std::vector<uint8_t> kernel_sel(block.size(), 1);
+  std::vector<uint8_t> generic_sel(block.size(), 1);
+  for (const ColumnPredicate* pred : {&between, &in_list}) {
+    EvaluateOnBlock(*pred, block, &kernel_sel);
+    EvaluateOnBlockGeneric(*pred, block, &generic_sel);
+  }
+  BC_CHECK(kernel_sel == generic_sel) << "predicate selections diverge";
+
+  const int64_t iters = std::max<int64_t>(1, rows / block_rows);
+  std::vector<uint8_t> sel(block.size(), 1);
+  const PairTiming timing = MeasurePair(
+      reps,
+      [&] {
+        for (int64_t it = 0; it < iters; ++it) {
+          std::memset(sel.data(), 1, sel.size());
+          EvaluateOnBlockGeneric(between, block, &sel);
+          EvaluateOnBlockGeneric(in_list, block, &sel);
+        }
+      },
+      [&] {
+        for (int64_t it = 0; it < iters; ++it) {
+          std::memset(sel.data(), 1, sel.size());
+          EvaluateOnBlock(between, block, &sel);
+          EvaluateOnBlock(in_list, block, &sel);
+        }
+      });
+  KernelPoint point;
+  point.name = "predicate_kernels_vs_generic";
+  point.generic_ms = timing.generic_ms;
+  point.specialized_ms = timing.specialized_ms;
+  point.speedup = timing.speedup;
+  return point;
+}
+
+void WriteJson(const std::vector<KernelPoint>& points, int64_t rows,
+               bool smoke) {
+  const char* path = "BENCH_operator_kernels.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  WriteJsonProvenance(f);
+  std::fprintf(f, "  \"bench\": \"operator_kernels\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(rows));
+  std::fprintf(f, "  \"dop\": 1,\n");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const KernelPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"generic_ms\": %.3f,"
+                 " \"specialized_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 p.name.c_str(), p.generic_ms, p.specialized_ms, p.speedup,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Run(bool smoke) {
+  const int64_t rows = smoke ? 400 * 1000 : 4 * 1000 * 1000;
+  const int64_t probe_rows = smoke ? 200 * 1000 : 2 * 1000 * 1000;
+  const int reps = smoke ? 5 : 7;
+  std::printf("Operator kernels: specialized vs generic (dop 1)\n");
+  std::printf("rows=%lld smoke=%d seed=%llu\n\n",
+              static_cast<long long>(rows), smoke ? 1 : 0,
+              static_cast<unsigned long long>(BenchSeed()));
+
+  std::vector<KernelPoint> points;
+  points.push_back(RunAggKernel(rows, reps));
+  points.push_back(RunJoinKernel(probe_rows, reps));
+  points.push_back(RunPredicateKernel(rows, reps));
+
+  PrintRow({"kernel", "generic ms", "specialized ms", "speedup"});
+  for (const KernelPoint& p : points) {
+    PrintRow({p.name, Fmt(p.generic_ms), Fmt(p.specialized_ms),
+              Fmt(p.speedup) + "x"});
+  }
+
+  // Headline acceptance: at least one of the two guarded kernels (counting
+  // aggregate, array-index join) beats its generic twin by >= 2x at dop 1.
+  const double best = std::max(points[0].speedup, points[1].speedup);
+  BC_CHECK(best >= 2.0) << "best guarded-kernel speedup " << best
+                        << "x is below the 2x bar";
+  std::printf("\nbest guarded-kernel speedup: %.2fx\n", best);
+
+  WriteJson(points, rows, smoke);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bytecard::bench
+
+int main(int argc, char** argv) {
+  bool smoke = std::getenv("BYTECARD_SMOKE") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return bytecard::bench::Run(smoke);
+}

@@ -27,6 +27,11 @@ echo "== bench smoke: concurrent serving (scheduler) =="
 # doubles aggregate QPS in the latency-bound regime.
 (cd "${BUILD_DIR}/bench" && ./bench_concurrent_serving --smoke)
 
+echo "== bench smoke: operator kernels (specialization) =="
+# Asserts internally that each specialized kernel's output is identical to
+# its generic twin and that the best guarded kernel clears 2x at dop 1.
+(cd "${BUILD_DIR}/bench" && ./bench_operator_kernels --smoke)
+
 echo "== sanitizer: thread =="
 "${REPO_ROOT}/ci/sanitize.sh" thread
 

@@ -1,5 +1,6 @@
 #include "bytecard/feedback/feedback_manager.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace bytecard::feedback {
@@ -27,12 +28,32 @@ void FeedbackManager::RecordQueryFeedback(minihouse::QueryFeedback feedback) {
         op.tables.size() == 1) {
       drift_.Observe(op.tables[0], op.qerror);
     }
+    // A specialized kernel's guard fired: veto the specialization for this
+    // subplan until fresh domain stats arrive (next ingest of its tables).
+    if (op.mis_specialized) {
+      std::lock_guard<std::mutex> lock(veto_mu_);
+      vetoes_[op.fingerprint] = op.tables;
+    }
   }
   log_.Append(std::move(feedback));
 }
 
+bool FeedbackManager::SpecializationVetoed(const std::string& fingerprint) {
+  std::lock_guard<std::mutex> lock(veto_mu_);
+  return vetoes_.count(fingerprint) > 0;
+}
+
 void FeedbackManager::OnIngest(const IngestionEvent& event) {
   cache_.InvalidateTable(event.table);
+  // The batch's Seal refreshed the table's domain stats, so vetoes taken
+  // against the stale bounds no longer apply.
+  std::lock_guard<std::mutex> lock(veto_mu_);
+  for (auto it = vetoes_.begin(); it != vetoes_.end();) {
+    const std::vector<std::string>& tables = it->second;
+    const bool touches =
+        std::find(tables.begin(), tables.end(), event.table) != tables.end();
+    it = touches ? vetoes_.erase(it) : ++it;
+  }
 }
 
 void FeedbackManager::OnSnapshotPublished(uint64_t version) {

@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "bytecard/data_ingestor.h"
 #include "bytecard/feedback/drift_detector.h"
@@ -39,6 +42,11 @@ class FeedbackManager : public minihouse::QueryFeedbackHook,
   bool LookupActual(const std::string& fingerprint,
                     double* actual_rows) override;
   void RecordQueryFeedback(minihouse::QueryFeedback feedback) override;
+  // True once an observation for `fingerprint` reported a specialized-kernel
+  // guard firing (stale domain stats): the compiler then keeps the generic
+  // operator for that subplan. Vetoes clear per table on ingest — the batch
+  // ends in a Seal, which refreshes the domain stats the kernel misjudged.
+  bool SpecializationVetoed(const std::string& fingerprint) override;
 
   // --- IngestObserver (called by DataIngestor) ------------------------------
   void OnIngest(const IngestionEvent& event) override;
@@ -73,6 +81,12 @@ class FeedbackManager : public minihouse::QueryFeedbackHook,
   OnlineDriftDetector drift_;
   std::atomic<bool> serve_from_cache_;
   std::atomic<uint64_t> last_published_version_{0};
+  // Specialization vetoes: fingerprint → base tables the subplan touches
+  // (the ingest-invalidation scope, same idea as the cache's table index).
+  // Unbounded in principle but keyed by mis-specializations, which stale
+  // domain stats make rare and an ingest clears.
+  std::mutex veto_mu_;
+  std::unordered_map<std::string, std::vector<std::string>> vetoes_;
 };
 
 }  // namespace bytecard::feedback

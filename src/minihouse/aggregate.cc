@@ -1,6 +1,7 @@
 #include "minihouse/aggregate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <unordered_set>
 
@@ -23,9 +24,14 @@ AggregationHashTable::AggregationHashTable(int key_width,
   BC_CHECK(key_width >= 1);
   int64_t slots = kDefaultInitialSlots;
   if (initial_ndv_hint > 0) {
-    // Size so the hint fits under the load-factor ceiling without growth.
+    // Size so the hint fits under the load-factor ceiling without growth:
+    // the growth check is strict (num_groups+1 > ceiling AFTER lookup), so a
+    // hint landing exactly on the boundary — e.g. 128 groups in 256 slots at
+    // load factor 0.5 — needs exactly ceil(hint / kMaxLoadFactor) slots, and
+    // the final insert must not resize. Adding slack beyond the ceiling
+    // division doubles the table for every boundary hint.
     slots = NextPowerOfTwo(static_cast<int64_t>(
-        static_cast<double>(initial_ndv_hint) / kMaxLoadFactor + 1.0));
+        std::ceil(static_cast<double>(initial_ndv_hint) / kMaxLoadFactor)));
     slots = std::max<int64_t>(slots, kDefaultInitialSlots);
   }
   slots_.assign(slots, -1);
@@ -92,13 +98,54 @@ namespace {
 // PartialAgg end to end; the parallel path accumulates one per partition and
 // merges them into a final one.
 struct PartialAgg {
-  PartialAgg(int key_width, int64_t ndv_hint, int num_aggs)
+  PartialAgg(int key_width, int64_t ndv_hint, int num_aggs,
+             const DenseAggSpec& spec)
       : table(key_width, ndv_hint),
         sums(num_aggs),
         counts(num_aggs),
-        distinct(num_aggs) {}
+        distinct(num_aggs) {
+    if (spec.enabled && key_width == 1 &&
+        spec.domain_max >= spec.domain_min) {
+      dense = std::make_unique<DenseKeyIndex>(spec.domain_min,
+                                              spec.domain_max);
+    }
+  }
+
+  // Group index for `key`, preferring the dense-array index. The first key
+  // that escapes the assumed domain degrades this partition to the generic
+  // hash index: dense-assigned group ids are migrated in id order (the hash
+  // table is untouched until then, so ids are reassigned identically) and
+  // accumulation continues generic — results are unaffected.
+  int64_t FindOrInsert(const int64_t* key) {
+    if (dense != nullptr) {
+      const int64_t g = dense->FindOrInsert(key[0]);
+      if (g != DenseKeyIndex::kOutOfDomain) return g;
+      const int64_t groups = dense->num_groups();
+      for (int64_t d = 0; d < groups; ++d) {
+        const int64_t k = dense->KeyOf(d);
+        table.FindOrInsert(&k);
+      }
+      dense.reset();
+      ++despecialized;
+    }
+    return table.FindOrInsert(key);
+  }
+
+  int64_t num_groups() const {
+    return dense != nullptr ? dense->num_groups() : table.num_groups();
+  }
+  int64_t capacity() const {
+    return dense != nullptr ? dense->capacity() : table.capacity();
+  }
+  int64_t KeyComponent(int64_t g, int c) const {
+    return dense != nullptr ? dense->KeyOf(g) : table.KeyComponent(g, c);
+  }
 
   AggregationHashTable table;
+  // Engaged instead of `table` while every key stays inside the assumed
+  // domain; null when specialization is off or after despecialization.
+  std::unique_ptr<DenseKeyIndex> dense;
+  int64_t despecialized = 0;
   std::vector<std::vector<double>> sums;
   std::vector<std::vector<int64_t>> counts;
   // Per-group distinct sets for COUNT(DISTINCT .): nested hash tables whose
@@ -131,7 +178,7 @@ void AccumulateRange(const std::vector<std::vector<int64_t>>& columns,
     for (size_t k = 0; k < key_columns.size(); ++k) {
       key[k] = columns[key_columns[k]][row];
     }
-    const int64_t g = part->table.FindOrInsert(key.data());
+    const int64_t g = part->FindOrInsert(key.data());
     EnsureGroup(aggs, g, part);
     for (int a = 0; a < num_aggs; ++a) {
       switch (aggs[a].func) {
@@ -159,12 +206,15 @@ void AccumulateRange(const std::vector<std::vector<int64_t>>& columns,
 void MergePartial(const std::vector<AggRequest>& aggs, int key_width,
                   const PartialAgg& src, PartialAgg* dst) {
   std::vector<int64_t> key(key_width, 0);
-  const int64_t src_groups = src.table.num_groups();
+  const int64_t src_groups = src.num_groups();
   for (int64_t sg = 0; sg < src_groups; ++sg) {
     for (int c = 0; c < key_width; ++c) {
-      key[c] = src.table.KeyComponent(sg, c);
+      key[c] = src.KeyComponent(sg, c);
     }
-    const int64_t g = dst->table.FindOrInsert(key.data());
+    // A dense destination despecializes here iff some partition saw an
+    // out-of-domain key (its own guard fired, and its hash table now holds
+    // that key); the id-preserving migration keeps the merge exact.
+    const int64_t g = dst->FindOrInsert(key.data());
     EnsureGroup(aggs, g, dst);
     for (size_t a = 0; a < aggs.size(); ++a) {
       switch (aggs[a].func) {
@@ -190,7 +240,8 @@ AggregateResult HashAggregate(const Relation& input,
                               const std::vector<int>& key_columns,
                               const std::vector<AggRequest>& aggs,
                               int64_t ndv_hint, int dop,
-                              const common::MorselPolicy& policy) {
+                              const common::MorselPolicy& policy,
+                              const DenseAggSpec& spec) {
   const std::vector<std::vector<int64_t>>& columns = input.columns;
   AggregateResult result;
   const int key_width = std::max<int>(1, static_cast<int>(key_columns.size()));
@@ -198,6 +249,8 @@ AggregateResult HashAggregate(const Relation& input,
   const int num_aggs = static_cast<int>(aggs.size());
   dop = static_cast<int>(
       std::clamp<int64_t>(dop, 1, std::max<int64_t>(num_rows, 1)));
+  result.specialized = spec.enabled && key_columns.size() == 1 &&
+                       spec.domain_max >= spec.domain_min;
 
   // deque: PartialAgg holds a non-movable hash table, so parts are
   // constructed in place and never relocated.
@@ -205,13 +258,14 @@ AggregateResult HashAggregate(const Relation& input,
   PartialAgg* final_part = nullptr;
 
   if (dop <= 1) {
-    parts.emplace_back(key_width, ndv_hint, num_aggs);
+    parts.emplace_back(key_width, ndv_hint, num_aggs, spec);
     AccumulateRange(columns, key_columns, aggs, 0, num_rows, &parts[0]);
     final_part = &parts[0];
     result.resize_count = final_part->table.resize_count();
+    result.despecialized_morsels = final_part->despecialized;
   } else {
     for (int p = 0; p < dop; ++p) {
-      parts.emplace_back(key_width, ndv_hint, num_aggs);
+      parts.emplace_back(key_width, ndv_hint, num_aggs, spec);
     }
     common::ParallelMorsels(common::ThreadPool::Global(), dop, dop, policy,
                             [&](int64_t p, int /*slot*/) {
@@ -220,27 +274,29 @@ AggregateResult HashAggregate(const Relation& input,
                                               num_rows * (p + 1) / dop,
                                               &parts[p]);
                             });
-    parts.emplace_back(key_width, ndv_hint, num_aggs);
+    parts.emplace_back(key_width, ndv_hint, num_aggs, spec);
     final_part = &parts.back();
     for (int p = 0; p < dop; ++p) {
       MergePartial(aggs, key_width, parts[p], final_part);
-      result.merge_groups += parts[p].table.num_groups();
+      result.merge_groups += parts[p].num_groups();
       result.resize_count += parts[p].table.resize_count();
+      result.despecialized_morsels += parts[p].despecialized;
     }
     result.resize_count += final_part->table.resize_count();
+    result.despecialized_morsels += final_part->despecialized;
     result.dop_used = dop;
     result.parallel_tasks = dop;
   }
 
-  result.num_groups = final_part->table.num_groups();
-  result.final_capacity = final_part->table.capacity();
+  result.num_groups = final_part->num_groups();
+  result.final_capacity = final_part->capacity();
 
   result.group_keys.resize(key_columns.size());
   for (size_t k = 0; k < key_columns.size(); ++k) {
     result.group_keys[k].resize(result.num_groups);
     for (int64_t g = 0; g < result.num_groups; ++g) {
       result.group_keys[k][g] =
-          final_part->table.KeyComponent(g, static_cast<int>(k));
+          final_part->KeyComponent(g, static_cast<int>(k));
     }
   }
 

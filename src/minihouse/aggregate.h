@@ -18,10 +18,28 @@ struct AggRequest {
   int input_column = -1;
 };
 
+// Specialization request for HashAggregate (DESIGN.md §11): when enabled,
+// partitions index groups through a DenseKeyIndex over the assumed key
+// domain instead of the aggregation hash table. Only meaningful for
+// single-column group keys; the compiler sets it from the group-key column's
+// min/max domain stats when the domain width fits the plan's budget. A key
+// outside the assumed domain despecializes that partition mid-execution
+// (results stay exact; the degradation is counted and fed back).
+struct DenseAggSpec {
+  bool enabled = false;
+  int64_t domain_min = 0;
+  int64_t domain_max = -1;
+};
+
 struct AggregateResult {
   int64_t num_groups = 0;
   int64_t resize_count = 0;
   int64_t final_capacity = 0;
+  // Kernel specialization: whether the dense-array index was engaged, and
+  // how many partitions a runtime domain-guard violation degraded back to
+  // the generic hash index.
+  bool specialized = false;
+  int64_t despecialized_morsels = 0;
   // Partial groups folded into the final table during a parallel merge
   // (0 when the aggregation ran serially — the serial path has no merge).
   int64_t merge_groups = 0;
@@ -50,11 +68,18 @@ struct AggregateResult {
 // table involved (partials + final).
 // `policy` schedules the partition helper tasks (the owning query's lane and
 // morsel budget).
+//
+// `spec` (optional) swaps the group index for a DenseKeyIndex over the
+// assumed key domain — honored only for single-column keys. Group ids, group
+// order, accumulator layout, and float summation order are identical to the
+// generic path by construction, so results are byte-identical whether the
+// dense index engages, never engages, or degrades mid-partition.
 AggregateResult HashAggregate(const Relation& input,
                               const std::vector<int>& key_columns,
                               const std::vector<AggRequest>& aggs,
                               int64_t ndv_hint, int dop = 1,
-                              const common::MorselPolicy& policy = {});
+                              const common::MorselPolicy& policy = {},
+                              const DenseAggSpec& spec = {});
 
 }  // namespace bytecard::minihouse
 

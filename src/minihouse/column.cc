@@ -91,6 +91,21 @@ void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
   if (io != nullptr) io->AddBlock(rows, bytes_per_row());
 }
 
+void Column::RefreshDomainStats() {
+  domain_ = ColumnDomain{};
+  if (type_ == DataType::kArray) return;  // no scalar domain
+  const int64_t n = num_rows();
+  if (n == 0) return;
+  int64_t lo = NumericAt(0);
+  int64_t hi = lo;
+  for (int64_t i = 1; i < n; ++i) {
+    const int64_t v = NumericAt(i);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  domain_ = ColumnDomain{lo, hi, true};
+}
+
 int64_t Column::MemoryBytes() const {
   int64_t bytes = static_cast<int64_t>(ints_.size() * sizeof(int64_t) +
                                        doubles_.size() * sizeof(double));

@@ -11,6 +11,30 @@
 
 namespace bytecard::minihouse {
 
+// Min/max of a column's numeric domain (int64 value, string dictionary code,
+// or ordered double code — the same space predicates operate in). Maintained
+// at load/append time by Table::Seal and consumed by the kernel-
+// specialization layer: a narrow dense domain lets the compiler swap in a
+// counting-sort-style aggregate or an array-index join. `valid` is false for
+// empty columns and for kArray columns (element lists have no scalar domain).
+struct ColumnDomain {
+  int64_t min = 0;
+  int64_t max = 0;
+  bool valid = false;
+
+  // Number of distinct representable values in [min, max], or -1 when the
+  // domain is invalid or the width overflows int64 (either way: too wide to
+  // specialize on).
+  int64_t Width() const {
+    if (!valid) return -1;
+    const uint64_t w = static_cast<uint64_t>(max) - static_cast<uint64_t>(min);
+    if (w >= static_cast<uint64_t>(INT64_MAX)) return -1;
+    return static_cast<int64_t>(w) + 1;
+  }
+
+  bool Contains(int64_t v) const { return valid && v >= min && v <= max; }
+};
+
 // A single stored column. Storage is columnar and block-partitioned:
 // - kInt64 columns store int64 values;
 // - kString columns store int64 codes into an ordered dictionary (order-
@@ -111,8 +135,24 @@ class Column {
   // Approximate in-memory footprint (used by the size checker).
   int64_t MemoryBytes() const;
 
+  // --- Domain statistics ------------------------------------------------
+  // The column's numeric min/max, as of the last RefreshDomainStats. Stale
+  // until Table::Seal runs (every build path seals), and deliberately only
+  // refreshed there: queries racing an in-progress bulk append must not see
+  // half-updated bounds.
+  const ColumnDomain& domain() const { return domain_; }
+
+  // Recomputes min/max over all rows. Called by Table::Seal.
+  void RefreshDomainStats();
+
+  // Installs explicit bounds. The ingest path uses this to merge batch
+  // bounds without a full rescan; tests use it to simulate stale stats (the
+  // mis-specialization guard's trigger).
+  void SetDomain(ColumnDomain domain) { domain_ = domain; }
+
  private:
   DataType type_;
+  ColumnDomain domain_;
   const StorageProfile* storage_ = nullptr;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;

@@ -19,12 +19,16 @@ void MergeOperatorStats(const PhysicalOperator* op,
   const OperatorStats& s = op->stats();
   stats->threads_used = std::max(stats->threads_used, s.dop_used);
   stats->parallel_tasks += s.parallel_tasks;
+  if (s.specialized) ++stats->specialized_ops;
+  stats->despecialized_morsels += s.despecialized_morsels;
 
   switch (op->kind()) {
     case OpKind::kScan:
       stats->io += s.io;
+      stats->predicate_kernel_blocks += s.kernel_blocks;
       break;
     case OpKind::kHashJoin: {
+      if (s.specialized) ++stats->array_join_ops;
       stats->intermediate_rows += s.rows_out;
       stats->probe_rows_materialized += s.probe_rows;
       const int64_t shipped =
@@ -40,6 +44,7 @@ void MergeOperatorStats(const PhysicalOperator* op,
       stats->columns_pruned += s.columns_pruned;
       break;
     case OpKind::kAggregate:
+      if (s.specialized) ++stats->dense_agg_ops;
       stats->agg_resize_count = s.agg_resize_count;
       stats->agg_final_capacity = s.agg_final_capacity;
       stats->agg_merge_groups = s.agg_merge_groups;
@@ -68,6 +73,9 @@ void CollectFeedback(const PhysicalOperator* op, const PhysicalPlan& plan,
     obs.actual = static_cast<double>(op->stats().rows_out);
     obs.qerror = FeedbackQError(obs.estimated, obs.actual);
     obs.served_from_cache = plan.feedback_served.count(stamp.fingerprint) > 0;
+    // A guard firing on a specialized kernel travels with the observation so
+    // the hook can veto the specialization for this fingerprint next time.
+    obs.mis_specialized = op->stats().despecialized_morsels > 0;
     fb->ops.push_back(std::move(obs));
   }
   for (size_t i = 0; i < op->num_children(); ++i) {

@@ -73,6 +73,11 @@ struct OperatorFeedback {
   // observation validates the cache, not the model, and must not feed drift
   // detection.
   bool served_from_cache = false;
+  // True when this operator ran a specialized kernel whose runtime guard
+  // fired (a key escaped the domain stats the compiler specialized on).
+  // The hook records a specialization veto for the fingerprint so the next
+  // plan takes the generic path (DESIGN.md §11).
+  bool mis_specialized = false;
 };
 
 // Everything one executed query reports back to the estimator framework.
@@ -96,6 +101,15 @@ class QueryFeedbackHook {
 
   // Records one executed query's estimate-vs-actual observations.
   virtual void RecordQueryFeedback(QueryFeedback feedback) = 0;
+
+  // True when a prior execution of `fingerprint` mis-specialized (its guard
+  // fired): the DAG compiler then keeps the generic operator for that
+  // subplan. Default: never vetoed (hooks without mis-specialization
+  // tracking change nothing).
+  virtual bool SpecializationVetoed(const std::string& fingerprint) {
+    (void)fingerprint;
+    return false;
+  }
 };
 
 }  // namespace bytecard::minihouse

@@ -52,6 +52,58 @@ class AggregationHashTable {
   int64_t resize_count_ = 0;
 };
 
+// Array-indexed group index for single-key aggregation over a narrow, dense
+// key domain (counting-sort style, DESIGN.md §11): FindOrInsert is one
+// subtract, one bounds check, and one array load — no hashing, no probing,
+// no resizing. Dense group ids are assigned in first-seen order, exactly the
+// id/order contract of AggregationHashTable, so swapping the two indexes
+// cannot change aggregation results, group order, or accumulator layout.
+//
+// The bounds check doubles as the runtime mis-specialization guard: a key
+// outside the assumed [domain_min, domain_max] returns kOutOfDomain and the
+// caller degrades to the generic hash index (the domain stats the planner
+// specialized on were stale).
+class DenseKeyIndex {
+ public:
+  static constexpr int64_t kOutOfDomain = -1;
+
+  DenseKeyIndex(int64_t domain_min, int64_t domain_max)
+      : domain_min_(domain_min),
+        group_of_(static_cast<size_t>(domain_max - domain_min) + 1, -1) {
+    BC_CHECK(domain_max >= domain_min);
+  }
+
+  DenseKeyIndex(const DenseKeyIndex&) = delete;
+  DenseKeyIndex& operator=(const DenseKeyIndex&) = delete;
+
+  // Dense group index of `key`, inserting on first sight; kOutOfDomain when
+  // `key` escapes the assumed domain (never inserts in that case).
+  int64_t FindOrInsert(int64_t key) {
+    const uint64_t idx =
+        static_cast<uint64_t>(key) - static_cast<uint64_t>(domain_min_);
+    if (idx >= group_of_.size()) return kOutOfDomain;
+    int32_t g = group_of_[idx];
+    if (g < 0) {
+      g = static_cast<int32_t>(keys_.size());
+      group_of_[idx] = g;
+      keys_.push_back(key);
+    }
+    return g;
+  }
+
+  int64_t num_groups() const { return static_cast<int64_t>(keys_.size()); }
+  int64_t capacity() const { return static_cast<int64_t>(group_of_.size()); }
+
+  // Key of group `g` (single-component; mirrors
+  // AggregationHashTable::KeyComponent with c == 0).
+  int64_t KeyOf(int64_t g) const { return keys_[g]; }
+
+ private:
+  int64_t domain_min_;
+  std::vector<int32_t> group_of_;  // key - domain_min -> group id, -1 = unseen
+  std::vector<int64_t> keys_;      // group id -> key, first-seen order
+};
+
 }  // namespace bytecard::minihouse
 
 #endif  // BYTECARD_MINIHOUSE_HASH_TABLE_H_

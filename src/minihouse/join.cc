@@ -69,6 +69,55 @@ void ProbeRange(const JoinHashTable& ht, const Relation& build,
   }
 }
 
+// Array-index join structure (DESIGN.md §11): a direct key -> build-row-chain
+// map over the build key's assumed domain. Probing is a subtract, a bounds
+// check, and a chain walk — no hashing and no key re-verification (the index
+// is exact on the single key). Chains are prepended in descending build-row
+// order, so walks emit ascending build rows, matching JoinHashTable's match
+// order exactly.
+struct ArrayJoinIndex {
+  int64_t domain_min = 0;
+  std::vector<int64_t> heads;  // key - domain_min -> first build row, -1 = none
+  std::vector<int64_t> next;   // per-build-row chain link, -1 = end
+
+  // Builds over `keys`; false when some build key escapes [domain_min,
+  // domain_max] — the runtime guard: the caller degrades to the hash join.
+  bool Build(const std::vector<int64_t>& keys, int64_t dmin, int64_t dmax) {
+    domain_min = dmin;
+    const uint64_t width = static_cast<uint64_t>(dmax) -
+                           static_cast<uint64_t>(dmin) + 1;
+    heads.assign(width, -1);
+    const int64_t n = static_cast<int64_t>(keys.size());
+    next.assign(n, -1);
+    for (int64_t r = n - 1; r >= 0; --r) {
+      const uint64_t idx = static_cast<uint64_t>(keys[r]) -
+                           static_cast<uint64_t>(domain_min);
+      if (idx >= width) return false;
+      next[r] = heads[idx];
+      heads[idx] = r;
+    }
+    return true;
+  }
+};
+
+void ArrayProbeRange(const ArrayJoinIndex& index, const Relation& probe,
+                     int probe_key, int64_t row_begin, int64_t row_end,
+                     ProbePart* part) {
+  const std::vector<int64_t>& keys = probe.columns[probe_key];
+  const uint64_t width = index.heads.size();
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const uint64_t idx = static_cast<uint64_t>(keys[r]) -
+                         static_cast<uint64_t>(index.domain_min);
+    // An out-of-domain probe key is an ordinary miss (it cannot equal any
+    // in-domain build key), not a guard violation.
+    if (idx >= width) continue;
+    for (int64_t b = index.heads[idx]; b >= 0; b = index.next[b]) {
+      part->build_rows.push_back(b);
+      part->probe_rows.push_back(r);
+    }
+  }
+}
+
 }  // namespace
 
 uint64_t JoinHashTable::HashRowKeys(const Relation& rel,
@@ -109,7 +158,8 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys, int dop,
                           JoinRunInfo* info,
-                          const common::MorselPolicy& policy) {
+                          const common::MorselPolicy& policy,
+                          const ArrayJoinSpec& spec) {
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
@@ -133,7 +183,37 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
   const std::vector<int>& build_keys = build_left ? left_keys : right_keys;
   const std::vector<int>& probe_keys = build_left ? right_keys : left_keys;
 
-  const JoinHashTable ht(build, build_keys);
+  // Kernel specialization: a direct array index over the build key's assumed
+  // domain, when the compiler requested it and the side that builds has a
+  // usable domain within budget. The build pass is the runtime guard — one
+  // key outside the assumed domain (stale stats) degrades the whole operator
+  // to the generic hash join before any probing happens.
+  ArrayJoinIndex array_index;
+  bool use_array = false;
+  bool despecialized = false;
+  if (spec.enabled && build_keys.size() == 1) {
+    const int64_t dmin = build_left ? spec.left_min : spec.right_min;
+    const int64_t dmax = build_left ? spec.left_max : spec.right_max;
+    if (dmax >= dmin) {
+      const uint64_t width = static_cast<uint64_t>(dmax) -
+                             static_cast<uint64_t>(dmin) + 1;
+      if (width <= static_cast<uint64_t>(std::max<int64_t>(spec.budget, 0))) {
+        use_array =
+            array_index.Build(build.columns[build_keys[0]], dmin, dmax);
+        despecialized = !use_array;
+      }
+    }
+  }
+  std::unique_ptr<JoinHashTable> ht;
+  if (!use_array) ht = std::make_unique<JoinHashTable>(build, build_keys);
+
+  auto probe_range = [&](int64_t r0, int64_t r1, ProbePart* part) {
+    if (use_array) {
+      ArrayProbeRange(array_index, probe, probe_keys[0], r0, r1, part);
+    } else {
+      ProbeRange(*ht, build, build_keys, probe, probe_keys, r0, r1, part);
+    }
+  };
 
   const int64_t probe_rows_total = probe.num_rows();
   dop = static_cast<int>(
@@ -143,8 +223,7 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
   std::vector<int64_t> probe_rows;
   if (dop <= 1) {
     ProbePart part;
-    ProbeRange(ht, build, build_keys, probe, probe_keys, 0, probe_rows_total,
-               &part);
+    probe_range(0, probe_rows_total, &part);
     build_rows = std::move(part.build_rows);
     probe_rows = std::move(part.probe_rows);
     if (info != nullptr) {
@@ -161,7 +240,7 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
                             [&](int64_t p, int /*slot*/) {
       const int64_t r0 = probe_rows_total * p / dop;
       const int64_t r1 = probe_rows_total * (p + 1) / dop;
-      ProbeRange(ht, build, build_keys, probe, probe_keys, r0, r1, &parts[p]);
+      probe_range(r0, r1, &parts[p]);
     });
     int64_t total = 0;
     for (const ProbePart& part : parts) {
@@ -179,6 +258,10 @@ Result<Relation> HashJoin(const Relation& left, const Relation& right,
       info->dop_used = dop;
       info->parallel_tasks = dop;
     }
+  }
+  if (info != nullptr) {
+    info->specialized = use_array;
+    info->despecialized = despecialized;
   }
 
   if (build_left) {

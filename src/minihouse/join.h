@@ -52,6 +52,29 @@ class JoinHashTable {
 struct JoinRunInfo {
   int dop_used = 1;
   int64_t parallel_tasks = 0;  // probe partitions run through the pool
+  // Kernel specialization: whether the array-index join ran, and whether a
+  // build-side key outside the assumed domain degraded the whole operator
+  // back to the generic hash join (results are identical either way).
+  bool specialized = false;
+  bool despecialized = false;
+};
+
+// Specialization request for HashJoin (DESIGN.md §11): replace the
+// JoinHashTable with a direct array index over the build side's key domain
+// when that domain is narrow and dense. Only meaningful for single-key
+// joins. HashJoin picks the build side at runtime (the smaller input), so
+// the compiler supplies the assumed key domain of *both* inputs; the entry
+// for the side that ends up building applies. An input with max < min marks
+// "no usable domain" (that side never array-builds). The build pass
+// validates every key against the assumed domain — one out-of-domain key
+// (stale stats) falls the operator back to the hash join.
+struct ArrayJoinSpec {
+  bool enabled = false;
+  int64_t left_min = 0;
+  int64_t left_max = -1;
+  int64_t right_min = 0;
+  int64_t right_max = -1;
+  int64_t budget = 0;  // max array entries (domain width ceiling)
 };
 
 // Hash equi-join of two relations on possibly multiple key pairs
@@ -61,11 +84,18 @@ struct JoinRunInfo {
 // partition order, so output is identical at any dop. Output carries all
 // columns of both inputs. `policy` schedules the probe partitions' helper
 // tasks (the owning query's lane and morsel budget).
+//
+// `spec` (optional) swaps the hash table for an array index over the build
+// key's domain when eligible (single key, valid domain within budget).
+// Matches are emitted per probe row in ascending build-row order on both
+// paths, so output is byte-identical whether the array index engages, is
+// ineligible, or falls back on a guard violation.
 Result<Relation> HashJoin(const Relation& left, const Relation& right,
                           const std::vector<int>& left_keys,
                           const std::vector<int>& right_keys, int dop = 1,
                           JoinRunInfo* info = nullptr,
-                          const common::MorselPolicy& policy = {});
+                          const common::MorselPolicy& policy = {},
+                          const ArrayJoinSpec& spec = {});
 
 }  // namespace bytecard::minihouse
 

@@ -50,11 +50,13 @@ Result<Relation> ScanOp::Execute() {
   options.sip = sip_;
   options.dop = scan_plan_.dop;
   options.morsel_policy = ctx_->morsel_policy();
+  options.specialized_predicates = scan_plan_.specialized_predicates;
   ScanResult scanned = ScanTable(*ref_.table, ref_.filters,
                                  output_schema_columns_, options, &stats_.io);
   stats_.dop_used = scanned.dop_used;
   stats_.parallel_tasks = scanned.parallel_tasks;
   stats_.sip_filtered = sip_.bloom != nullptr;
+  stats_.kernel_blocks = scanned.kernel_blocks;
 
   Relation rel;
   rel.column_names = output_names_;
@@ -148,9 +150,14 @@ Result<Relation> HashJoinOp::Execute() {
   JoinRunInfo info;
   BC_ASSIGN_OR_RETURN(Relation out,
                       HashJoin(build, probe, build_keys_, probe_keys_, dop_,
-                               &info, ctx_->morsel_policy()));
+                               &info, ctx_->morsel_policy(), array_spec_));
   stats_.dop_used = info.dop_used;
   stats_.parallel_tasks = info.parallel_tasks;
+  // "Specialized" means the compiler's pick was attempted — a despecialized
+  // build (out-of-domain key met while building the array index) still
+  // counts as an attempt, and additionally as one degraded morsel.
+  stats_.specialized = info.specialized || info.despecialized;
+  stats_.despecialized_morsels = info.despecialized ? 1 : 0;
   stats_.rows_out = out.num_rows();
   stats_.values_out = out.num_values();
   return out;
@@ -179,12 +186,14 @@ AggregateOp::AggregateOp(std::unique_ptr<PhysicalOperator> child,
 Result<Relation> AggregateOp::Execute() {
   BC_ASSIGN_OR_RETURN(Relation in, child_->Execute());
   result_ = HashAggregate(in, key_slots_, aggs_, ndv_hint_, dop_,
-                          ctx_->morsel_policy());
+                          ctx_->morsel_policy(), dense_spec_);
   stats_.dop_used = result_.dop_used;
   stats_.parallel_tasks = result_.parallel_tasks;
   stats_.agg_resize_count = result_.resize_count;
   stats_.agg_final_capacity = result_.final_capacity;
   stats_.agg_merge_groups = result_.merge_groups;
+  stats_.specialized = result_.specialized;
+  stats_.despecialized_morsels = result_.despecialized_morsels;
   stats_.rows_out = result_.num_groups;
   stats_.values_out =
       result_.num_groups * static_cast<int64_t>(key_slots_.size());
@@ -265,6 +274,19 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
   // by subset key so the connectivity fixup above cannot misattribute an
   // estimate to the wrong prefix.
   const bool capture = plan.feedback != nullptr;
+  // The plan-level predicate-kernel switch rides into every scan here (the
+  // per-scan field exists so a compiled scan is self-describing).
+  auto make_scan = [&](int t) {
+    TableScanPlan sp = plan.scans[t];
+    sp.specialized_predicates = plan.specialized_predicates;
+    return std::make_unique<ScanOp>(query, t, std::move(sp), ctx);
+  };
+  // A specialization is vetoed when a prior run of the same subplan
+  // mis-specialized (its runtime guard fired). Without feedback there is
+  // nothing recording guard firings, so nothing is ever vetoed.
+  auto vetoed = [&](const std::string& fingerprint) {
+    return capture && plan.feedback->SpecializationVetoed(fingerprint);
+  };
   auto stamp_scan = [&](ScanOp* scan_op, int t) {
     if (!capture) return;
     const BoundTableRef& ref = query.tables[t];
@@ -279,15 +301,14 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
     scan_op->SetFeedbackStamp(std::move(fs));
   };
 
-  auto first_scan =
-      std::make_unique<ScanOp>(query, order[0], plan.scans[order[0]], ctx);
+  auto first_scan = make_scan(order[0]);
   stamp_scan(first_scan.get(), order[0]);
   std::unique_ptr<PhysicalOperator> op = std::move(first_scan);
   std::set<int> joined = {order[0]};
 
   for (size_t step = 1; step < order.size(); ++step) {
     const int t = order[step];
-    auto scan = std::make_unique<ScanOp>(query, t, plan.scans[t], ctx);
+    auto scan = make_scan(t);
     ScanOp* scan_raw = scan.get();
     stamp_scan(scan_raw, t);
 
@@ -297,6 +318,11 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
     std::vector<int> build_keys;
     std::vector<int> probe_keys;
     int sip_probe_schema_col = -1;
+    // Base columns behind the first (and for single-edge joins, only) key
+    // pair: their domain stats bound every value either join input can hold,
+    // which is what the array-index kernel specializes on.
+    int first_prefix_table = -1;
+    int first_prefix_col = -1;
     for (const JoinEdge& e : query.joins) {
       int this_col = -1;
       int other_table = -1;
@@ -318,7 +344,11 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
       if (bk < 0 || pk < 0) {
         return Status::Internal("join key column missing from relation");
       }
-      if (build_keys.empty()) sip_probe_schema_col = this_col;
+      if (build_keys.empty()) {
+        sip_probe_schema_col = this_col;
+        first_prefix_table = other_table;
+        first_prefix_col = other_col;
+      }
       build_keys.push_back(bk);
       probe_keys.push_back(pk);
     }
@@ -329,6 +359,7 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
 
     const int join_dop =
         t < static_cast<int>(plan.join_dop.size()) ? plan.join_dop[t] : 1;
+    const size_t num_key_pairs = build_keys.size();
     auto join = std::make_unique<HashJoinOp>(
         std::move(op), std::move(scan), std::move(build_keys),
         std::move(probe_keys), join_dop, ctx);
@@ -356,6 +387,33 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
           fs.tables.push_back(query.tables[q].table->name());
         }
         join->SetFeedbackStamp(std::move(fs));
+      }
+    }
+    // Array-index join eligibility: single key pair, and at least one input
+    // whose base key column has domain stats (join values are drawn from the
+    // base column, so its bounds hold for any filtered/joined subset). The
+    // budget and the build-side choice resolve inside HashJoin at runtime.
+    if (plan.specialize_ops && num_key_pairs == 1) {
+      std::vector<int> subset(order.begin(),
+                              order.begin() + static_cast<long>(step) + 1);
+      if (!vetoed(SubplanFingerprint(query, subset))) {
+        const ColumnDomain& left_dom =
+            query.tables[first_prefix_table].table->domain(first_prefix_col);
+        const ColumnDomain& right_dom =
+            query.tables[t].table->domain(sip_probe_schema_col);
+        ArrayJoinSpec spec;
+        spec.budget = plan.array_join_budget;
+        if (left_dom.valid && left_dom.Width() > 0) {
+          spec.left_min = left_dom.min;
+          spec.left_max = left_dom.max;
+          spec.enabled = true;
+        }
+        if (right_dom.valid && right_dom.Width() > 0) {
+          spec.right_min = right_dom.min;
+          spec.right_max = right_dom.max;
+          spec.enabled = true;
+        }
+        if (spec.enabled) join->SetArrayJoinSpec(spec);
       }
     }
     op = std::move(join);
@@ -403,10 +461,30 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
     agg_requests.push_back(AggRequest{AggFunc::kCountStar, -1});
   }
 
+  const size_t num_group_keys = key_slots.size();
   CompiledDag dag;
   dag.root = std::make_unique<AggregateOp>(
       std::move(op), std::move(key_slots), std::move(agg_requests),
       plan.group_ndv_hint, plan.agg_dop, ctx);
+  // Dense-array aggregate eligibility: one group key whose base column has
+  // domain stats, width within budget, and — when the optimizer priced the
+  // group NDV — a domain not wildly sparser than the estimated group count
+  // (a huge nearly-empty array wastes more than hashing costs).
+  if (plan.specialize_ops && num_group_keys == 1) {
+    const GroupKeyRef& g = query.group_by[0];
+    const ColumnDomain& dom = query.tables[g.table].table->domain(g.column);
+    const int64_t width = dom.Width();
+    const int64_t hint = plan.group_ndv_hint;
+    const bool sparse = hint > 0 && width > 1024 && width > 32 * hint;
+    if (dom.valid && width > 0 && width <= plan.dense_agg_budget && !sparse &&
+        !vetoed(GroupNdvFingerprint(query))) {
+      DenseAggSpec spec;
+      spec.enabled = true;
+      spec.domain_min = dom.min;
+      spec.domain_max = dom.max;
+      dag.root->SetDenseSpec(spec);
+    }
+  }
   // Group-NDV observation: only when the optimizer actually priced the NDV
   // question (hint > 0 means EstimateGroupNdv ran and sized the hash table).
   if (capture && !query.group_by.empty() && plan.group_ndv_hint > 0) {

@@ -38,6 +38,13 @@ struct OperatorStats {
   // such scans (join outputs stay exact — Bloom filters have no false
   // negatives, so every SIP-dropped row would have been dropped by the join).
   bool sip_filtered = false;
+  // Kernel specialization (DESIGN.md §11): the compiler gave this operator a
+  // specialized kernel; despecialized_morsels counts runtime-guard firings
+  // (partitions/builds that degraded to the generic path mid-execution).
+  bool specialized = false;
+  int64_t despecialized_morsels = 0;
+  // Scans: (predicate, block) evaluations through the tight-loop kernels.
+  int64_t kernel_blocks = 0;
 };
 
 // The estimation question an operator's output answers, attached by the DAG
@@ -184,6 +191,11 @@ class HashJoinOp : public PhysicalOperator {
   void EnableSip(ScanOp* probe_scan, int probe_schema_column,
                  int64_t probe_table_rows);
 
+  // Arms the array-index join kernel (set by the compiler from the build/
+  // probe columns' domain stats; Execute falls back to the hash table if the
+  // build pass meets an out-of-domain key).
+  void SetArrayJoinSpec(ArrayJoinSpec spec) { array_spec_ = spec; }
+
   Result<Relation> Execute() override;
 
  private:
@@ -196,6 +208,7 @@ class HashJoinOp : public PhysicalOperator {
   ScanOp* sip_scan_ = nullptr;  // non-owning alias of probe_ when armed
   int sip_probe_column_ = -1;
   int64_t sip_probe_table_rows_ = 0;
+  ArrayJoinSpec array_spec_;
   std::vector<ColumnId> output_ids_;
 };
 
@@ -226,6 +239,11 @@ class AggregateOp : public PhysicalOperator {
   // Valid once Execute has succeeded.
   AggregateResult TakeResult() { return std::move(result_); }
 
+  // Arms the dense-array aggregate kernel (set by the compiler from the
+  // group-key column's domain stats; partitions that meet an out-of-domain
+  // key degrade to the hash table individually).
+  void SetDenseSpec(DenseAggSpec spec) { dense_spec_ = spec; }
+
  private:
   std::unique_ptr<PhysicalOperator> child_;
   std::vector<int> key_slots_;
@@ -233,6 +251,7 @@ class AggregateOp : public PhysicalOperator {
   int64_t ndv_hint_;
   int dop_;
   const QueryContext* ctx_;
+  DenseAggSpec dense_spec_;
   std::vector<ColumnId> output_ids_;
   AggregateResult result_;
 };

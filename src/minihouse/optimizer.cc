@@ -376,6 +376,10 @@ PhysicalPlan Optimizer::Plan(const BoundQuery& query,
   plan.join_order = PlanJoinOrder(query, ctx, &prefix_cards);
   plan.use_sip = options_.enable_sip;
   plan.prune_columns = options_.prune_columns;
+  plan.specialize_ops = options_.specialize_operators;
+  plan.specialized_predicates = options_.specialized_predicates;
+  plan.dense_agg_budget = options_.dense_agg_domain_budget;
+  plan.array_join_budget = options_.array_join_domain_budget;
   if (options_.use_ndv_hint && !query.group_by.empty()) {
     const double ndv = ctx->GroupNdv(query);
     plan.group_ndv_hint = std::max<int64_t>(0, static_cast<int64_t>(ndv));

@@ -174,6 +174,9 @@ struct TableScanPlan {
   std::vector<int> filter_order;  // multi-stage column order
   double estimated_selectivity = 1.0;
   int dop = 1;                    // morsel drainers for this scan
+  // Predicate kernels for this scan (see ScanOptions); the DAG compiler
+  // overwrites it from the plan-level switch.
+  bool specialized_predicates = true;
 };
 
 struct PhysicalPlan {
@@ -192,6 +195,20 @@ struct PhysicalPlan {
   // identical either way; off carries every scanned column through every
   // join, which is what the projection bench measures against.
   bool prune_columns = true;
+  // --- Kernel specialization (DESIGN.md §11) -------------------------------
+  // Master switch for estimate-driven operator kernels: the DAG compiler
+  // swaps in a dense-array aggregate / array-index join when the relevant
+  // key column's min/max domain is narrow enough. Results are identical
+  // either way (specialized operators carry runtime guards that degrade to
+  // the generic path on any domain violation).
+  bool specialize_ops = true;
+  // Tight-loop predicate kernels in scans (vs the generic row-at-a-time
+  // path). Pure CPU-path choice: rows and I/O are byte-identical.
+  bool specialized_predicates = true;
+  // Domain-width ceilings: a group-key / build-key domain wider than this
+  // never specializes (bounds the dense arrays' memory).
+  int64_t dense_agg_budget = 1 << 16;
+  int64_t array_join_budget = 1 << 20;
   double estimation_ms = 0.0;        // time spent inside the estimator
   EstimationStats estimation;        // estimation-path accounting
   // Runtime feedback (all unset/empty when the estimator has no hook):
@@ -235,6 +252,11 @@ struct OptimizerOptions {
   int64_t min_dop_work_rows = 2 * kBlockRows;
   // Late projection (see PhysicalPlan::prune_columns).
   bool prune_columns = true;
+  // Kernel specialization (see the PhysicalPlan fields of the same names).
+  bool specialize_operators = true;
+  bool specialized_predicates = true;
+  int64_t dense_agg_domain_budget = 1 << 16;
+  int64_t array_join_domain_budget = 1 << 20;
 };
 
 // --- Required-column analysis ----------------------------------------------

@@ -53,53 +53,108 @@ bool ColumnPredicate::Matches(int64_t value) const {
   return false;
 }
 
+namespace {
+
+// IN lists at or below this size run as an unrolled OR-of-equalities over a
+// stack copy; longer lists keep the generic find (rare in the workloads).
+constexpr size_t kInKernelMaxList = 8;
+
+}  // namespace
+
 void EvaluateOnBlock(const ColumnPredicate& pred,
                      const std::vector<int64_t>& values,
                      std::vector<uint8_t>* selection) {
   BC_DCHECK(selection->size() == values.size());
-  // Branch once on the operator, then run a tight loop per case.
+  // Branch once on the operator, then run a branch-free tight loop per case
+  // over raw data — the loop bodies are single compares ANDed into the
+  // selection byte, which vectorize cleanly.
+  const size_t n = values.size();
+  const int64_t* v = values.data();
+  uint8_t* sel = selection->data();
   switch (pred.op) {
     case CompareOp::kEq:
-      for (size_t i = 0; i < values.size(); ++i) {
-        (*selection)[i] &= static_cast<uint8_t>(values[i] == pred.operand);
+      for (size_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] == pred.operand);
       }
       break;
     case CompareOp::kNe:
-      for (size_t i = 0; i < values.size(); ++i) {
-        (*selection)[i] &= static_cast<uint8_t>(values[i] != pred.operand);
+      for (size_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] != pred.operand);
       }
       break;
     case CompareOp::kLt:
-      for (size_t i = 0; i < values.size(); ++i) {
-        (*selection)[i] &= static_cast<uint8_t>(values[i] < pred.operand);
+      for (size_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] < pred.operand);
       }
       break;
     case CompareOp::kLe:
-      for (size_t i = 0; i < values.size(); ++i) {
-        (*selection)[i] &= static_cast<uint8_t>(values[i] <= pred.operand);
+      for (size_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] <= pred.operand);
       }
       break;
     case CompareOp::kGt:
-      for (size_t i = 0; i < values.size(); ++i) {
-        (*selection)[i] &= static_cast<uint8_t>(values[i] > pred.operand);
+      for (size_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] > pred.operand);
       }
       break;
     case CompareOp::kGe:
-      for (size_t i = 0; i < values.size(); ++i) {
-        (*selection)[i] &= static_cast<uint8_t>(values[i] >= pred.operand);
+      for (size_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(v[i] >= pred.operand);
       }
       break;
-    case CompareOp::kBetween:
-      for (size_t i = 0; i < values.size(); ++i) {
-        (*selection)[i] &= static_cast<uint8_t>(values[i] >= pred.operand &&
-                                                values[i] <= pred.operand2);
+    case CompareOp::kBetween: {
+      if (pred.operand > pred.operand2) {
+        std::fill(sel, sel + n, static_cast<uint8_t>(0));
+        break;
+      }
+      // Both compares of lo <= v <= hi in one unsigned subtract-compare:
+      // v - lo wraps below lo to a huge unsigned value, above span when v
+      // exceeds hi.
+      const uint64_t lo = static_cast<uint64_t>(pred.operand);
+      const uint64_t span = static_cast<uint64_t>(pred.operand2) - lo;
+      for (size_t i = 0; i < n; ++i) {
+        sel[i] &= static_cast<uint8_t>(static_cast<uint64_t>(v[i]) - lo <=
+                                       span);
       }
       break;
-    case CompareOp::kIn:
-      for (size_t i = 0; i < values.size(); ++i) {
-        (*selection)[i] &= static_cast<uint8_t>(pred.Matches(values[i]));
+    }
+    case CompareOp::kIn: {
+      const size_t list_size = pred.in_list.size();
+      if (list_size == 0) {
+        std::fill(sel, sel + n, static_cast<uint8_t>(0));
+        break;
+      }
+      if (list_size > kInKernelMaxList) {
+        EvaluateOnBlockGeneric(pred, values, selection);
+        break;
+      }
+      // Pad the stack copy with the first operand so the inner loop has a
+      // fixed trip count (duplicates don't change an OR-of-equalities).
+      int64_t list[kInKernelMaxList];
+      for (size_t j = 0; j < kInKernelMaxList; ++j) {
+        list[j] = pred.in_list[j < list_size ? j : 0];
+      }
+      for (size_t i = 0; i < n; ++i) {
+        uint8_t m = 0;
+        for (size_t j = 0; j < kInKernelMaxList; ++j) {
+          m |= static_cast<uint8_t>(v[i] == list[j]);
+        }
+        sel[i] &= m;
       }
       break;
+    }
+  }
+}
+
+void EvaluateOnBlockGeneric(const ColumnPredicate& pred,
+                            const std::vector<int64_t>& values,
+                            std::vector<uint8_t>* selection) {
+  BC_DCHECK(selection->size() == values.size());
+  const size_t n = values.size();
+  const int64_t* v = values.data();
+  uint8_t* sel = selection->data();
+  for (size_t i = 0; i < n; ++i) {
+    sel[i] &= static_cast<uint8_t>(pred.Matches(v[i]));
   }
 }
 

@@ -33,10 +33,22 @@ struct ColumnPredicate {
 using Conjunction = std::vector<ColumnPredicate>;
 
 // Vectorized evaluation over a block of values: clears selection bits for
-// non-matching rows. `selection` has one entry per row of the block.
+// non-matching rows. `selection` has one entry per row of the block. This is
+// the specialized kernel path (DESIGN.md §11): one branch on the operator,
+// then a branch-free tight loop over raw int64 data per case (range checks
+// via a single unsigned compare, small IN lists unrolled over a local copy)
+// — SIMD-friendly and exact, so it needs no runtime guard.
 void EvaluateOnBlock(const ColumnPredicate& pred,
                      const std::vector<int64_t>& values,
                      std::vector<uint8_t>* selection);
+
+// The generic row-at-a-time path: one ColumnPredicate::Matches dispatch per
+// row. Byte-identical selections to EvaluateOnBlock, by definition; scans
+// take this path when the plan disables predicate specialization (and the
+// kernel bench measures one against the other).
+void EvaluateOnBlockGeneric(const ColumnPredicate& pred,
+                            const std::vector<int64_t>& values,
+                            std::vector<uint8_t>* selection);
 
 // Full-column evaluation (used by the ground-truth oracle and by the
 // sample-based estimator). Produces a fresh selection vector over all rows.

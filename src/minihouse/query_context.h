@@ -57,6 +57,17 @@ struct ExecStats {
   // q-error among them.
   int64_t feedback_records = 0;
   double max_op_qerror = 1.0;
+  // Kernel specialization (DESIGN.md §11). specialized_ops counts operators
+  // the compiler gave a specialized kernel (whether or not it later
+  // degraded); despecialized_morsels counts runtime-guard firings — morsels
+  // (aggregation partitions, join builds) that fell back to the generic
+  // path mid-execution. The per-kind counters break specialized_ops down.
+  int64_t specialized_ops = 0;
+  int64_t despecialized_morsels = 0;
+  int64_t dense_agg_ops = 0;
+  int64_t array_join_ops = 0;
+  // (predicate, block) evaluations that ran the tight-loop kernels.
+  int64_t predicate_kernel_blocks = 0;
 };
 
 // The per-query bundle the whole execution stack is parameterized by: the

@@ -41,7 +41,12 @@ void SingleStageScanRange(const Table& table, const Conjunction& filters,
     // Read filter columns and apply predicates.
     for (const ColumnPredicate& pred : filters) {
       table.column(pred.column).ReadBlock(b, &block, io);
-      EvaluateOnBlock(pred, block, &selection);
+      if (options.specialized_predicates) {
+        EvaluateOnBlock(pred, block, &selection);
+        ++result->kernel_blocks;
+      } else {
+        EvaluateOnBlockGeneric(pred, block, &selection);
+      }
     }
     // Read output columns unconditionally: the single-stage reader constructs
     // tuples in the same pass, before knowing what survived.
@@ -113,7 +118,12 @@ void MultiStageScanRange(const Table& table, const Conjunction& filters,
     for (size_t stage = 0; alive && stage < order.size(); ++stage) {
       const ColumnPredicate& pred = filters[order[stage]];
       table.column(pred.column).ReadBlock(b, &block, io);
-      EvaluateOnBlock(pred, block, &selection);
+      if (options.specialized_predicates) {
+        EvaluateOnBlock(pred, block, &selection);
+        ++result->kernel_blocks;
+      } else {
+        EvaluateOnBlockGeneric(pred, block, &selection);
+      }
       bool any = false;
       for (uint8_t s : selection) {
         if (s != 0) {
@@ -217,6 +227,7 @@ ScanResult ScanTable(const Table& table, const Conjunction& filters,
   result.row_ids.reserve(total_rows);
   for (auto& col : result.materialized) col.reserve(total_rows);
   for (ScanResult& part : parts) {
+    result.kernel_blocks += part.kernel_blocks;
     result.row_ids.insert(result.row_ids.end(), part.row_ids.begin(),
                           part.row_ids.end());
     for (size_t c = 0; c < result.materialized.size(); ++c) {

@@ -47,6 +47,12 @@ struct ScanOptions {
   // morsel budget (from its QueryContext). Defaults reproduce standalone
   // behaviour — fast lane, unbudgeted.
   common::MorselPolicy morsel_policy;
+  // Predicate evaluation path: the branch-free tight-loop kernels
+  // (EvaluateOnBlock, the default) or the generic row-at-a-time path
+  // (EvaluateOnBlockGeneric). Selections — and therefore rows, blocks read,
+  // and all IoStats — are byte-identical either way; this is a pure CPU-path
+  // choice, observable only in wall time and the kernel-pick counter.
+  bool specialized_predicates = true;
 };
 
 // Output of a table scan: surviving row ids plus materialized tuples for the
@@ -58,6 +64,9 @@ struct ScanResult {
   // executed through the pool (0 when the scan ran serially).
   int dop_used = 1;
   int64_t parallel_tasks = 0;
+  // (predicate, block) evaluations that ran through the specialized kernel
+  // path (0 when options.specialized_predicates is off).
+  int64_t kernel_blocks = 0;
   int64_t rows_matched() const {
     return static_cast<int64_t>(row_ids.size());
   }

@@ -32,6 +32,9 @@ Status Table::Seal() {
                               "' row count mismatch");
     }
   }
+  // Domain statistics ride the seal: every load/append path ends here, so
+  // per-column min/max are exact whenever queries can see the rows.
+  for (Column& c : columns_) c.RefreshDomainStats();
   return Status::Ok();
 }
 

@@ -34,9 +34,14 @@ class Table {
     return schema_.FindColumn(name);
   }
 
-  // Recomputes num_rows_ from column 0 and checks all columns agree.
-  // Call once after bulk-building the columns.
+  // Recomputes num_rows_ from column 0, checks all columns agree, and
+  // refreshes every column's min/max domain statistics. Call once after
+  // bulk-building (or appending to) the columns.
   Status Seal();
+
+  // Column `i`'s numeric min/max as of the last Seal — the specialization
+  // layer's input signal.
+  const ColumnDomain& domain(int i) const { return columns_[i].domain(); }
 
   // Forwards the owning database's simulated-storage config to every column.
   // Database::AddTable calls this; columns_ never reallocates after

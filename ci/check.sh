@@ -32,6 +32,12 @@ echo "== bench smoke: operator kernels (specialization) =="
 # its generic twin and that the best guarded kernel clears 2x at dop 1.
 (cd "${BUILD_DIR}/bench" && ./bench_operator_kernels --smoke)
 
+echo "== bench smoke: encoded-storage scale step (zone maps) =="
+# Asserts internally that encoded and raw storage return byte-identical
+# results across dop x SIP configs and that selective clustered scans prune
+# blocks; writes BENCH_fig6_scale.json (smoke scales).
+(cd "${BUILD_DIR}/bench" && ./bench_fig6_scale --smoke)
+
 echo "== sanitizer: thread =="
 "${REPO_ROOT}/ci/sanitize.sh" thread
 

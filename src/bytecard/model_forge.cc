@@ -120,7 +120,7 @@ Result<std::vector<ModelArtifact>> ModelForgeService::TrainShardedBn(
         if (src.type() == minihouse::DataType::kFloat64) {
           dst->AppendDouble(src.DoubleAt(r));
         } else {
-          dst->AppendInt(src.ints()[r]);
+          dst->AppendInt(src.NumericAt(r));
         }
       }
     }

@@ -1,12 +1,12 @@
 #include "minihouse/column.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstring>
+#include <numeric>
 #include <thread>
-
-#include <atomic>
 
 #include "common/logging.h"
 
@@ -14,6 +14,7 @@ namespace bytecard::minihouse {
 
 void Column::AppendString(const std::string& s) {
   BC_DCHECK(type_ == DataType::kString);
+  EnsureAppendable();
   auto it = std::find(dict_.begin(), dict_.end(), s);
   if (it == dict_.end()) {
     dict_.push_back(s);
@@ -39,12 +40,14 @@ double Column::DoubleFromOrderedCode(int64_t code) {
 void Column::AppendNumeric(int64_t code) {
   switch (type_) {
     case DataType::kFloat64:
+      EnsureAppendable();
       doubles_.push_back(DoubleFromOrderedCode(code));
       break;
     case DataType::kArray:
       arrays_.emplace_back();
       break;
     default:
+      EnsureAppendable();
       ints_.push_back(code);
       break;
   }
@@ -55,27 +58,23 @@ namespace {
 std::atomic<int64_t> g_storage_sink{0};
 }  // namespace
 
-void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
-                       IoStats* io) const {
-  const int64_t begin = b * kBlockRows;
-  const int64_t rows = BlockRowCount(b);
-  BC_DCHECK(rows > 0);
-  out->resize(rows);
-  if (type_ == DataType::kFloat64) {
-    for (int64_t i = 0; i < rows; ++i) {
-      (*out)[i] = OrderedCodeOf(doubles_[begin + i]);
-    }
-  } else {
-    std::memcpy(out->data(), ints_.data() + begin, rows * sizeof(int64_t));
-  }
+void Column::ChargeStorage(int64_t b, int64_t rows, IoStats* io,
+                           const std::vector<int64_t>* decoded) const {
+  const bool sealed_block = b < static_cast<int64_t>(blocks_.size());
   if (storage_ != nullptr) {
     // Simulated storage cost: extra passes proportional to block volume, so
     // wall-clock tracks blocks_read the way it does on a disk-bound
-    // warehouse node.
+    // warehouse node. Sealed blocks charge passes over the *encoded*
+    // payload — compression shrinks the bytes a read touches, and the
+    // simulated CPU cost shrinks with it.
     const int cost = storage_->cost_factor.load(std::memory_order_relaxed);
     for (int pass = 0; pass < cost; ++pass) {
       int64_t checksum = 0;
-      for (int64_t v : *out) checksum += v;
+      if (sealed_block) {
+        checksum = blocks_[b].PayloadChecksum();
+      } else if (decoded != nullptr) {
+        for (int64_t v : *decoded) checksum += v;
+      }
       g_storage_sink.fetch_add(checksum, std::memory_order_relaxed);
     }
     // Simulated storage latency: a blocking wait per block read. Concurrent
@@ -88,26 +87,199 @@ void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
       std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
     }
   }
-  if (io != nullptr) io->AddBlock(rows, bytes_per_row());
+  if (io != nullptr) {
+    io->AddBlock(rows, bytes_per_row());
+    if (sealed_block) ++io->encoded_blocks;
+  }
+}
+
+void Column::DecodeThroughCache(int64_t b, std::vector<int64_t>* out,
+                                IoStats* io) const {
+  const EncodedBlock& block = blocks_[b];
+  if (cache_ != nullptr) {
+    if (DecodeCache::BlockRef ref = cache_->Lookup(this, b)) {
+      out->assign(ref->begin(), ref->end());
+      if (io != nullptr) ++io->decode_cache_hits;
+      return;
+    }
+    block.Decode(out);
+    cache_->Insert(this, b, *out,
+                   io != nullptr ? &io->decode_cache_evictions : nullptr);
+    return;
+  }
+  block.Decode(out);
+}
+
+void Column::ReadBlock(int64_t b, std::vector<int64_t>* out,
+                       IoStats* io) const {
+  const int64_t rows = BlockRowCount(b);
+  BC_DCHECK(rows > 0);
+  if (b < static_cast<int64_t>(blocks_.size())) {
+    const EncodedBlock& block = blocks_[b];
+    if (const int64_t* plain = block.PlainData()) {
+      out->assign(plain, plain + rows);
+    } else {
+      DecodeThroughCache(b, out, io);
+    }
+    ChargeStorage(b, rows, io, nullptr);
+    return;
+  }
+  // Raw path: unsealed column or the appended tail past the sealed blocks.
+  const int64_t begin = b * kBlockRows - sealed_rows_;
+  out->resize(rows);
+  if (type_ == DataType::kFloat64) {
+    for (int64_t i = 0; i < rows; ++i) {
+      (*out)[i] = OrderedCodeOf(doubles_[begin + i]);
+    }
+  } else {
+    std::memcpy(out->data(), ints_.data() + begin, rows * sizeof(int64_t));
+  }
+  ChargeStorage(b, rows, io, out);
+}
+
+void Column::ChargeBlockRead(int64_t b, IoStats* io) const {
+  BC_DCHECK(b < static_cast<int64_t>(blocks_.size()));
+  ChargeStorage(b, BlockRowCount(b), io, nullptr);
+}
+
+void Column::EnsureAppendable() {
+  if (blocks_.empty() || blocks_.back().rows() == kBlockRows) return;
+  // A partial tail block only exists right after a Seal, which consumed the
+  // whole raw tail — so the raw vectors are empty here.
+  BC_CHECK(RawRowCount() == 0);
+  std::vector<int64_t> values;
+  blocks_.back().Decode(&values);
+  if (type_ == DataType::kFloat64) {
+    doubles_.reserve(values.size());
+    for (int64_t code : values) doubles_.push_back(DoubleFromOrderedCode(code));
+  } else {
+    ints_ = std::move(values);
+  }
+  sealed_rows_ -= blocks_.back().rows();
+  blocks_.pop_back();
+  // The popped block index will be re-encoded with different contents at the
+  // next Seal; any cached decode of it is now stale.
+  InvalidateCachedBlocks();
+}
+
+void Column::UnsealAll() {
+  if (blocks_.empty()) return;
+  std::vector<int64_t> all;
+  all.reserve(sealed_rows_);
+  std::vector<int64_t> tmp;
+  for (const EncodedBlock& block : blocks_) {
+    block.Decode(&tmp);
+    all.insert(all.end(), tmp.begin(), tmp.end());
+  }
+  if (type_ == DataType::kFloat64) {
+    std::vector<double> merged;
+    merged.reserve(all.size() + doubles_.size());
+    for (int64_t code : all) merged.push_back(DoubleFromOrderedCode(code));
+    merged.insert(merged.end(), doubles_.begin(), doubles_.end());
+    doubles_ = std::move(merged);
+  } else {
+    all.insert(all.end(), ints_.begin(), ints_.end());
+    ints_ = std::move(all);
+  }
+  blocks_.clear();
+  sealed_rows_ = 0;
+  InvalidateCachedBlocks();
+}
+
+void Column::EncodeTail() {
+  const int64_t n = RawRowCount();
+  if (n == 0) return;
+  std::vector<int64_t> codes;
+  const int64_t* data;
+  if (type_ == DataType::kFloat64) {
+    codes.resize(n);
+    for (int64_t i = 0; i < n; ++i) codes[i] = OrderedCodeOf(doubles_[i]);
+    data = codes.data();
+  } else {
+    data = ints_.data();
+  }
+  for (int64_t begin = 0; begin < n; begin += kBlockRows) {
+    const int64_t rows = std::min<int64_t>(kBlockRows, n - begin);
+    blocks_.push_back(EncodedBlock::Encode(data + begin, rows));
+  }
+  sealed_rows_ += n;
+  ints_.clear();
+  ints_.shrink_to_fit();
+  doubles_.clear();
+  doubles_.shrink_to_fit();
+}
+
+void Column::SortDictionaryAndRemap() {
+  if (std::is_sorted(dict_.begin(), dict_.end())) return;
+  // Codes must be rewritten everywhere, so pull any encoded blocks back to
+  // raw first (rare: only incremental AppendString builds land here).
+  UnsealAll();
+  std::vector<int64_t> order(dict_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int64_t a, int64_t b) {
+    return dict_[a] < dict_[b];
+  });
+  std::vector<int64_t> remap(dict_.size());
+  std::vector<std::string> sorted;
+  sorted.reserve(dict_.size());
+  for (size_t new_code = 0; new_code < order.size(); ++new_code) {
+    remap[order[new_code]] = static_cast<int64_t>(new_code);
+    sorted.push_back(std::move(dict_[order[new_code]]));
+  }
+  dict_ = std::move(sorted);
+  for (int64_t& code : ints_) code = remap[code];
+}
+
+void Column::InvalidateCachedBlocks() {
+  if (cache_ != nullptr) cache_->InvalidateColumn(this);
+}
+
+void Column::SealStorage(StorageFormat format) {
+  if (type_ != DataType::kArray) {
+    if (format == StorageFormat::kRaw) {
+      UnsealAll();
+    } else {
+      if (type_ == DataType::kString) SortDictionaryAndRemap();
+      EncodeTail();
+    }
+  }
+  RefreshDomainStats();
 }
 
 void Column::RefreshDomainStats() {
   domain_ = ColumnDomain{};
   if (type_ == DataType::kArray) return;  // no scalar domain
-  const int64_t n = num_rows();
-  if (n == 0) return;
-  int64_t lo = NumericAt(0);
-  int64_t hi = lo;
-  for (int64_t i = 1; i < n; ++i) {
-    const int64_t v = NumericAt(i);
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
+  if (num_rows() == 0) return;
+  bool have = false;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  // Sealed blocks contribute via their zone maps — no data pass.
+  for (const EncodedBlock& block : blocks_) {
+    const ZoneMap& z = block.zone();
+    lo = have ? std::min(lo, z.min) : z.min;
+    hi = have ? std::max(hi, z.max) : z.max;
+    have = true;
   }
-  domain_ = ColumnDomain{lo, hi, true};
+  const int64_t raw_n = RawRowCount();
+  for (int64_t i = 0; i < raw_n; ++i) {
+    const int64_t v =
+        type_ == DataType::kFloat64 ? OrderedCodeOf(doubles_[i]) : ints_[i];
+    lo = have ? std::min(lo, v) : v;
+    hi = have ? std::max(hi, v) : v;
+    have = true;
+  }
+  if (have) domain_ = ColumnDomain{lo, hi, true};
+}
+
+int64_t Column::EncodedBytes() const {
+  int64_t bytes = 0;
+  for (const EncodedBlock& block : blocks_) bytes += block.EncodedBytes();
+  return bytes;
 }
 
 int64_t Column::MemoryBytes() const {
-  int64_t bytes = static_cast<int64_t>(ints_.size() * sizeof(int64_t) +
+  int64_t bytes = EncodedBytes() +
+                  static_cast<int64_t>(ints_.size() * sizeof(int64_t) +
                                        doubles_.size() * sizeof(double));
   for (const auto& a : arrays_) bytes += a.size() * sizeof(int64_t) + 16;
   for (const auto& s : dict_) bytes += static_cast<int64_t>(s.size()) + 16;

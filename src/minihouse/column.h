@@ -6,10 +6,18 @@
 #include <vector>
 
 #include "common/status.h"
+#include "minihouse/decode_cache.h"
+#include "minihouse/encoded_block.h"
 #include "minihouse/io_stats.h"
 #include "minihouse/schema.h"
 
 namespace bytecard::minihouse {
+
+// How a table stores sealed scalar columns. kEncoded (the default) compresses
+// each block at Seal (plain / RLE / frame-of-reference, chosen per block by
+// size) and releases the raw vectors; kRaw keeps the pre-refactor
+// uncompressed layout — benches use it as the identity baseline.
+enum class StorageFormat { kEncoded, kRaw };
 
 // Min/max of a column's numeric domain (int64 value, string dictionary code,
 // or ordered double code — the same space predicates operate in). Maintained
@@ -39,26 +47,42 @@ struct ColumnDomain {
 // - kInt64 columns store int64 values;
 // - kString columns store int64 codes into an ordered dictionary (order-
 //   preserving encoding, so range predicates on codes match string order);
-// - kFloat64 columns store doubles;
+// - kFloat64 columns store doubles (ordered int64 codes once sealed);
 // - kArray columns store per-row element lists (opaque to the estimators).
 //
-// Access for query processing goes through the block APIs so that I/O is
-// accounted at block granularity.
+// Lifecycle: rows append into raw vectors; Table::Seal encodes full scalar
+// columns into EncodedBlocks (releasing the raw storage under the default
+// kEncoded format) and stamps a per-block ZoneMap. Appending to a sealed
+// column transparently re-opens the partial tail block; the next Seal
+// re-encodes it. Access for query processing goes through the block APIs so
+// that I/O is accounted at block granularity; non-plain blocks decode lazily
+// through the owning database's bounded DecodeCache.
 class Column {
  public:
   Column() : type_(DataType::kInt64) {}
   explicit Column(DataType type) : type_(type) {}
+
+  Column(Column&& other) = default;
+  Column& operator=(Column&& other) = default;
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  // Drops this column's decode-cache entries: its address may be reused, and
+  // a stale (column, block) key must never serve another column's data.
+  ~Column() {
+    if (cache_ != nullptr) cache_->InvalidateColumn(this);
+  }
 
   DataType type() const { return type_; }
 
   int64_t num_rows() const {
     switch (type_) {
       case DataType::kFloat64:
-        return static_cast<int64_t>(doubles_.size());
+        return sealed_rows_ + static_cast<int64_t>(doubles_.size());
       case DataType::kArray:
         return static_cast<int64_t>(arrays_.size());
       default:
-        return static_cast<int64_t>(ints_.size());
+        return sealed_rows_ + static_cast<int64_t>(ints_.size());
     }
   }
 
@@ -67,37 +91,52 @@ class Column {
   }
 
   // --- Builders -------------------------------------------------------
-  void AppendInt(int64_t v) { ints_.push_back(v); }
-  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendInt(int64_t v) {
+    EnsureAppendable();
+    ints_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    EnsureAppendable();
+    doubles_.push_back(v);
+  }
   void AppendArray(std::vector<int64_t> v) { arrays_.push_back(std::move(v)); }
 
-  // Appends a string value, interning it in the dictionary. The dictionary
-  // must be pre-sorted via SetDictionary for order-preserving codes, or built
-  // incrementally (codes then reflect insertion order).
+  // Appends a string value, interning it in the dictionary. Codes reflect
+  // insertion order until Seal, which re-sorts the dictionary and re-encodes
+  // every stored code so range predicates on codes always match string order.
   void AppendString(const std::string& s);
 
   // Installs a dictionary for a kString column. Codes appended afterwards
-  // index into it.
+  // index into it. A non-sorted dictionary is re-sorted (and the codes
+  // remapped) at Seal.
   void SetDictionary(std::vector<std::string> dict) {
     dict_ = std::move(dict);
   }
-  void AppendCode(int64_t code) { ints_.push_back(code); }
+  void AppendCode(int64_t code) {
+    EnsureAppendable();
+    ints_.push_back(code);
+  }
   const std::vector<std::string>& dictionary() const { return dict_; }
-
-  // --- Whole-column raw access (model training, ground truth) ----------
-  const std::vector<int64_t>& ints() const { return ints_; }
-  const std::vector<double>& doubles() const { return doubles_; }
 
   // Numeric view of row `i`: the int64 value / string code, or the double
   // value cast through a total order-preserving mapping for kFloat64.
+  // Sealed rows are answered from the encoded block without materializing it
+  // (O(1) for plain/FOR, O(log runs) for RLE).
   int64_t NumericAt(int64_t i) const {
-    if (type_ == DataType::kFloat64) return OrderedCodeOf(doubles_[i]);
-    return ints_[i];
+    if (i >= sealed_rows_) {
+      const int64_t j = i - sealed_rows_;
+      if (type_ == DataType::kFloat64) return OrderedCodeOf(doubles_[j]);
+      return ints_[j];
+    }
+    return blocks_[i / kBlockRows].ValueAt(i % kBlockRows);
   }
 
   double DoubleAt(int64_t i) const {
-    if (type_ == DataType::kFloat64) return doubles_[i];
-    return static_cast<double>(ints_[i]);
+    if (type_ == DataType::kFloat64) {
+      if (i >= sealed_rows_) return doubles_[i - sealed_rows_];
+      return DoubleFromOrderedCode(NumericAt(i));
+    }
+    return static_cast<double>(NumericAt(i));
   }
 
   // Maps a double to an int64 preserving order (IEEE-754 trick), so that all
@@ -114,8 +153,14 @@ class Column {
 
   // --- Block access with I/O accounting --------------------------------
   // Copies block `b`'s numeric values into `out` (resized). Charges one
-  // block read to `io`.
+  // block read to `io`; sealed non-plain blocks decode through the attached
+  // DecodeCache (hits and evictions land in `io` too).
   void ReadBlock(int64_t b, std::vector<int64_t>* out, IoStats* io) const;
+
+  // Charges the I/O for sealed block `b` without materializing values — the
+  // path predicate evaluation over encoded data takes. Identical IoStats
+  // effect to a ReadBlock of the same block (minus decode-cache traffic).
+  void ChargeBlockRead(int64_t b, IoStats* io) const;
 
   int64_t BlockRowCount(int64_t b) const {
     const int64_t begin = b * kBlockRows;
@@ -125,11 +170,38 @@ class Column {
 
   int64_t bytes_per_row() const { return 8; }
 
-  // Points this column at its database's simulated-storage config. Called by
-  // Database::AddTable; a detached column (unit tests, builders) reads with
-  // no simulated cost or latency.
-  void AttachStorageProfile(const StorageProfile* profile) {
+  // --- Encoded-storage introspection ------------------------------------
+  // Sealed block `b`, or nullptr for raw-tail / unsealed blocks.
+  const EncodedBlock* encoded_block(int64_t b) const {
+    return b < static_cast<int64_t>(blocks_.size()) ? &blocks_[b] : nullptr;
+  }
+
+  // Block `b`'s zone map, or nullptr when the block has none (raw tail,
+  // unsealed or kRaw-format column) — callers must treat "no zone map" as
+  // "cannot prune".
+  const ZoneMap* zone_map(int64_t b) const {
+    return b < static_cast<int64_t>(blocks_.size()) ? &blocks_[b].zone()
+                                                    : nullptr;
+  }
+
+  int64_t num_encoded_blocks() const {
+    return static_cast<int64_t>(blocks_.size());
+  }
+
+  // Bytes held by the encoded blocks (0 when raw).
+  int64_t EncodedBytes() const;
+
+  // Encodes all raw rows into blocks (kEncoded) or decodes all blocks back
+  // into raw vectors (kRaw), then refreshes domain stats. Called by
+  // Table::Seal; idempotent.
+  void SealStorage(StorageFormat format);
+
+  // Points this column at its database's simulated-storage config and shared
+  // decode cache. Called by Database::AddTable; a detached column (unit
+  // tests, builders) reads with no simulated cost and decodes uncached.
+  void AttachStorage(const StorageProfile* profile, DecodeCache* cache) {
     storage_ = profile;
+    cache_ = cache;
   }
 
   // Approximate in-memory footprint (used by the size checker).
@@ -142,7 +214,8 @@ class Column {
   // half-updated bounds.
   const ColumnDomain& domain() const { return domain_; }
 
-  // Recomputes min/max over all rows. Called by Table::Seal.
+  // Recomputes min/max over all rows: sealed blocks fold their zone maps (no
+  // data pass), raw tail rows are scanned. Called by Table::Seal.
   void RefreshDomainStats();
 
   // Installs explicit bounds. The ingest path uses this to merge batch
@@ -151,13 +224,55 @@ class Column {
   void SetDomain(ColumnDomain domain) { domain_ = domain; }
 
  private:
+  // Rows currently in the raw vectors (excludes sealed blocks and arrays).
+  int64_t RawRowCount() const {
+    return type_ == DataType::kFloat64 ? static_cast<int64_t>(doubles_.size())
+                                       : static_cast<int64_t>(ints_.size());
+  }
+
+  // Re-opens a partial sealed tail block for appending: decodes it back into
+  // the raw vectors and drops it from blocks_. Partial blocks only exist
+  // immediately after a Seal (which consumes the whole tail), so the raw
+  // vectors are empty whenever this fires.
+  void EnsureAppendable();
+
+  // Decodes every block back into the raw vectors (kRaw reseal, dictionary
+  // re-sort).
+  void UnsealAll();
+
+  // Encodes all raw rows into blocks and releases the raw vectors.
+  void EncodeTail();
+
+  // Sorts dict_ and rewrites every stored code against the sorted order.
+  // No-op when already sorted. Requires raw storage (callers UnsealAll).
+  void SortDictionaryAndRemap();
+
+  void InvalidateCachedBlocks();
+
+  // Decode of sealed block `b` through the cache (or direct when detached).
+  void DecodeThroughCache(int64_t b, std::vector<int64_t>* out,
+                          IoStats* io) const;
+
+  // Simulated storage cost + latency + IoStats charge shared by ReadBlock
+  // and ChargeBlockRead. `decoded` is the just-read data for raw blocks
+  // (the cost pass sums it); sealed blocks pass nullptr and the cost pass
+  // sums the encoded payload instead.
+  void ChargeStorage(int64_t b, int64_t rows, IoStats* io,
+                     const std::vector<int64_t>* decoded) const;
+
   DataType type_;
   ColumnDomain domain_;
   const StorageProfile* storage_ = nullptr;
+  DecodeCache* cache_ = nullptr;
+  // Raw (pre-seal / appended-tail) storage.
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::vector<int64_t>> arrays_;
   std::vector<std::string> dict_;
+  // Sealed storage: rows [0, sealed_rows_) live in encoded blocks; raw
+  // vectors hold rows from sealed_rows_ on.
+  std::vector<EncodedBlock> blocks_;
+  int64_t sealed_rows_ = 0;
 };
 
 }  // namespace bytecard::minihouse

@@ -7,7 +7,7 @@ Status Database::AddTable(std::unique_ptr<Table> table) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
-  table->AttachStorageProfile(&storage_profile_);
+  table->AttachStorage(&storage_profile_, &decode_cache_);
   tables_[name] = std::move(table);
   return Status::Ok();
 }
@@ -44,6 +44,12 @@ int64_t Database::TotalRows() const {
 int64_t Database::MemoryBytes() const {
   int64_t bytes = 0;
   for (const auto& [_, t] : tables_) bytes += t->MemoryBytes();
+  return bytes;
+}
+
+int64_t Database::EncodedBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [_, t] : tables_) bytes += t->EncodedBytes();
   return bytes;
 }
 

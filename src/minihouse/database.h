@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "minihouse/decode_cache.h"
 #include "minihouse/table.h"
 
 namespace bytecard::minihouse {
@@ -46,9 +47,23 @@ class Database {
   }
   const StorageProfile& storage_profile() const { return storage_profile_; }
 
+  // Budget for the shared decoded-block cache (see DecodeCache). Thread-safe
+  // to retune while queries are in flight; shrinking evicts immediately.
+  void SetDecodeCacheBytes(int64_t bytes) {
+    decode_cache_.SetBudgetBytes(bytes);
+  }
+  DecodeCache* decode_cache() { return &decode_cache_; }
+  const DecodeCache& decode_cache() const { return decode_cache_; }
+
+  // Bytes held in encoded blocks across all tables.
+  int64_t EncodedBytes() const;
+
  private:
-  std::map<std::string, std::unique_ptr<Table>> tables_;
+  // Declared before tables_ so tables (whose columns invalidate their cache
+  // entries on destruction) are destroyed while the cache is still alive.
+  DecodeCache decode_cache_;
   StorageProfile storage_profile_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
 };
 
 }  // namespace bytecard::minihouse

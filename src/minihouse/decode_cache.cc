@@ -1,0 +1,81 @@
+#include "minihouse/decode_cache.h"
+
+namespace bytecard::minihouse {
+
+void DecodeCache::SetBudgetBytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = bytes < 0 ? 0 : bytes;
+  EvictToBudgetLocked();
+}
+
+int64_t DecodeCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
+}
+
+DecodeCache::BlockRef DecodeCache::Lookup(const void* column, int64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key{column, block});
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->values;
+}
+
+DecodeCache::BlockRef DecodeCache::Insert(const void* column, int64_t block,
+                                          std::vector<int64_t> values,
+                                          int64_t* evicted) {
+  auto ref = std::make_shared<const std::vector<int64_t>>(std::move(values));
+  const int64_t bytes = EntryBytes(*ref);
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{column, block};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another thread decoded the same block first; keep its copy.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->values;
+  }
+  if (bytes > budget_bytes_) return ref;  // too large to ever cache
+  resident_bytes_ += bytes;
+  const int64_t dropped = EvictToBudgetLocked();
+  if (evicted != nullptr) *evicted += dropped;
+  lru_.push_front(Entry{key, ref, bytes});
+  index_[key] = lru_.begin();
+  return ref;
+}
+
+void DecodeCache::InvalidateColumn(const void* column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.first == column) {
+      resident_bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t DecodeCache::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+int64_t DecodeCache::EvictToBudgetLocked() {
+  int64_t dropped = 0;
+  while (resident_bytes_ > budget_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++dropped;
+  }
+  evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
+}
+
+}  // namespace bytecard::minihouse

@@ -40,6 +40,14 @@ struct IoStats {
   int64_t blocks_read = 0;
   int64_t bytes_read = 0;
   int64_t rows_scanned = 0;
+  // Encoded-storage accounting (DESIGN.md §12). blocks_pruned counts whole
+  // blocks skipped via zone maps before any I/O was charged; encoded_blocks
+  // counts block reads served from encoded (sealed) storage; the decode
+  // counters track this query's traffic through the bounded decode cache.
+  int64_t blocks_pruned = 0;
+  int64_t encoded_blocks = 0;
+  int64_t decode_cache_hits = 0;
+  int64_t decode_cache_evictions = 0;
 
   void AddBlock(int64_t rows, int64_t bytes_per_row) {
     blocks_read += 1;
@@ -51,6 +59,10 @@ struct IoStats {
     blocks_read += other.blocks_read;
     bytes_read += other.bytes_read;
     rows_scanned += other.rows_scanned;
+    blocks_pruned += other.blocks_pruned;
+    encoded_blocks += other.encoded_blocks;
+    decode_cache_hits += other.decode_cache_hits;
+    decode_cache_evictions += other.decode_cache_evictions;
     return *this;
   }
 };

@@ -51,12 +51,20 @@ Result<Relation> ScanOp::Execute() {
   options.dop = scan_plan_.dop;
   options.morsel_policy = ctx_->morsel_policy();
   options.specialized_predicates = scan_plan_.specialized_predicates;
+  options.prune_blocks = scan_plan_.prune_blocks;
   ScanResult scanned = ScanTable(*ref_.table, ref_.filters,
                                  output_schema_columns_, options, &stats_.io);
   stats_.dop_used = scanned.dop_used;
   stats_.parallel_tasks = scanned.parallel_tasks;
   stats_.sip_filtered = sip_.bloom != nullptr;
   stats_.kernel_blocks = scanned.kernel_blocks;
+  // Resident footprint at scan end: the table's stored bytes plus whatever
+  // the shared decode cache currently holds. An approximation (other queries
+  // share the cache), but exactly the bound the bench asserts on.
+  stats_.bytes_resident = ref_.table->MemoryBytes();
+  if (const DecodeCache* cache = ref_.table->decode_cache()) {
+    stats_.bytes_resident += cache->ResidentBytes();
+  }
 
   Relation rel;
   rel.column_names = output_names_;
@@ -279,6 +287,7 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
   auto make_scan = [&](int t) {
     TableScanPlan sp = plan.scans[t];
     sp.specialized_predicates = plan.specialized_predicates;
+    sp.prune_blocks = plan.prune_blocks;
     return std::make_unique<ScanOp>(query, t, std::move(sp), ctx);
   };
   // A specialization is vetoed when a prior run of the same subplan

@@ -45,6 +45,10 @@ struct OperatorStats {
   int64_t despecialized_morsels = 0;
   // Scans: (predicate, block) evaluations through the tight-loop kernels.
   int64_t kernel_blocks = 0;
+  // Scans: resident footprint sampled after the scan — the table's stored
+  // (encoded) bytes plus the shared decode cache's decoded bytes. ExecStats
+  // keeps the max across scans.
+  int64_t bytes_resident = 0;
 };
 
 // The estimation question an operator's output answers, attached by the DAG

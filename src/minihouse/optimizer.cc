@@ -224,6 +224,17 @@ TableScanPlan Optimizer::PlanScan(const BoundTableRef& ref,
 
   plan.estimated_selectivity = ctx->Selectivity(*ref.table, ref.filters);
 
+  // Zone-map tier (DESIGN.md §12): block min/max give a sound selectivity
+  // upper bound for free. Clamping here makes reader choice, dop, and
+  // admission pruning-aware even when the learned model overestimates —
+  // e.g. a range predicate on a clustered column that zone maps prove
+  // touches a few blocks.
+  if (options_.zone_map_estimation) {
+    plan.estimated_selectivity = std::min(
+        plan.estimated_selectivity, ZoneMapSelectivityBound(*ref.table,
+                                                            ref.filters));
+  }
+
   // Dynamic reader selection (paper §5.1.2): multi-stage pays off exactly
   // when filters eliminate most rows early; otherwise its extra passes lose.
   plan.reader =
@@ -375,6 +386,7 @@ PhysicalPlan Optimizer::Plan(const BoundQuery& query,
   std::vector<double> prefix_cards;
   plan.join_order = PlanJoinOrder(query, ctx, &prefix_cards);
   plan.use_sip = options_.enable_sip;
+  plan.prune_blocks = options_.prune_blocks;
   plan.prune_columns = options_.prune_columns;
   plan.specialize_ops = options_.specialize_operators;
   plan.specialized_predicates = options_.specialized_predicates;

@@ -177,6 +177,9 @@ struct TableScanPlan {
   // Predicate kernels for this scan (see ScanOptions); the DAG compiler
   // overwrites it from the plan-level switch.
   bool specialized_predicates = true;
+  // Zone-map block pruning for this scan (see ScanOptions); likewise
+  // overwritten from the plan-level switch.
+  bool prune_blocks = false;
 };
 
 struct PhysicalPlan {
@@ -205,6 +208,10 @@ struct PhysicalPlan {
   // Tight-loop predicate kernels in scans (vs the generic row-at-a-time
   // path). Pure CPU-path choice: rows and I/O are byte-identical.
   bool specialized_predicates = true;
+  // Zone-map block pruning in scans (DESIGN.md §12): skip blocks whose
+  // min/max cannot satisfy some filter, before charging I/O. Result rows are
+  // identical; blocks_read shrinks and blocks_pruned counts the skips.
+  bool prune_blocks = true;
   // Domain-width ceilings: a group-key / build-key domain wider than this
   // never specializes (bounds the dense arrays' memory).
   int64_t dense_agg_budget = 1 << 16;
@@ -255,6 +262,13 @@ struct OptimizerOptions {
   // Kernel specialization (see the PhysicalPlan fields of the same names).
   bool specialize_operators = true;
   bool specialized_predicates = true;
+  // Zone-map block pruning (see PhysicalPlan::prune_blocks).
+  bool prune_blocks = true;
+  // Clamp per-scan selectivity estimates with the zone-map upper bound
+  // (ZoneMapSelectivityBound) — the cheap sketch tier under the learned
+  // models. Affects reader choice, scan dop, and scheduler admission; free
+  // (no estimator call, one pass over block metadata).
+  bool zone_map_estimation = true;
   int64_t dense_agg_domain_budget = 1 << 16;
   int64_t array_join_domain_budget = 1 << 20;
 };

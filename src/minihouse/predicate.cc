@@ -59,18 +59,22 @@ namespace {
 // stack copy; longer lists keep the generic find (rare in the workloads).
 constexpr size_t kInKernelMaxList = 8;
 
-}  // namespace
+// Row-at-a-time evaluation over raw data (the long-IN-list fallback and the
+// generic path's core).
+void EvaluateGenericRaw(const ColumnPredicate& pred, const int64_t* v,
+                        size_t n, uint8_t* sel) {
+  for (size_t i = 0; i < n; ++i) {
+    sel[i] &= static_cast<uint8_t>(pred.Matches(v[i]));
+  }
+}
 
-void EvaluateOnBlock(const ColumnPredicate& pred,
-                     const std::vector<int64_t>& values,
-                     std::vector<uint8_t>* selection) {
-  BC_DCHECK(selection->size() == values.size());
+// The branch-free kernel core over raw data, shared by the decoded-block
+// entry point and the encoded plain/FOR paths.
+void EvaluateKernel(const ColumnPredicate& pred, const int64_t* v, size_t n,
+                    uint8_t* sel) {
   // Branch once on the operator, then run a branch-free tight loop per case
   // over raw data — the loop bodies are single compares ANDed into the
   // selection byte, which vectorize cleanly.
-  const size_t n = values.size();
-  const int64_t* v = values.data();
-  uint8_t* sel = selection->data();
   switch (pred.op) {
     case CompareOp::kEq:
       for (size_t i = 0; i < n; ++i) {
@@ -125,7 +129,7 @@ void EvaluateOnBlock(const ColumnPredicate& pred,
         break;
       }
       if (list_size > kInKernelMaxList) {
-        EvaluateOnBlockGeneric(pred, values, selection);
+        EvaluateGenericRaw(pred, v, n, sel);
         break;
       }
       // Pad the stack copy with the first operand so the inner loop has a
@@ -146,16 +150,108 @@ void EvaluateOnBlock(const ColumnPredicate& pred,
   }
 }
 
+}  // namespace
+
+void EvaluateOnBlock(const ColumnPredicate& pred,
+                     const std::vector<int64_t>& values,
+                     std::vector<uint8_t>* selection) {
+  BC_DCHECK(selection->size() == values.size());
+  EvaluateKernel(pred, values.data(), values.size(), selection->data());
+}
+
 void EvaluateOnBlockGeneric(const ColumnPredicate& pred,
                             const std::vector<int64_t>& values,
                             std::vector<uint8_t>* selection) {
   BC_DCHECK(selection->size() == values.size());
-  const size_t n = values.size();
-  const int64_t* v = values.data();
-  uint8_t* sel = selection->data();
-  for (size_t i = 0; i < n; ++i) {
-    sel[i] &= static_cast<uint8_t>(pred.Matches(v[i]));
+  EvaluateGenericRaw(pred, values.data(), values.size(), selection->data());
+}
+
+bool ZoneMapMayMatch(const ColumnPredicate& pred, const ZoneMap& zone) {
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return pred.operand >= zone.min && pred.operand <= zone.max;
+    case CompareOp::kNe:
+      // Only a constant block (min == max == operand) has no non-equal row.
+      return !(zone.min == zone.max && zone.min == pred.operand);
+    case CompareOp::kLt:
+      return zone.min < pred.operand;
+    case CompareOp::kLe:
+      return zone.min <= pred.operand;
+    case CompareOp::kGt:
+      return zone.max > pred.operand;
+    case CompareOp::kGe:
+      return zone.max >= pred.operand;
+    case CompareOp::kBetween:
+      return pred.operand <= pred.operand2 && pred.operand <= zone.max &&
+             pred.operand2 >= zone.min;
+    case CompareOp::kIn:
+      for (int64_t v : pred.in_list) {
+        if (v >= zone.min && v <= zone.max) return true;
+      }
+      return false;
   }
+  return true;
+}
+
+void EvaluateOnEncodedBlock(const ColumnPredicate& pred,
+                            const EncodedBlock& block,
+                            std::vector<uint8_t>* selection) {
+  BC_DCHECK(static_cast<int64_t>(selection->size()) == block.rows());
+  switch (block.encoding()) {
+    case BlockEncoding::kPlain:
+      // Zero-copy: the kernels run straight over the stored values.
+      EvaluateKernel(pred, block.PlainData(), selection->size(),
+                     selection->data());
+      break;
+    case BlockEncoding::kRle: {
+      // Run skipping: one predicate test per run, then whole-range clears
+      // for non-matching runs — work proportional to runs, not rows.
+      uint8_t* sel = selection->data();
+      for (int64_t r = 0; r < block.NumRuns(); ++r) {
+        if (!pred.Matches(block.RunValue(r))) {
+          std::fill(sel + block.RunStart(r), sel + block.RunEnd(r),
+                    static_cast<uint8_t>(0));
+        }
+      }
+      break;
+    }
+    case BlockEncoding::kFor: {
+      // Unpack into a reusable per-thread scratch (never the decode cache —
+      // filter stages must not evict materialization working sets), then run
+      // the kernels.
+      thread_local std::vector<int64_t> scratch;
+      block.Decode(&scratch);
+      EvaluateKernel(pred, scratch.data(), scratch.size(), selection->data());
+      break;
+    }
+  }
+}
+
+double ZoneMapSelectivityBound(const Table& table,
+                               const Conjunction& filters) {
+  const int64_t total = table.num_rows();
+  if (total == 0 || filters.empty() || table.num_columns() == 0) return 1.0;
+  const int64_t num_blocks = table.column(0).num_blocks();
+  bool any_zones = false;
+  int64_t possible = 0;
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    bool may = true;
+    for (const ColumnPredicate& pred : filters) {
+      // Tolerate out-of-schema predicates (test fixtures fabricate them);
+      // an unresolvable column simply contributes no pruning information.
+      if (pred.column < 0 || pred.column >= table.num_columns()) continue;
+      const ZoneMap* zone = table.column(pred.column).zone_map(b);
+      if (zone == nullptr) continue;  // no zone map → cannot rule out
+      any_zones = true;
+      if (!ZoneMapMayMatch(pred, *zone)) {
+        may = false;
+        break;
+      }
+    }
+    if (may) possible += table.column(0).BlockRowCount(b);
+  }
+  if (!any_zones) return 1.0;
+  return static_cast<double>(possible) / static_cast<double>(total);
 }
 
 std::vector<uint8_t> EvaluateOnColumn(const Column& column,

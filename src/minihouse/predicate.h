@@ -50,6 +50,30 @@ void EvaluateOnBlockGeneric(const ColumnPredicate& pred,
                             const std::vector<int64_t>& values,
                             std::vector<uint8_t>* selection);
 
+// True iff some value in [zone.min, zone.max] could satisfy `pred` — the
+// block-pruning test (DESIGN.md §12). Sound by construction: it never rules
+// out a block that holds a matching row; the reader skips a pruned block
+// before charging any I/O. Dictionary codes and ordered double codes share
+// the int64 order predicates use, so one range test covers every type.
+bool ZoneMapMayMatch(const ColumnPredicate& pred, const ZoneMap& zone);
+
+// Evaluates `pred` directly over encoded data — no decode-cache traffic.
+// Plain blocks run the tight-loop kernels in place; RLE blocks test one
+// value per run and clear whole run ranges (run skipping); FOR blocks unpack
+// into a reusable thread-local scratch and run the kernels. Selections are
+// byte-identical to decoding the block and calling EvaluateOnBlock.
+void EvaluateOnEncodedBlock(const ColumnPredicate& pred,
+                            const EncodedBlock& block,
+                            std::vector<uint8_t>* selection);
+
+// Pruning-aware selectivity upper bound from zone maps alone: the fraction
+// of the table's rows in blocks that could match every conjunct. 1.0 when
+// the table has no zone maps (raw format, unsealed) or no filters. The
+// traditional estimator and the optimizer clamp their estimates with this —
+// the cheap sketch tier of the estimation stack.
+double ZoneMapSelectivityBound(const class Table& table,
+                               const Conjunction& filters);
+
 // Full-column evaluation (used by the ground-truth oracle and by the
 // sample-based estimator). Produces a fresh selection vector over all rows.
 std::vector<uint8_t> EvaluateOnColumn(const Column& column,

@@ -15,6 +15,44 @@ namespace {
 // stealing.
 constexpr int64_t kScanMorselBlocks = 4;
 
+// True when some filter's zone-map test proves block `b` holds no matching
+// row. A block without zone maps (raw storage, appended tail) never prunes.
+bool BlockPrunedByZoneMaps(const Table& table, const Conjunction& filters,
+                           int64_t b) {
+  for (const ColumnPredicate& pred : filters) {
+    const ZoneMap* zone = table.column(pred.column).zone_map(b);
+    if (zone != nullptr && !ZoneMapMayMatch(pred, *zone)) return true;
+  }
+  return false;
+}
+
+// One filter stage over one block. On encoded storage with the kernel path
+// enabled, predicates evaluate directly over the encoded block — the block's
+// I/O is charged but no decode (or decode-cache traffic) happens. Otherwise
+// the block is read (decoding through the cache when sealed) and evaluated
+// over the decoded values. Selections are byte-identical across all paths.
+void ApplyFilterStage(const Table& table, const ColumnPredicate& pred,
+                      int64_t b, const ScanOptions& options,
+                      std::vector<int64_t>* scratch,
+                      std::vector<uint8_t>* selection, ScanResult* result,
+                      IoStats* io) {
+  const Column& col = table.column(pred.column);
+  if (options.specialized_predicates) {
+    if (const EncodedBlock* encoded = col.encoded_block(b)) {
+      EvaluateOnEncodedBlock(pred, *encoded, selection);
+      col.ChargeBlockRead(b, io);
+      ++result->kernel_blocks;
+      return;
+    }
+    col.ReadBlock(b, scratch, io);
+    EvaluateOnBlock(pred, *scratch, selection);
+    ++result->kernel_blocks;
+    return;
+  }
+  col.ReadBlock(b, scratch, io);
+  EvaluateOnBlockGeneric(pred, *scratch, selection);
+}
+
 void SingleStageScanRange(const Table& table, const Conjunction& filters,
                           const std::vector<int>& output_columns,
                           const ScanOptions& options, int64_t block_begin,
@@ -24,6 +62,11 @@ void SingleStageScanRange(const Table& table, const Conjunction& filters,
   std::vector<uint8_t> selection;
 
   for (int64_t b = block_begin; b < block_end; ++b) {
+    // Zone-map pruning: skip the whole block before charging any I/O.
+    if (options.prune_blocks && BlockPrunedByZoneMaps(table, filters, b)) {
+      if (io != nullptr) ++io->blocks_pruned;
+      continue;
+    }
     const int64_t base = b * kBlockRows;
     const int64_t rows = table.column(0).BlockRowCount(b);
     selection.assign(rows, 1);
@@ -38,15 +81,11 @@ void SingleStageScanRange(const Table& table, const Conjunction& filters,
         }
       }
     }
-    // Read filter columns and apply predicates.
+    // Apply the filter predicates (directly over encoded blocks when the
+    // kernel path allows).
     for (const ColumnPredicate& pred : filters) {
-      table.column(pred.column).ReadBlock(b, &block, io);
-      if (options.specialized_predicates) {
-        EvaluateOnBlock(pred, block, &selection);
-        ++result->kernel_blocks;
-      } else {
-        EvaluateOnBlockGeneric(pred, block, &selection);
-      }
+      ApplyFilterStage(table, pred, b, options, &block, &selection, result,
+                       io);
     }
     // Read output columns unconditionally: the single-stage reader constructs
     // tuples in the same pass, before knowing what survived.
@@ -94,6 +133,13 @@ void MultiStageScanRange(const Table& table, const Conjunction& filters,
   std::vector<int64_t> scratch;
 
   for (int64_t b = block_begin; b < block_end; ++b) {
+    // Zone-map pruning, identical to the single-stage reader's: both readers
+    // skip exactly the same blocks, so reader choice stays a pure cost
+    // decision.
+    if (options.prune_blocks && BlockPrunedByZoneMaps(table, filters, b)) {
+      if (io != nullptr) ++io->blocks_pruned;
+      continue;
+    }
     const int64_t base = b * kBlockRows;
     const int64_t rows = table.column(0).BlockRowCount(b);
     selection.assign(rows, 1);
@@ -117,13 +163,8 @@ void MultiStageScanRange(const Table& table, const Conjunction& filters,
     // one candidate row.
     for (size_t stage = 0; alive && stage < order.size(); ++stage) {
       const ColumnPredicate& pred = filters[order[stage]];
-      table.column(pred.column).ReadBlock(b, &block, io);
-      if (options.specialized_predicates) {
-        EvaluateOnBlock(pred, block, &selection);
-        ++result->kernel_blocks;
-      } else {
-        EvaluateOnBlockGeneric(pred, block, &selection);
-      }
+      ApplyFilterStage(table, pred, b, options, &block, &selection, result,
+                       io);
       bool any = false;
       for (uint8_t s : selection) {
         if (s != 0) {

@@ -51,8 +51,17 @@ struct ScanOptions {
   // (EvaluateOnBlock, the default) or the generic row-at-a-time path
   // (EvaluateOnBlockGeneric). Selections — and therefore rows, blocks read,
   // and all IoStats — are byte-identical either way; this is a pure CPU-path
-  // choice, observable only in wall time and the kernel-pick counter.
+  // choice, observable only in wall time and the kernel-pick counter. On
+  // encoded storage the kernel path additionally evaluates filters directly
+  // over the encoded block (dictionary-code compares, RLE run skipping)
+  // instead of decoding it first.
   bool specialized_predicates = true;
+  // Zone-map block pruning: skip a block — before charging any I/O — when
+  // some filter's range cannot overlap the block's min/max. Default off so
+  // direct ScanTable callers observe the historical exact I/O counts; the
+  // optimizer turns it on for planned queries (PhysicalPlan.prune_blocks).
+  // Pruning never changes result rows, only blocks_read/blocks_pruned.
+  bool prune_blocks = false;
 };
 
 // Output of a table scan: surviving row ids plus materialized tuples for the

@@ -32,15 +32,22 @@ Status Table::Seal() {
                               "' row count mismatch");
     }
   }
-  // Domain statistics ride the seal: every load/append path ends here, so
-  // per-column min/max are exact whenever queries can see the rows.
-  for (Column& c : columns_) c.RefreshDomainStats();
+  // Storage encoding and domain statistics ride the seal: every load/append
+  // path ends here, so blocks, zone maps, and per-column min/max are exact
+  // whenever queries can see the rows.
+  for (Column& c : columns_) c.SealStorage(format_);
   return Status::Ok();
 }
 
 int64_t Table::MemoryBytes() const {
   int64_t bytes = 0;
   for (const auto& c : columns_) bytes += c.MemoryBytes();
+  return bytes;
+}
+
+int64_t Table::EncodedBytes() const {
+  int64_t bytes = 0;
+  for (const auto& c : columns_) bytes += c.EncodedBytes();
   return bytes;
 }
 

@@ -34,29 +34,55 @@ class Table {
     return schema_.FindColumn(name);
   }
 
-  // Recomputes num_rows_ from column 0, checks all columns agree, and
-  // refreshes every column's min/max domain statistics. Call once after
+  // Recomputes num_rows_ from column 0, checks all columns agree, encodes
+  // each scalar column into blocks per the table's StorageFormat (releasing
+  // raw storage under kEncoded), and refreshes every column's min/max domain
+  // statistics from the freshly stamped zone maps. Call once after
   // bulk-building (or appending to) the columns.
   Status Seal();
+
+  // The sealed storage layout. Must be set before the first Seal to take
+  // effect there; use Reseal to change it afterwards.
+  StorageFormat storage_format() const { return format_; }
+  void SetStorageFormat(StorageFormat format) { format_ = format; }
+
+  // Re-seals under a different layout (decoding or encoding every column).
+  // Benches use this to build byte-identical encoded and raw twins of the
+  // same table.
+  Status Reseal(StorageFormat format) {
+    format_ = format;
+    return Seal();
+  }
 
   // Column `i`'s numeric min/max as of the last Seal — the specialization
   // layer's input signal.
   const ColumnDomain& domain(int i) const { return columns_[i].domain(); }
 
-  // Forwards the owning database's simulated-storage config to every column.
-  // Database::AddTable calls this; columns_ never reallocates after
-  // construction, so the pointer each column keeps stays valid.
-  void AttachStorageProfile(const StorageProfile* profile) {
-    for (Column& c : columns_) c.AttachStorageProfile(profile);
+  // Forwards the owning database's simulated-storage config and shared
+  // decode cache to every column. Database::AddTable calls this; columns_
+  // never reallocates after construction, so the pointers each column keeps
+  // stay valid.
+  void AttachStorage(const StorageProfile* profile, DecodeCache* cache) {
+    decode_cache_ = cache;
+    for (Column& c : columns_) c.AttachStorage(profile, cache);
   }
 
+  // The shared decode cache this table's columns decode through, or nullptr
+  // for a detached table.
+  const DecodeCache* decode_cache() const { return decode_cache_; }
+
   int64_t MemoryBytes() const;
+
+  // Bytes held in encoded blocks across all columns (0 for kRaw tables).
+  int64_t EncodedBytes() const;
 
  private:
   std::string name_;
   TableSchema schema_;
   std::vector<Column> columns_;
   int64_t num_rows_ = 0;
+  StorageFormat format_ = StorageFormat::kEncoded;
+  DecodeCache* decode_cache_ = nullptr;
 };
 
 }  // namespace bytecard::minihouse

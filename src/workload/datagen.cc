@@ -379,9 +379,9 @@ std::unique_ptr<Table> MakeAdEvents(int64_t rows, int64_t num_campaigns,
                                         {"tags", DataType::kArray}});
   for (int64_t r : order) {
     for (int c = 0; c < 6; ++c) {
-      sorted->mutable_column(c)->AppendInt(table->column(c).ints()[r]);
+      sorted->mutable_column(c)->AppendInt(table->column(c).NumericAt(r));
     }
-    sorted->mutable_column(6)->AppendDouble(table->column(6).doubles()[r]);
+    sorted->mutable_column(6)->AppendDouble(table->column(6).DoubleAt(r));
     sorted->mutable_column(7)->AppendArray({});
   }
   return sorted;

@@ -38,6 +38,13 @@ echo "== bench smoke: encoded-storage scale step (zone maps) =="
 # blocks; writes BENCH_fig6_scale.json (smoke scales).
 (cd "${BUILD_DIR}/bench" && ./bench_fig6_scale --smoke)
 
+echo "== bench smoke: continuous ingest (incremental maintenance) =="
+# Asserts internally that incremental maintenance stays within 2x of
+# full-retrain accuracy at lower maintenance cost, and that the drift
+# demote -> retrain -> re-promote loop recovers; writes
+# BENCH_continuous_ingest.json (smoke scale).
+(cd "${BUILD_DIR}/bench" && ./bench_continuous_ingest --smoke)
+
 echo "== sanitizer: thread =="
 "${REPO_ROOT}/ci/sanitize.sh" thread
 

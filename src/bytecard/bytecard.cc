@@ -1,11 +1,14 @@
 #include "bytecard/bytecard.h"
 
 #include <algorithm>
+#include <shared_mutex>
 #include <utility>
 
 #include "bytecard/model_loader.h"
 #include "bytecard/model_preprocessor.h"
 #include "common/logging.h"
+#include "common/serde.h"
+#include "common/stopwatch.h"
 
 namespace bytecard {
 
@@ -238,6 +241,15 @@ Result<int> ByteCard::RefreshModels() {
   for (const LoadedModel* model : applied) {
     loader_->CommitLoaded(model->kind, model->name, model->timestamp);
   }
+  // A full-retrain pickup supersedes the incremental maintainer's delta
+  // state for those models: BN count pages re-unfold from the fresh model
+  // on the next batch, the FactorJoin maintenance copy adopts the new stats.
+  if (incremental_ != nullptr) {
+    std::shared_ptr<const EstimatorSnapshot> fresh = snapshot_.Acquire();
+    for (const LoadedModel* model : applied) {
+      incremental_->OnModelReplaced(model->kind, model->name, *fresh);
+    }
+  }
   if (feedback_owned_ != nullptr) {
     feedback_owned_->OnSnapshotPublished(version);
     for (const LoadedModel* model : applied) {
@@ -266,11 +278,119 @@ Status ByteCard::RetrainTable(const minihouse::Table& table) {
                                    "' has no trainable columns");
   }
   ModelForgeService forge(storage_dir_);
-  BC_ASSIGN_OR_RETURN(ModelArtifact artifact,
-                      forge.TrainTableBn(table, bn_options));
+  Result<ModelArtifact> trained = [&] {
+    // Training scans the table's rows; the shared latch keeps a concurrent
+    // ingest append from racing the scan. Lock order: lifecycle holders may
+    // take table latches, never the reverse (DataIngestor releases its
+    // exclusive latch before observers run).
+    std::shared_lock<std::shared_mutex> table_latch(table.latch());
+    return forge.TrainTableBn(table, bn_options);
+  }();
+  BC_ASSIGN_OR_RETURN(ModelArtifact artifact, std::move(trained));
   training_stats_.bn_seconds += artifact.train_seconds;
   training_stats_.artifacts.push_back(std::move(artifact));
   return Status::Ok();
+}
+
+Status ByteCard::EnableIncrementalMaintenance(
+    const minihouse::Database& db, incremental::IncrementalOptions options) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (incremental_ != nullptr) return Status::Ok();
+  std::shared_ptr<const EstimatorSnapshot> current = snapshot_.Acquire();
+  if (current == nullptr) {
+    return Status::Internal(
+        "EnableIncrementalMaintenance requires a published snapshot");
+  }
+  auto maintainer =
+      std::make_unique<incremental::IncrementalMaintainer>(this, options);
+  {
+    // Seeding scans every table once; shared latches (sorted, like
+    // TableReadGuard) keep concurrent ingest appends from racing the scans.
+    std::vector<const minihouse::Table*> tables;
+    for (const std::string& name : db.TableNames()) {
+      tables.push_back(db.FindTable(name).value());
+    }
+    std::sort(tables.begin(), tables.end());
+    std::vector<std::shared_lock<std::shared_mutex>> latches;
+    latches.reserve(tables.size());
+    for (const minihouse::Table* t : tables) latches.emplace_back(t->latch());
+    BC_RETURN_IF_ERROR(maintainer->Seed(db, *current));
+  }
+  incremental_ = std::move(maintainer);
+  return Status::Ok();
+}
+
+Result<uint64_t> ByteCard::ApplyIngestDelta(
+    const incremental::IngestDelta& delta) {
+  Stopwatch timer;
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (incremental_ == nullptr) {
+    return Status::Internal("incremental maintenance is not enabled");
+  }
+  std::shared_ptr<const EstimatorSnapshot> current = snapshot_.Acquire();
+  if (current == nullptr) {
+    return Status::Internal("no published snapshot to delta-update");
+  }
+  BC_ASSIGN_OR_RETURN(incremental::IncrementalUpdates updates,
+                      incremental_->ComputeUpdates(delta, *current));
+
+  // Delta-updated models enter through the same validated admission paths a
+  // trained artifact takes; a failure leaves the incumbent serving. BN bytes
+  // are only materialized when the artifact store needs them — the in-memory
+  // AdoptBn path keeps the per-batch publish flat.
+  const bool persist_artifacts =
+      incremental_->options().publish_artifacts && !storage_dir_.empty();
+  std::vector<std::pair<std::string, std::string>> bn_artifact_bytes;
+  if (persist_artifacts) {
+    for (const auto& [table, model] : updates.bn) {
+      BufferWriter writer;
+      model.Serialize(&writer);
+      bn_artifact_bytes.emplace_back(table, writer.Release());
+    }
+  }
+  SnapshotBuilder builder(current, &validator_);
+  for (auto& [table, model] : updates.bn) {
+    BC_RETURN_IF_ERROR(builder.AdoptBn(table, std::move(model)));
+  }
+  if (updates.has_fj) {
+    BC_RETURN_IF_ERROR(builder.LoadFactorJoin(updates.fj_bytes));
+  }
+  if (updates.ndv != nullptr) builder.SetNdvSketches(updates.ndv);
+  builder.SetIngestEpoch(delta.epoch);
+  BC_ASSIGN_OR_RETURN(std::shared_ptr<const EstimatorSnapshot> snapshot,
+                      builder.Finish());
+  const uint64_t version = snapshot->version();
+  snapshot_.Publish(std::move(snapshot));
+
+  // Optionally persist the delta state to the artifact store, committing
+  // loader marks so RefreshModels does not re-offer what is already live.
+  if (persist_artifacts) {
+    ModelForgeService forge(storage_dir_);
+    for (const auto& [table, bytes] : bn_artifact_bytes) {
+      Result<ModelArtifact> artifact =
+          forge.PublishArtifact("bn", table, bytes);
+      if (artifact.ok() && loader_ != nullptr) {
+        loader_->CommitLoaded("bn", table, artifact.value().timestamp);
+      }
+    }
+    if (updates.has_fj) {
+      Result<ModelArtifact> artifact =
+          forge.PublishArtifact("factorjoin", "global", updates.fj_bytes);
+      if (artifact.ok() && loader_ != nullptr) {
+        loader_->CommitLoaded("factorjoin", "global",
+                              artifact.value().timestamp);
+      }
+    }
+  }
+
+  // Only the grown table's cached actuals go stale; drift windows keep
+  // accumulating across delta publishes (OnIncrementalPublish, not
+  // OnSnapshotPublished).
+  if (feedback_owned_ != nullptr) {
+    feedback_owned_->OnIncrementalPublish(delta.table, version);
+  }
+  incremental_->RecordPublish(timer.ElapsedSeconds(), delta);
+  return version;
 }
 
 Result<MonitorReport> ByteCard::ProbeTable(const minihouse::Table& table) {

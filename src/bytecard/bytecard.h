@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bytecard/feedback/feedback_manager.h"
+#include "bytecard/incremental/incremental_maintainer.h"
 #include "bytecard/inference_engine.h"
 #include "bytecard/model_forge.h"
 #include "bytecard/model_loader.h"
@@ -173,6 +174,33 @@ class ByteCard : public minihouse::CardinalityEstimator {
   std::vector<FeedbackAction> ProcessFeedback(
       const minihouse::Database* db = nullptr);
 
+  // --- Incremental maintenance ----------------------------------------------
+  // Turns the incremental model-maintenance subsystem on (idempotent):
+  // seeds the FactorJoin maintenance copy and the per-column NDV sketches
+  // from `db`, then registers the maintainer wherever the caller taps it
+  // into a DataIngestor (incremental_maintainer() is the IngestObserver).
+  // From then on every ingested batch delta-updates the BN/FactorJoin/NDV
+  // models and publishes a successor snapshot stamped with the batch's
+  // ingest epoch. Requires a published snapshot (Bootstrap first).
+  Status EnableIncrementalMaintenance(const minihouse::Database& db,
+                                      incremental::IncrementalOptions options =
+                                          {});
+
+  // Applies one ingest delta: computes the per-family model updates, builds
+  // a successor snapshot through the same validated Load* paths a trained
+  // artifact takes, stamps the batch's ingest epoch, and publishes it.
+  // Returns the published snapshot version. Serializes on the lifecycle
+  // mutex; safe to call concurrently with estimation and other lifecycle
+  // writers. Never call while holding a table latch (the maintainer's
+  // OnIngest fires after the ingestor releases it).
+  Result<uint64_t> ApplyIngestDelta(const incremental::IngestDelta& delta);
+
+  // The maintainer, or null until EnableIncrementalMaintenance. Register it
+  // on a DataIngestor via AddObserver to close the ingest -> maintain loop.
+  incremental::IncrementalMaintainer* incremental_maintainer() {
+    return incremental_.get();
+  }
+
   // --- Concurrent serving ----------------------------------------------------
   // Brings up the query scheduler front-end over this estimator: subsequent
   // Submit/Wait calls plan each query against a pinned snapshot and execute
@@ -263,6 +291,11 @@ class ByteCard : public minihouse::CardinalityEstimator {
   // execution; the atomic lets them read it without the lifecycle lock.
   std::unique_ptr<feedback::FeedbackManager> feedback_owned_;
   std::atomic<feedback::FeedbackManager*> feedback_{nullptr};
+
+  // The incremental maintenance subsystem (null until enabled). Created at
+  // most once under lifecycle_mu_ and never destroyed while the facade
+  // lives, so the ingest thread may hold the observer pointer.
+  std::unique_ptr<incremental::IncrementalMaintainer> incremental_;
 
   // The serving front-end (null until StartServing). Created/destroyed only
   // from quiescent call sites; serving threads reach it through Submit/Wait.

@@ -1,5 +1,9 @@
 #include "bytecard/data_ingestor.h"
 
+#include <memory>
+#include <shared_mutex>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace bytecard {
@@ -18,36 +22,65 @@ Result<IngestionEvent> DataIngestor::AppendResampled(
     return Status::InvalidArgument("batch must add at least one row");
   }
 
-  for (int64_t i = 0; i < rows; ++i) {
-    const int64_t src = static_cast<int64_t>(rng->Uniform(existing));
-    for (int c = 0; c < table->num_columns(); ++c) {
-      minihouse::Column* column = table->mutable_column(c);
-      if (column->type() == minihouse::DataType::kArray) {
-        column->AppendNumeric(0);  // appends an empty array
-        continue;
-      }
-      int64_t value = column->NumericAt(src);
-      if (c == drift_column) value += drift_offset;
-      if (column->type() == minihouse::DataType::kFloat64) {
-        // Shift in value space, not code space.
-        const double d = column->DoubleAt(src) +
-                         (c == drift_column
-                              ? static_cast<double>(drift_offset)
-                              : 0.0);
-        value = minihouse::Column::OrderedCodeOf(d);
-      }
-      column->AppendNumeric(value);
+  // Column-major copy of the batch's numeric codes, collected while
+  // appending — the IngestDelta extraction costs one pass over the batch,
+  // never over the table.
+  std::vector<std::vector<int64_t>> batch_codes(table->num_columns());
+  for (int c = 0; c < table->num_columns(); ++c) {
+    if (table->column(c).type() != minihouse::DataType::kArray) {
+      batch_codes[c].reserve(rows);
     }
   }
-  BC_RETURN_IF_ERROR(table->Seal());
+
+  {
+    // Exclusive append window: queries and trainers hold the shared side of
+    // the latch (TableReadGuard), so blocks and zone maps never change under
+    // a running scan. Released before the observers fire — observers take
+    // lifecycle locks whose holders in turn take shared table latches, and
+    // holding the exclusive latch across that callback would invert the
+    // lock order.
+    std::unique_lock<std::shared_mutex> append_latch(table->latch());
+    for (int64_t i = 0; i < rows; ++i) {
+      const int64_t src = static_cast<int64_t>(rng->Uniform(existing));
+      for (int c = 0; c < table->num_columns(); ++c) {
+        minihouse::Column* column = table->mutable_column(c);
+        if (column->type() == minihouse::DataType::kArray) {
+          column->AppendNumeric(0);  // appends an empty array
+          continue;
+        }
+        int64_t value = column->NumericAt(src);
+        if (c == drift_column) value += drift_offset;
+        if (column->type() == minihouse::DataType::kFloat64) {
+          // Shift in value space, not code space.
+          const double d = column->DoubleAt(src) +
+                           (c == drift_column
+                                ? static_cast<double>(drift_offset)
+                                : 0.0);
+          value = minihouse::Column::OrderedCodeOf(d);
+        }
+        column->AppendNumeric(value);
+        batch_codes[c].push_back(value);
+      }
+    }
+    BC_RETURN_IF_ERROR(table->Seal());
+  }
 
   IngestionEvent event;
   event.table = table_name;
   event.rows_added = rows;
   event.total_rows = table->num_rows();
   event.offset = ++next_offset_;
-  events_.push_back(event);
-  if (observer_ != nullptr) observer_->OnIngest(event);
+  event.delta = std::make_shared<const incremental::IngestDelta>(
+      incremental::IngestDelta::Build(table_name,
+                                      static_cast<uint64_t>(event.offset),
+                                      /*first_row=*/existing,
+                                      event.total_rows,
+                                      std::move(batch_codes)));
+  // The consumption log keeps only the lightweight event, not the delta.
+  IngestionEvent logged = event;
+  logged.delta.reset();
+  events_.push_back(std::move(logged));
+  for (IngestObserver* observer : observers_) observer->OnIngest(event);
   return event;
 }
 

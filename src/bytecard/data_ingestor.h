@@ -2,9 +2,11 @@
 #define BYTECARD_BYTECARD_DATA_INGESTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bytecard/incremental/ingest_delta.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "minihouse/database.h"
@@ -19,6 +21,11 @@ struct IngestionEvent {
   int64_t rows_added = 0;
   int64_t total_rows = 0;   // table size after the batch
   int64_t offset = 0;       // cumulative batch counter (Kafka-offset style)
+  // The batch's per-column summaries + raw values, extracted during the
+  // append (one pass, no full-table scan). Shared so observers may retain
+  // it past the callback; the ingestor's own consumption log drops it (the
+  // log would otherwise pin every batch ever ingested in memory).
+  std::shared_ptr<const incremental::IngestDelta> delta;
 };
 
 // Synchronous tap on the consumption log: notified after each batch lands
@@ -67,9 +74,19 @@ class DataIngestor {
   int64_t PendingRows(const std::string& table) const;
   void MarkTrained(const std::string& table);
 
-  // Registers `observer` (not owned; must outlive the ingestor or be reset
-  // to null) to be called after every ingested batch.
-  void SetObserver(IngestObserver* observer) { observer_ = observer; }
+  // Replaces the observer list with `observer` (not owned; must outlive the
+  // ingestor or be reset to null) to be called after every ingested batch.
+  void SetObserver(IngestObserver* observer) {
+    observers_.clear();
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  // Adds an additional observer (not owned). Observers fire in registration
+  // order, after the batch is sealed and the table's write latch released —
+  // an observer may therefore run queries or take lifecycle locks.
+  void AddObserver(IngestObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
 
  private:
   Result<IngestionEvent> AppendResampled(const std::string& table,
@@ -77,7 +94,7 @@ class DataIngestor {
                                          int64_t drift_offset, Rng* rng);
 
   minihouse::Database* db_;
-  IngestObserver* observer_ = nullptr;
+  std::vector<IngestObserver*> observers_;
   std::vector<IngestionEvent> events_;
   std::map<std::string, int64_t> trained_watermark_;
   int64_t next_offset_ = 0;

@@ -14,11 +14,27 @@ void FeedbackCache::TouchLocked(Entry* entry, const std::string& fingerprint) {
   entry->lru_it = lru_.begin();
 }
 
+bool FeedbackCache::IsStaleLocked(const Entry& entry) const {
+  for (const auto& [table, epoch] : entry.tables) {
+    auto it = table_epochs_.find(table);
+    if (it != table_epochs_.end() && it->second > epoch) return true;
+  }
+  return false;
+}
+
 bool FeedbackCache::Lookup(const std::string& fingerprint,
                            double* actual_rows) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fingerprint);
   if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  if (IsStaleLocked(it->second)) {
+    // Lazy drop of an entry invalidated by a table-epoch bump.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++stats_.invalidated;
     ++stats_.misses;
     return false;
   }
@@ -33,9 +49,14 @@ void FeedbackCache::Put(const std::string& fingerprint, double actual_rows,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fingerprint);
   if (it != entries_.end()) {
-    // Re-observation of a live entry: refresh the value in place (executions
-    // of the same subplan against unchanged data agree anyway).
+    // Re-observation: the new actual was measured against the data as of
+    // now, so refresh the value in place and re-stamp the epochs (this also
+    // resurrects an entry that had gone stale).
     it->second.actual_rows = actual_rows;
+    for (auto& [table, epoch] : it->second.tables) {
+      auto te = table_epochs_.find(table);
+      epoch = te == table_epochs_.end() ? 0 : te->second;
+    }
     TouchLocked(&it->second, fingerprint);
     return;
   }
@@ -48,7 +69,12 @@ void FeedbackCache::Put(const std::string& fingerprint, double actual_rows,
   lru_.push_front(fingerprint);
   Entry entry;
   entry.actual_rows = actual_rows;
-  entry.tables = tables;
+  entry.tables.reserve(tables.size());
+  for (const std::string& table : tables) {
+    auto te = table_epochs_.find(table);
+    entry.tables.emplace_back(table,
+                              te == table_epochs_.end() ? 0 : te->second);
+  }
   entry.lru_it = lru_.begin();
   entries_.emplace(fingerprint, std::move(entry));
   ++stats_.inserts;
@@ -56,16 +82,7 @@ void FeedbackCache::Put(const std::string& fingerprint, double actual_rows,
 
 void FeedbackCache::InvalidateTable(const std::string& table) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    const std::vector<std::string>& tables = it->second.tables;
-    if (std::find(tables.begin(), tables.end(), table) != tables.end()) {
-      lru_.erase(it->second.lru_it);
-      it = entries_.erase(it);
-      ++stats_.invalidated;
-    } else {
-      ++it;
-    }
-  }
+  ++table_epochs_[table];
 }
 
 void FeedbackCache::InvalidateAll() {
@@ -75,10 +92,25 @@ void FeedbackCache::InvalidateAll() {
   lru_.clear();
 }
 
+uint64_t FeedbackCache::TableEpoch(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_epochs_.find(table);
+  return it == table_epochs_.end() ? 0 : it->second;
+}
+
 FeedbackCache::Stats FeedbackCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
-  s.entries = entries_.size();
+  // Pending-stale entries count as already invalidated (they can never hit
+  // again) and are excluded from the live-entry count, so callers observe
+  // the same numbers the old eager per-table scan produced.
+  int64_t stale = 0;
+  for (const auto& [fingerprint, entry] : entries_) {
+    (void)fingerprint;
+    if (IsStaleLocked(entry)) ++stale;
+  }
+  s.invalidated += stale;
+  s.entries = entries_.size() - static_cast<size_t>(stale);
   return s;
 }
 

@@ -61,6 +61,12 @@ void FeedbackManager::OnSnapshotPublished(uint64_t version) {
   cache_.InvalidateAll();
 }
 
+void FeedbackManager::OnIncrementalPublish(const std::string& table,
+                                           uint64_t version) {
+  last_published_version_.store(version, std::memory_order_relaxed);
+  cache_.InvalidateTable(table);
+}
+
 void FeedbackManager::OnTableHealthChanged(const std::string& table) {
   drift_.ResetTable(table);
 }

@@ -55,6 +55,13 @@ class FeedbackManager : public minihouse::QueryFeedbackHook,
   // A new estimator snapshot was published: all cached actuals refer to plans
   // of a retired regime — flush.
   void OnSnapshotPublished(uint64_t version);
+  // A delta-updated snapshot was published by the incremental maintainer for
+  // one ingested table. Only that table's cached actuals are stale (its epoch
+  // was already bumped by OnIngest; this bumps again in case the publish
+  // lagged further batches), and crucially the drift windows are NOT reset:
+  // drift must keep accumulating across incremental publishes so the
+  // demote→full-retrain safety net still fires when deltas degrade.
+  void OnIncrementalPublish(const std::string& table, uint64_t version);
   // `table`'s model was demoted or re-promoted: its drift window reflects the
   // previous regime — reset so the verdict restarts clean.
   void OnTableHealthChanged(const std::string& table);

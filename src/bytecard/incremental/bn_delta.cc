@@ -1,0 +1,158 @@
+#include "bytecard/incremental/bn_delta.h"
+
+#include <cmath>
+#include <utility>
+
+namespace bytecard::incremental {
+
+namespace {
+
+// Parents-before-children order of the model's tree (same walk InitContext
+// does). Returns empty on malformed structure.
+std::vector<int> TopologicalOrder(const std::vector<cardest::BnNode>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int v = 0; v < n; ++v) {
+    if (nodes[v].parent < 0) {
+      order.push_back(v);
+    } else if (nodes[v].parent < n) {
+      children[nodes[v].parent].push_back(v);
+    } else {
+      return {};
+    }
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (int c : children[order[i]]) order.push_back(c);
+  }
+  if (static_cast<int>(order.size()) != n) return {};  // cycle or stray root
+  return order;
+}
+
+}  // namespace
+
+Result<BnCountPage> BnCountPage::FromModel(const cardest::BayesNetModel& model,
+                                           double laplace_alpha) {
+  BC_RETURN_IF_ERROR(model.ValidateStructure());
+  if (model.row_count() <= 0) {
+    return Status::InvalidArgument("cannot unfold counts of an empty model");
+  }
+  if (laplace_alpha <= 0.0) {
+    return Status::InvalidArgument("laplace alpha must be positive");
+  }
+  const std::vector<cardest::BnNode>& nodes = model.nodes();
+  const std::vector<int> topo = TopologicalOrder(nodes);
+  if (topo.empty()) {
+    return Status::InvalidModel("BN structure not a rooted tree");
+  }
+
+  BnCountPage page;
+  page.base_ = model;
+  page.alpha_ = laplace_alpha;
+  page.total_rows_ = static_cast<double>(model.row_count());
+  page.counts_.resize(nodes.size());
+
+  // Top-down marginal propagation: marginal[v][b] = P(node v in bin b).
+  const double n = page.total_rows_;
+  std::vector<std::vector<double>> marginal(nodes.size());
+  for (int v : topo) {
+    const cardest::BnNode& node = nodes[v];
+    const int nb = node.num_bins();
+    if (node.parent < 0) {
+      marginal[v] = node.cpd;
+      page.counts_[v].resize(nb);
+      for (int b = 0; b < nb; ++b) page.counts_[v][b] = node.cpd[b] * n;
+    } else {
+      const std::vector<double>& pm = marginal[node.parent];
+      const int pb = static_cast<int>(pm.size());
+      marginal[v].assign(nb, 0.0);
+      page.counts_[v].assign(static_cast<size_t>(pb) * nb, 0.0);
+      for (int p = 0; p < pb; ++p) {
+        for (int b = 0; b < nb; ++b) {
+          const double joint = pm[p] * node.cpd[static_cast<size_t>(p) * nb + b];
+          marginal[v][b] += joint;
+          page.counts_[v][static_cast<size_t>(p) * nb + b] = joint * n;
+        }
+      }
+    }
+  }
+  return page;
+}
+
+Status BnCountPage::ApplyBatch(const IngestDelta& delta) {
+  if (delta.table != base_.table_name()) {
+    return Status::InvalidArgument("delta for table '" + delta.table +
+                                   "' applied to BN of '" +
+                                   base_.table_name() + "'");
+  }
+  const std::vector<cardest::BnNode>& nodes = base_.nodes();
+  const int64_t rows = delta.rows_added;
+  if (rows <= 0) return Status::InvalidArgument("empty ingest delta");
+
+  // Bin every batch row of every modelled column through the frozen
+  // discretizers (BinOf clamps out-of-range values into the edge bins, so
+  // drifted batches still land somewhere — the drift detector, not this
+  // path, decides when that stops being acceptable).
+  std::vector<std::vector<int>> bins(nodes.size());
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    const int col = nodes[v].column;
+    if (col < 0 || col >= static_cast<int>(delta.batch.size()) ||
+        static_cast<int64_t>(delta.batch[col].size()) != rows) {
+      return Status::InvalidArgument(
+          "ingest delta missing values for modelled column " +
+          std::to_string(col));
+    }
+    bins[v].reserve(rows);
+    for (int64_t value : delta.batch[col]) {
+      bins[v].push_back(nodes[v].discretizer.BinOf(value));
+    }
+  }
+
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    const int nb = nodes[v].num_bins();
+    if (nodes[v].parent < 0) {
+      for (int64_t i = 0; i < rows; ++i) counts_[v][bins[v][i]] += 1.0;
+    } else {
+      const std::vector<int>& pbins = bins[nodes[v].parent];
+      for (int64_t i = 0; i < rows; ++i) {
+        counts_[v][static_cast<size_t>(pbins[i]) * nb + bins[v][i]] += 1.0;
+      }
+    }
+  }
+  total_rows_ += static_cast<double>(rows);
+  rows_absorbed_ += rows;
+  return Status::Ok();
+}
+
+cardest::BayesNetModel BnCountPage::ToModel() const {
+  std::vector<cardest::BnNode> nodes = base_.nodes();
+  for (size_t v = 0; v < nodes.size(); ++v) {
+    cardest::BnNode& node = nodes[v];
+    const int nb = node.num_bins();
+    if (node.parent < 0) {
+      const double denom = total_rows_ + alpha_ * nb;
+      for (int b = 0; b < nb; ++b) {
+        node.cpd[b] = (counts_[v][b] + alpha_) / denom;
+      }
+    } else {
+      const int pb = static_cast<int>(counts_[v].size()) / nb;
+      for (int p = 0; p < pb; ++p) {
+        double parent_count = 0.0;
+        for (int b = 0; b < nb; ++b) {
+          parent_count += counts_[v][static_cast<size_t>(p) * nb + b];
+        }
+        const double denom = parent_count + alpha_ * nb;
+        for (int b = 0; b < nb; ++b) {
+          node.cpd[static_cast<size_t>(p) * nb + b] =
+              (counts_[v][static_cast<size_t>(p) * nb + b] + alpha_) / denom;
+        }
+      }
+    }
+  }
+  return cardest::BayesNetModel::FromParts(
+      base_.table_name(), static_cast<int64_t>(std::llround(total_rows_)),
+      std::move(nodes));
+}
+
+}  // namespace bytecard::incremental

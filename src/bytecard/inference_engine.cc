@@ -34,6 +34,11 @@ Status BnCountEngine::LoadModel(const std::string& artifact_bytes) {
   return Status::Ok();
 }
 
+void BnCountEngine::AdoptModel(cardest::BayesNetModel model) {
+  model_ = std::move(model);
+  context_.reset();  // stale context must not outlive the old model
+}
+
 Status BnCountEngine::Validate() const { return model_.ValidateStructure(); }
 
 Status BnCountEngine::InitContext() {

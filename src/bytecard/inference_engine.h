@@ -91,6 +91,10 @@ class BnCountEngine : public CardEstInferenceEngine {
 
   std::string name() const override { return "bn_count"; }
   Status LoadModel(const std::string& artifact_bytes) override;
+  // In-memory twin of LoadModel for the incremental-maintenance path: adopts
+  // an already-materialized model without the serialize -> deserialize round
+  // trip. Validation and context building are unchanged.
+  void AdoptModel(cardest::BayesNetModel model);
   Status Validate() const override;
   Status InitContext() override;
   Result<FeatureVector> FeaturizeAst(

@@ -28,6 +28,12 @@ const cardest::BnInferenceContext* EstimatorSnapshot::bn_context(
   return it == bn_contexts_.end() ? nullptr : it->second;
 }
 
+const cardest::BayesNetModel* EstimatorSnapshot::bn_model(
+    const std::string& table) const {
+  auto it = bn_engines_.find(table);
+  return it == bn_engines_.end() ? nullptr : &it->second->model();
+}
+
 bool EstimatorSnapshot::IsHealthy(const std::string& table) const {
   auto it = health_.find(table);
   return it == health_.end() ? true : it->second;
@@ -171,6 +177,16 @@ double EstimatorSnapshot::ColumnNdvImpl(
     const minihouse::Table& table, int column,
     const minihouse::Conjunction& filters, cardest::InferenceSession* session,
     SnapshotCounters* counters) const {
+  // Unfiltered NDV: the maintained HyperLogLog sketch is exact-current for
+  // append-only data (merged per ingest batch, no full-scan refresh), so it
+  // outranks the sample+RBX path — samples go stale between refreshes.
+  // Filtered NDV still needs the sample (a sketch cannot apply predicates).
+  if (filters.empty() && ndv_sketches_ != nullptr) {
+    const double sketch = ndv_sketches_->Estimate(table.name(), column);
+    if (sketch >= 0.0) {
+      return std::clamp(sketch, 1.0, static_cast<double>(table.num_rows()));
+    }
+  }
   if (samples_ == nullptr || rbx_engine_ == nullptr) {
     CountFallback(counters);
     return 1.0;
@@ -272,6 +288,18 @@ Status SnapshotBuilder::LoadBn(const std::string& table,
   return Status::Ok();
 }
 
+Status SnapshotBuilder::AdoptBn(const std::string& table,
+                                cardest::BayesNetModel model) {
+  auto engine = std::make_shared<BnCountEngine>();
+  engine->AdoptModel(std::move(model));
+  if (validator_ != nullptr) {
+    BC_RETURN_IF_ERROR(validator_->Admit("bn/" + table, *engine, nullptr));
+  }
+  BC_RETURN_IF_ERROR(engine->InitContext());
+  new_bns_[table] = std::move(engine);
+  return Status::Ok();
+}
+
 Status SnapshotBuilder::LoadFactorJoin(const std::string& bytes) {
   // Probe engine: deserialize + structural validation now, so a bad artifact
   // is rejected before it can poison Finish. The serving engine is built in
@@ -311,6 +339,17 @@ void SnapshotBuilder::SetFallback(
     std::shared_ptr<stats::SketchEstimator> fallback) {
   fallback_ = std::move(fallback);
   has_fallback_ = true;
+}
+
+void SnapshotBuilder::SetIngestEpoch(uint64_t epoch) {
+  ingest_epoch_ = epoch;
+  has_ingest_epoch_ = true;
+}
+
+void SnapshotBuilder::SetNdvSketches(
+    std::shared_ptr<const cardest::NdvSketchCatalog> sketches) {
+  ndv_sketches_ = std::move(sketches);
+  has_ndv_sketches_ = true;
 }
 
 const cardest::BnInferenceContext* SnapshotBuilder::bn_context(
@@ -400,6 +439,12 @@ Result<std::shared_ptr<const EstimatorSnapshot>> SnapshotBuilder::Finish() {
   snapshot->fallback_ =
       has_fallback_ ? std::move(fallback_)
                     : (base_ != nullptr ? base_->fallback_ : nullptr);
+  snapshot->ingest_epoch_ =
+      has_ingest_epoch_ ? ingest_epoch_
+                        : (base_ != nullptr ? base_->ingest_epoch_ : 0);
+  snapshot->ndv_sketches_ =
+      has_ndv_sketches_ ? std::move(ndv_sketches_)
+                        : (base_ != nullptr ? base_->ndv_sketches_ : nullptr);
 
   return std::shared_ptr<const EstimatorSnapshot>(std::move(snapshot));
 }

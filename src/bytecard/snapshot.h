@@ -9,6 +9,7 @@
 
 #include "bytecard/inference_engine.h"
 #include "bytecard/model_validator.h"
+#include "cardest/ndv/hll.h"
 #include "cardest/request.h"
 #include "minihouse/optimizer.h"
 #include "stats/sampler.h"
@@ -39,6 +40,13 @@ class EstimatorSnapshot {
  public:
   // Monotonic publication version (1 = bootstrap).
   uint64_t version() const { return version_; }
+
+  // Ingest epoch (the DataIngestor batch offset) this snapshot's models have
+  // absorbed, stamped by the incremental maintainer. 0 = trained state with
+  // no delta updates; successors inherit their base's epoch unless the
+  // builder overrides it, so a full-retrain publish after delta publishes
+  // keeps the high-water mark.
+  uint64_t ingest_epoch() const { return ingest_epoch_; }
 
   // --- Estimation (const, lock-free) ---------------------------------------
   // The one estimation entry point: every target kind dispatches through
@@ -77,10 +85,19 @@ class EstimatorSnapshot {
   // --- Introspection --------------------------------------------------------
   const cardest::BnInferenceContext* bn_context(
       const std::string& table) const;
+  // The live BN model for `table` (null when absent). The incremental
+  // maintainer unfolds this into its copy-on-write count page.
+  const cardest::BayesNetModel* bn_model(const std::string& table) const;
   bool IsHealthy(const std::string& table) const;
   // Null when the snapshot carries no model of that kind.
   const FactorJoinEngine* fj_engine() const { return fj_engine_.get(); }
   const RbxNdvEngine* rbx_engine() const { return rbx_engine_.get(); }
+  // The NDV sketch catalog (null until incremental maintenance publishes
+  // one). Immutable per snapshot; ColumnNdvImpl consults it for
+  // unfiltered NDV questions.
+  const cardest::NdvSketchCatalog* ndv_sketches() const {
+    return ndv_sketches_.get();
+  }
 
  private:
   friend class SnapshotBuilder;
@@ -109,6 +126,7 @@ class EstimatorSnapshot {
                          SnapshotCounters* counters) const;
 
   uint64_t version_ = 0;
+  uint64_t ingest_epoch_ = 0;
   // Engines are shared with predecessor/successor snapshots when unchanged;
   // the registry below points into them, so their addresses are stable for
   // this snapshot's lifetime.
@@ -128,6 +146,9 @@ class EstimatorSnapshot {
   // stateless over an immutable statistics store, so sharing it across
   // snapshots and query threads is safe.
   std::shared_ptr<stats::SketchEstimator> fallback_;
+  // HyperLogLog NDV catalog from the incremental maintainer; shared with
+  // neighbors when unchanged, replaced wholesale on merge.
+  std::shared_ptr<const cardest::NdvSketchCatalog> ndv_sketches_;
 };
 
 // Builds an EstimatorSnapshot, either from scratch (bootstrap) or as the
@@ -147,12 +168,23 @@ class SnapshotBuilder {
   Status LoadBn(const std::string& table, const std::string& bytes);
   Status LoadFactorJoin(const std::string& bytes);
   Status LoadRbx(const std::string& bytes);
+  // In-memory twin of LoadBn for per-batch incremental publishes: identical
+  // admission (validator + InitContext), minus the serialize -> deserialize
+  // round trip an already-materialized model does not need.
+  Status AdoptBn(const std::string& table, cardest::BayesNetModel model);
 
   void SetHealth(const std::string& table, bool healthy);
   void SetSamples(
       std::shared_ptr<const std::map<std::string, stats::TableSample>>
           samples);
   void SetFallback(std::shared_ptr<stats::SketchEstimator> fallback);
+  // Stamps the successor's ingest epoch (incremental delta publishes).
+  // Without a call, the successor inherits its base's epoch.
+  void SetIngestEpoch(uint64_t epoch);
+  // Installs the successor's NDV sketch catalog (an immutable copy of the
+  // maintainer's merged state). Without a call, the base's is inherited.
+  void SetNdvSketches(
+      std::shared_ptr<const cardest::NdvSketchCatalog> sketches);
 
   // Pending view (new engines first, then base): lets lifecycle code derive
   // training options and probe models before publication.
@@ -181,6 +213,10 @@ class SnapshotBuilder {
   std::shared_ptr<stats::SketchEstimator> fallback_;
   bool has_samples_ = false;
   bool has_fallback_ = false;
+  uint64_t ingest_epoch_ = 0;
+  bool has_ingest_epoch_ = false;
+  std::shared_ptr<const cardest::NdvSketchCatalog> ndv_sketches_;
+  bool has_ndv_sketches_ = false;
 };
 
 // The per-query pinned view handed out by ByteCard::PinSnapshot: implements

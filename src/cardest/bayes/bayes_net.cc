@@ -126,6 +126,16 @@ Result<BayesNetModel> BayesNetModel::Train(const minihouse::Table& table,
   return model;
 }
 
+BayesNetModel BayesNetModel::FromParts(std::string table_name,
+                                       int64_t row_count,
+                                       std::vector<BnNode> nodes) {
+  BayesNetModel model;
+  model.table_name_ = std::move(table_name);
+  model.row_count_ = row_count;
+  model.nodes_ = std::move(nodes);
+  return model;
+}
+
 int BayesNetModel::NodeOfColumn(int column) const {
   for (int v = 0; v < num_nodes(); ++v) {
     if (nodes_[v].column == column) return v;

@@ -51,6 +51,13 @@ class BayesNetModel {
   static Result<BayesNetModel> Train(const minihouse::Table& table,
                                      const BnTrainOptions& options);
 
+  // Assembles a model from explicit parts. The incremental-maintenance path
+  // uses this to publish a successor model with the structure/discretizers
+  // of a trained base and CPDs renormalized from delta-updated counts; the
+  // result must still pass ValidateStructure.
+  static BayesNetModel FromParts(std::string table_name, int64_t row_count,
+                                 std::vector<BnNode> nodes);
+
   const std::string& table_name() const { return table_name_; }
   int64_t row_count() const { return row_count_; }
   const std::vector<BnNode>& nodes() const { return nodes_; }

@@ -72,6 +72,12 @@ const BucketStats* FactorJoinModel::FindStats(const std::string& table,
   return it == stats_.end() ? nullptr : &it->second;
 }
 
+BucketStats* FactorJoinModel::FindMutableStats(const std::string& table,
+                                               int column) {
+  auto it = stats_.find({table, column});
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
 void FactorJoinModel::Serialize(BufferWriter* writer) const {
   writer->WriteU32(kFjFormatVersion);
   writer->WriteU64(groups_.size());

@@ -50,6 +50,11 @@ class FactorJoinModel {
 
   const BucketStats* FindStats(const std::string& table, int column) const;
 
+  // Mutable per-bucket stats for the incremental-maintenance path, which
+  // merges ingest deltas into a private copy of the model before publishing
+  // it. Never call on a model already installed in a snapshot.
+  BucketStats* FindMutableStats(const std::string& table, int column);
+
   void Serialize(BufferWriter* writer) const;
   static Result<FactorJoinModel> Deserialize(BufferReader* reader);
 

@@ -157,9 +157,12 @@ void Column::EnsureAppendable() {
   }
   sealed_rows_ -= blocks_.back().rows();
   blocks_.pop_back();
-  // The popped block index will be re-encoded with different contents at the
-  // next Seal; any cached decode of it is now stale.
-  InvalidateCachedBlocks();
+  // Only the popped block index will be re-encoded with different contents
+  // at the next Seal; the earlier sealed blocks are untouched, so their
+  // cached decodes (and zone maps) stay valid across the append.
+  if (cache_ != nullptr) {
+    cache_->InvalidateBlock(this, static_cast<int64_t>(blocks_.size()));
+  }
 }
 
 void Column::UnsealAll() {

@@ -60,6 +60,15 @@ void DecodeCache::InvalidateColumn(const void* column) {
   }
 }
 
+void DecodeCache::InvalidateBlock(const void* column, int64_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key{column, block});
+  if (it == index_.end()) return;
+  resident_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
 int64_t DecodeCache::ResidentBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return resident_bytes_;

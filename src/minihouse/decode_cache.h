@@ -56,6 +56,11 @@ class DecodeCache {
   // block) key for different contents.
   void InvalidateColumn(const void* column);
 
+  // Drops only (column, block). The append path uses this when it re-opens a
+  // partial tail block: every earlier sealed block keeps its bytes (and its
+  // cache entry), so an ingest batch does not cold-start the whole column.
+  void InvalidateBlock(const void* column, int64_t block);
+
   // Decoded bytes currently resident.
   int64_t ResidentBytes() const;
 

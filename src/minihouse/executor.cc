@@ -95,6 +95,10 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
                                 const PhysicalPlan& plan, QueryContext* ctx) {
   BC_CHECK(ctx != nullptr);
   Stopwatch timer;
+  // Hold every referenced table's read latch for the whole compile+execute
+  // window: a concurrent ingest batch (append + re-seal under the exclusive
+  // latch) waits rather than swapping blocks under a running scan.
+  TableReadGuard table_guard(query);
   BC_ASSIGN_OR_RETURN(CompiledDag dag, CompileOperatorDag(query, plan, ctx));
   BC_ASSIGN_OR_RETURN(Relation groups, dag.root->Execute());
   (void)groups;  // the relational view; benches consume the AggregateResult
@@ -146,7 +150,14 @@ Result<ExecResult> PlanAndExecute(const BoundQuery& query,
   // time stays pinned until execution finishes, so late estimator reads
   // (none today, but e.g. adaptive re-planning later) stay consistent.
   BC_CHECK(ctx != nullptr && ctx->estimation() != nullptr);
-  const PhysicalPlan plan = optimizer.Plan(query, ctx);
+  // Plan under its own read-latch window (zone maps and row counts feed the
+  // estimates); ExecuteQuery re-acquires for execution. The two windows are
+  // deliberately not merged: shared_mutex is not recursive, and a writer
+  // queued between nested lock_shared calls would deadlock.
+  const PhysicalPlan plan = [&] {
+    TableReadGuard table_guard(query);
+    return optimizer.Plan(query, ctx);
+  }();
   return ExecuteQuery(query, plan, ctx);
 }
 

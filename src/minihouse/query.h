@@ -1,6 +1,7 @@
 #ifndef BYTECARD_MINIHOUSE_QUERY_H_
 #define BYTECARD_MINIHOUSE_QUERY_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,39 @@ struct BoundQuery {
 
   bool IsSingleTable() const { return tables.size() == 1; }
   int num_tables() const { return static_cast<int>(tables.size()); }
+};
+
+// RAII shared (read) latch over every distinct table of a bound query.
+// Planning and execution hold one of these so a concurrent ingest batch
+// (which appends + re-seals under the exclusive side of Table::latch())
+// never mutates blocks or zone maps under a running scan. Tables are locked
+// in pointer order, so two queries over the same tables cannot deadlock
+// against each other; self-joins deduplicate to a single shared lock.
+// Do NOT nest two guards covering the same table on one thread — a writer
+// queued between the two lock_shared calls deadlocks.
+class TableReadGuard {
+ public:
+  explicit TableReadGuard(const BoundQuery& query) {
+    tables_.reserve(query.tables.size());
+    for (const BoundTableRef& ref : query.tables) {
+      if (ref.table != nullptr) tables_.push_back(ref.table);
+    }
+    std::sort(tables_.begin(), tables_.end());
+    tables_.erase(std::unique(tables_.begin(), tables_.end()), tables_.end());
+    for (const Table* t : tables_) t->latch().lock_shared();
+  }
+
+  ~TableReadGuard() {
+    for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+      (*it)->latch().unlock_shared();
+    }
+  }
+
+  TableReadGuard(const TableReadGuard&) = delete;
+  TableReadGuard& operator=(const TableReadGuard&) = delete;
+
+ private:
+  std::vector<const Table*> tables_;
 };
 
 }  // namespace bytecard::minihouse

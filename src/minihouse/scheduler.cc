@@ -62,7 +62,13 @@ std::shared_ptr<QueryTicket> QueryScheduler::Submit(const BoundQuery& query) {
   std::shared_ptr<QueryTicket> ticket(
       new QueryTicket(estimator_, options_.use_session));
   ticket->query_ = query;
-  ticket->plan_ = optimizer_.Plan(ticket->query_, &ticket->context_);
+  {
+    // Read-latch the referenced tables for the planning window so zone maps
+    // and row counts are not mid-append; Run's ExecuteQuery re-acquires for
+    // execution (never nested — shared_mutex is not recursive).
+    TableReadGuard table_guard(ticket->query_);
+    ticket->plan_ = optimizer_.Plan(ticket->query_, &ticket->context_);
+  }
 
   const common::TaskLane lane = Classify(ticket->query_, ticket->plan_);
   const bool heavy = lane == common::TaskLane::kHeavy;

@@ -2,6 +2,7 @@
 #define BYTECARD_MINIHOUSE_TABLE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,15 @@ class Table {
   // Bytes held in encoded blocks across all columns (0 for kRaw tables).
   int64_t EncodedBytes() const;
 
+  // Append-vs-read latch. The streaming-ingest path takes it exclusively
+  // around append+Seal; query planning/execution and model training take it
+  // shared for their whole read window (see TableReadGuard in query.h).
+  // Lock-order rule: never acquire a lifecycle mutex (ByteCard) while
+  // holding a table latch — lifecycle holders may take table latches, so the
+  // reverse order deadlocks. DataIngestor releases the latch before firing
+  // observers for exactly this reason.
+  std::shared_mutex& latch() const { return latch_; }
+
  private:
   std::string name_;
   TableSchema schema_;
@@ -83,6 +93,7 @@ class Table {
   int64_t num_rows_ = 0;
   StorageFormat format_ = StorageFormat::kEncoded;
   DecodeCache* decode_cache_ = nullptr;
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace bytecard::minihouse

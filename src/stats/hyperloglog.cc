@@ -1,6 +1,7 @@
 #include "stats/hyperloglog.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 
@@ -19,14 +20,15 @@ uint64_t HyperLogLog::Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-void HyperLogLog::AddHash(uint64_t hash) {
+bool HyperLogLog::AddHash(uint64_t hash) {
   const uint64_t index = hash >> (64 - precision_);
   const uint64_t rest = hash << precision_;
   // Rank = position of the leftmost 1-bit in the remaining bits (1-based).
   const int rank =
       rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
-  registers_[index] =
-      std::max<uint8_t>(registers_[index], static_cast<uint8_t>(rank));
+  if (static_cast<uint8_t>(rank) <= registers_[index]) return false;
+  registers_[index] = static_cast<uint8_t>(rank);
+  return true;
 }
 
 double HyperLogLog::Estimate() const {
@@ -42,10 +44,17 @@ double HyperLogLog::Estimate() const {
     alpha = 0.7213 / (1.0 + 1.079 / m);
   }
 
+  // 2^-r lookup: ranks are at most 64 - precision + 1 <= 61, and ldexp in
+  // the register loop is the hot spot when Estimate runs per ingest batch.
+  static const std::array<double, 64> kPow2Neg = [] {
+    std::array<double, 64> t{};
+    for (int i = 0; i < 64; ++i) t[i] = std::ldexp(1.0, -i);
+    return t;
+  }();
   double sum = 0.0;
   int64_t zeros = 0;
   for (uint8_t r : registers_) {
-    sum += std::ldexp(1.0, -static_cast<int>(r));
+    sum += kPow2Neg[r];
     if (r == 0) ++zeros;
   }
   double estimate = alpha * m * m / sum;
@@ -57,11 +66,16 @@ double HyperLogLog::Estimate() const {
   return estimate;
 }
 
-void HyperLogLog::Merge(const HyperLogLog& other) {
+bool HyperLogLog::Merge(const HyperLogLog& other) {
   BC_CHECK(precision_ == other.precision_);
+  bool changed = false;
   for (size_t i = 0; i < registers_.size(); ++i) {
-    registers_[i] = std::max(registers_[i], other.registers_[i]);
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+      changed = true;
+    }
   }
+  return changed;
 }
 
 void HyperLogLog::Serialize(BufferWriter* writer) const {

@@ -18,13 +18,18 @@ class HyperLogLog {
   // `precision` p gives 2^p registers; standard error ~ 1.04 / sqrt(2^p).
   explicit HyperLogLog(int precision = 12);
 
-  void AddHash(uint64_t hash);
-  void Add(int64_t value) { AddHash(Mix(static_cast<uint64_t>(value))); }
+  // Both return true when a register grew — i.e. the observation changed the
+  // sketch state. Callers that cache derived values (the incremental
+  // maintainer's per-bucket distinct counts) use this to skip recomputing
+  // Estimate() on the steady-state path where most values are re-sightings.
+  bool AddHash(uint64_t hash);
+  bool Add(int64_t value) { return AddHash(Mix(static_cast<uint64_t>(value))); }
 
   double Estimate() const;
 
-  // Merges another sketch built with the same precision.
-  void Merge(const HyperLogLog& other);
+  // Merges another sketch built with the same precision; true when any
+  // register grew.
+  bool Merge(const HyperLogLog& other);
 
   int precision() const { return precision_; }
 

@@ -1,10 +1,13 @@
-// Frequency profile, MLP training mechanics, and the RBX NDV estimator.
+// Frequency profile, MLP training mechanics, the RBX NDV estimator, and the
+// mergeable HyperLogLog NDV sketches behind incremental maintenance.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "cardest/ndv/freq_profile.h"
+#include "cardest/ndv/hll.h"
 #include "cardest/ndv/mlp.h"
 #include "cardest/ndv/rbx.h"
 #include "common/rng.h"
@@ -300,6 +303,131 @@ TEST(RbxTrainTest, TrainOnExplicitExamples) {
 TEST(RbxTrainTest, EmptyExamplesRejected) {
   RbxTrainOptions options;
   EXPECT_FALSE(RbxModel::TrainOnExamples({}, options).ok());
+}
+
+
+// --- HyperLogLog NDV sketches ---------------------------------------------------
+
+NdvSketch SketchOf(const std::vector<int64_t>& values, int precision = 12) {
+  NdvSketch sketch(precision);
+  for (int64_t v : values) sketch.Add(v);
+  return sketch;
+}
+
+std::string Bytes(const NdvSketch& sketch) {
+  BufferWriter writer;
+  sketch.Serialize(&writer);
+  return writer.buffer();
+}
+
+TEST(HllSketchTest, MergeIsCommutative) {
+  std::vector<int64_t> lo, hi;
+  for (int64_t v = 0; v < 3000; ++v) (v % 3 == 0 ? lo : hi).push_back(v * 17);
+  NdvSketch ab = SketchOf(lo);
+  ab.Merge(SketchOf(hi));
+  NdvSketch ba = SketchOf(hi);
+  ba.Merge(SketchOf(lo));
+  // Register-wise max is order-independent, so the merged states are
+  // byte-identical, not just close.
+  EXPECT_EQ(Bytes(ab), Bytes(ba));
+  EXPECT_DOUBLE_EQ(ab.Estimate(), ba.Estimate());
+}
+
+TEST(HllSketchTest, MergeIsAssociative) {
+  std::vector<std::vector<int64_t>> parts(3);
+  Rng rng(1234);
+  for (int i = 0; i < 5000; ++i)
+    parts[i % 3].push_back(static_cast<int64_t>(rng.Uniform(100000)));
+  const NdvSketch a = SketchOf(parts[0]);
+  const NdvSketch b = SketchOf(parts[1]);
+  const NdvSketch c = SketchOf(parts[2]);
+
+  NdvSketch left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  NdvSketch bc = b;     // a + (b + c)
+  bc.Merge(c);
+  NdvSketch right = a;
+  right.Merge(bc);
+  EXPECT_EQ(Bytes(left), Bytes(right));
+}
+
+TEST(HllSketchTest, MergeIsIdempotent) {
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 2000; ++v) values.push_back(v * v);
+  NdvSketch sketch = SketchOf(values);
+  const std::string before = Bytes(sketch);
+  sketch.Merge(sketch);
+  EXPECT_EQ(Bytes(sketch), before);
+}
+
+TEST(HllSketchTest, ErrorBoundOnUniformColumn) {
+  // p=12 -> 4096 registers -> ~1.6% standard error; 5% is > 3 sigma.
+  NdvSketch sketch(12);
+  constexpr int64_t kDistinct = 20000;
+  for (int64_t v = 0; v < kDistinct; ++v)
+    for (int rep = 0; rep < 3; ++rep) sketch.Add(v);
+  EXPECT_NEAR(sketch.Estimate(), static_cast<double>(kDistinct),
+              0.05 * kDistinct);
+}
+
+TEST(HllSketchTest, ErrorBoundOnSkewedColumn) {
+  // Heavy-hitter zipf-ish draw: estimate must track the exact distinct set,
+  // not the row count.
+  Rng rng(99);
+  NdvSketch sketch(12);
+  std::set<int64_t> exact;
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t v = static_cast<int64_t>(
+        5000.0 * std::pow(rng.NextDouble(), 4.0));  // skew toward 0
+    sketch.Add(v);
+    exact.insert(v);
+  }
+  const double truth = static_cast<double>(exact.size());
+  EXPECT_NEAR(sketch.Estimate(), truth, 0.05 * truth);
+}
+
+TEST(HllSketchTest, SerializationRoundTripPreservesStateAndMerges) {
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 4000; ++v) values.push_back(v * 31 + 7);
+  const NdvSketch original = SketchOf(values, 10);
+
+  const std::string bytes = Bytes(original);
+  BufferReader reader(bytes);
+  auto restored = NdvSketch::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().precision(), 10);
+  EXPECT_DOUBLE_EQ(restored.value().Estimate(), original.Estimate());
+
+  // The revived sketch keeps merging like the original.
+  std::vector<int64_t> more;
+  for (int64_t v = 0; v < 4000; ++v) more.push_back(-v * 13 - 1);
+  NdvSketch via_restore = std::move(restored).value();
+  via_restore.Merge(SketchOf(more, 10));
+  NdvSketch direct = original;
+  direct.Merge(SketchOf(more, 10));
+  EXPECT_EQ(Bytes(via_restore), Bytes(direct));
+}
+
+TEST(HllSketchTest, CatalogSeedsScalarColumnsAndReportsAbsentAsNegative) {
+  minihouse::Table table(
+      "t", minihouse::TableSchema({{"k", minihouse::DataType::kInt64},
+                                   {"v", minihouse::DataType::kInt64}}));
+  for (int64_t i = 0; i < 1000; ++i) {
+    table.mutable_column(0)->AppendInt(i);       // 1000 distinct
+    table.mutable_column(1)->AppendInt(i % 25);  // 25 distinct
+  }
+  ASSERT_TRUE(table.Seal().ok());
+
+  NdvSketchCatalog catalog;
+  catalog.SeedTable(table);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_NEAR(catalog.Estimate("t", 0), 1000.0, 60.0);
+  EXPECT_NEAR(catalog.Estimate("t", 1), 25.0, 2.0);
+  EXPECT_LT(catalog.Estimate("t", 7), 0.0);
+  EXPECT_LT(catalog.Estimate("absent", 0), 0.0);
+  EXPECT_EQ(catalog.Find("t", 7), nullptr);
+  ASSERT_NE(catalog.FindMutable("t", 1), nullptr);
 }
 
 }  // namespace

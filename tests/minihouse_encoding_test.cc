@@ -525,6 +525,51 @@ TEST(EncodedScanTest, AppendAfterSealReopensTailBlock) {
   EXPECT_EQ(table->domain(0).max, rows - 1);
 }
 
+TEST(EncodedScanTest, AppendInvalidatesOnlyTailBlockCacheEntry) {
+  // Ingest-reseal regression (DESIGN.md §13): appending a batch must not
+  // disturb the decode-cache entries (or zone maps) of already-sealed
+  // blocks — only the re-opened partial tail block drops out, and it does so
+  // via invalidation, never counted as a capacity eviction.
+  Database db;
+  auto built = std::make_unique<Table>(
+      "t", TableSchema({{"k", DataType::kInt64}}));
+  const int64_t rows = kBlockRows * 3 + 100;  // 3 full blocks + partial tail
+  for (int64_t i = 0; i < rows; ++i) {
+    built->mutable_column(0)->AppendInt(i / 50);  // runs → RLE blocks
+  }
+  ASSERT_TRUE(built->Seal().ok());
+  ASSERT_TRUE(db.AddTable(std::move(built)).ok());
+  const Table* table = db.FindTable("t").value();
+  ASSERT_EQ(table->column(0).num_encoded_blocks(), 4);
+
+  // Warm the cache, then prove all four blocks are resident.
+  IoStats warm;
+  ScanTable(*table, {}, {0}, ScanOptions{}, &warm);
+  IoStats hot;
+  ScanResult before = ScanTable(*table, {}, {0}, ScanOptions{}, &hot);
+  ASSERT_EQ(hot.decode_cache_hits, 4);
+  const int64_t evictions_before = db.decode_cache()->evictions();
+
+  // One ingest batch: append to the tail and reseal.
+  Table* mutable_table = db.FindMutableTable("t").value();
+  for (int64_t i = 0; i < 100; ++i) {
+    mutable_table->mutable_column(0)->AppendInt((rows + i) / 50);
+  }
+  ASSERT_TRUE(mutable_table->Seal().ok());
+
+  // The three untouched blocks still serve from cache; only the rewritten
+  // tail re-decodes. The eviction counter is pinned: invalidation is not
+  // eviction.
+  IoStats after;
+  ScanResult grown = ScanTable(*table, {}, {0}, ScanOptions{}, &after);
+  EXPECT_EQ(after.decode_cache_hits, 3);
+  EXPECT_EQ(db.decode_cache()->evictions(), evictions_before);
+  EXPECT_EQ(grown.materialized[0].size(), before.materialized[0].size() + 100);
+  // Zone maps re-stamped across the reseal keep the domain exact.
+  EXPECT_EQ(table->domain(0).min, 0);
+  EXPECT_EQ(table->domain(0).max, (rows + 99) / 50);
+}
+
 TEST(EncodedScanTest, ZoneMapSelectivityBoundIsSoundAndTight) {
   Rng rng(809);
   auto table = ClusteredTable(kBlockRows * 8, &rng);

@@ -45,6 +45,13 @@ echo "== bench smoke: continuous ingest (incremental maintenance) =="
 # BENCH_continuous_ingest.json (smoke scale).
 (cd "${BUILD_DIR}/bench" && ./bench_continuous_ingest --smoke)
 
+echo "== bench smoke: adaptive routing (mined dispatch) =="
+# Asserts internally that every template the miner promoted keeps its mined
+# median q-error on the replay leg, that at least one workload family wins
+# aggregate planning latency, and that routed estimates actually flowed;
+# writes BENCH_adaptive_routing.json (smoke scale).
+(cd "${BUILD_DIR}/bench" && ./bench_adaptive_routing --smoke)
+
 echo "== sanitizer: thread =="
 "${REPO_ROOT}/ci/sanitize.sh" thread
 

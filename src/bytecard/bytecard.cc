@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/serde.h"
 #include "common/stopwatch.h"
+#include "sql/analyzer.h"
 
 namespace bytecard {
 
@@ -31,6 +32,16 @@ void ByteCard::EnableFeedback() {
 
 void ByteCard::StartServing(minihouse::SchedulerOptions options) {
   scheduler_.reset();  // drain any previous front-end first
+  // Wire the default SQL front door unless the caller injected its own
+  // analyzer. The scheduler itself cannot name sql::AnalyzeSql (the engine
+  // layer does not link the SQL library); the facade, which does, closes the
+  // loop here.
+  if (options.sql_analyzer == nullptr) {
+    options.sql_analyzer = [](const std::string& sql,
+                              const minihouse::Database& db) {
+      return sql::AnalyzeSql(sql, db);
+    };
+  }
   scheduler_ = std::make_unique<minihouse::QueryScheduler>(this,
                                                            std::move(options));
 }
@@ -41,6 +52,12 @@ std::shared_ptr<minihouse::QueryTicket> ByteCard::Submit(
     const minihouse::BoundQuery& query) {
   BC_CHECK(scheduler_ != nullptr);  // StartServing first
   return scheduler_->Submit(query);
+}
+
+std::shared_ptr<minihouse::QueryTicket> ByteCard::Submit(
+    const std::string& sql, const minihouse::Database& db) {
+  BC_CHECK(scheduler_ != nullptr);  // StartServing first
+  return scheduler_->Submit(sql, db);
 }
 
 Result<minihouse::ExecResult> ByteCard::Wait(
@@ -408,6 +425,12 @@ Result<MonitorReport> ByteCard::ProbeTable(const minihouse::Table& table) {
   if (current->IsHealthy(table.name()) != report.healthy) {
     SnapshotBuilder builder(current, &validator_);
     builder.SetHealth(table.name(), report.healthy);
+    // Demotion also retires every mined route that touches the drifted
+    // table — those scores were measured against the now-distrusted model.
+    if (!report.healthy && current->routing_table() != nullptr) {
+      BC_RETURN_IF_ERROR(builder.SetRoutingTable(
+          current->routing_table()->WithoutTable(table.name())));
+    }
     BC_ASSIGN_OR_RETURN(std::shared_ptr<const EstimatorSnapshot> snapshot,
                         builder.Finish());
     const uint64_t version = snapshot->version();
@@ -427,6 +450,17 @@ void ByteCard::SetTableHealth(const std::string& table, bool healthy) {
   if (current != nullptr && current->IsHealthy(table) == healthy) return;
   SnapshotBuilder builder(current, &validator_);
   builder.SetHealth(table, healthy);
+  // Health demotion retires mined routes over the demoted table (their
+  // scores trusted the model being pulled); promotions keep routes as-is.
+  if (!healthy && current != nullptr &&
+      current->routing_table() != nullptr) {
+    Status routed = builder.SetRoutingTable(
+        current->routing_table()->WithoutTable(table));
+    if (!routed.ok()) {
+      BC_LOG(Warning) << "route retirement for '" << table
+                      << "' failed: " << routed.ToString();
+    }
+  }
   Result<std::shared_ptr<const EstimatorSnapshot>> snapshot =
       builder.Finish();
   if (!snapshot.ok()) {
@@ -440,6 +474,38 @@ void ByteCard::SetTableHealth(const std::string& table, bool healthy) {
     feedback_owned_->OnSnapshotPublished(version);
     feedback_owned_->OnTableHealthChanged(table);
   }
+}
+
+Result<routing::RouteMinerReport> ByteCard::MineRoutes(
+    const minihouse::Database& db, routing::RouteMinerOptions options) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  feedback::FeedbackManager* manager =
+      feedback_.load(std::memory_order_acquire);
+  if (manager == nullptr) {
+    return Status::InvalidArgument(
+        "MineRoutes requires feedback collection (EnableFeedback)");
+  }
+  std::shared_ptr<const EstimatorSnapshot> current = snapshot_.Acquire();
+  if (current == nullptr) {
+    return Status::Internal("MineRoutes requires a published snapshot");
+  }
+
+  const std::vector<minihouse::QueryFeedback> trace =
+      manager->log().Snapshot();
+  routing::RouteMinerReport report;
+  BC_ASSIGN_OR_RETURN(
+      std::shared_ptr<const routing::RoutingTable> mined,
+      routing::RouteMiner(options).Mine(trace, *current, db, &report));
+
+  SnapshotBuilder builder(current, &validator_);
+  BC_RETURN_IF_ERROR(builder.SetRoutingTable(std::move(mined)));
+  BC_ASSIGN_OR_RETURN(std::shared_ptr<const EstimatorSnapshot> snapshot,
+                      builder.Finish());
+  snapshot_.Publish(std::move(snapshot));
+  // Deliberately no OnSnapshotPublished: only the dispatch policy changed,
+  // every model is byte-identical, so the feedback cache's actuals stay
+  // valid for the successor.
+  return report;
 }
 
 std::shared_ptr<minihouse::CardinalityEstimator> ByteCard::PinSnapshot() {

@@ -15,6 +15,8 @@
 #include "bytecard/model_loader.h"
 #include "bytecard/model_monitor.h"
 #include "bytecard/model_validator.h"
+#include "bytecard/routing/route_miner.h"
+#include "bytecard/routing/routing_table.h"
 #include "bytecard/snapshot.h"
 #include "cardest/ndv/rbx.h"
 #include "common/snapshot.h"
@@ -174,6 +176,28 @@ class ByteCard : public minihouse::CardinalityEstimator {
   std::vector<FeedbackAction> ProcessFeedback(
       const minihouse::Database* db = nullptr);
 
+  // --- Adaptive routing ------------------------------------------------------
+  // Mines a routing table from the feedback log's recorded trace (replaying
+  // each observation against the current snapshot through every estimator
+  // family — see routing/route_miner.h) and publishes a successor snapshot
+  // carrying it. Subsequent estimates resolve their route class first and
+  // dispatch to the mined family; classes without a route (and every class,
+  // when the table is empty or its mined epoch is stale) take the general
+  // path unchanged. Requires EnableFeedback and a published snapshot.
+  // Cached actuals stay valid across this publish — only the dispatch
+  // policy changes, not the models — so the feedback cache is NOT flushed.
+  // Thread-safe (lifecycle mutex); safe under concurrent estimation.
+  Result<routing::RouteMinerReport> MineRoutes(
+      const minihouse::Database& db, routing::RouteMinerOptions options = {});
+
+  // The live snapshot's routing table (null before MineRoutes / after the
+  // table is cleared). The epoch-staleness rule lives in
+  // EstimatorSnapshot::routing_live().
+  std::shared_ptr<const routing::RoutingTable> routing_table() const {
+    std::shared_ptr<const EstimatorSnapshot> snap = snapshot_.Acquire();
+    return snap == nullptr ? nullptr : snap->routing_table_shared();
+  }
+
   // --- Incremental maintenance ----------------------------------------------
   // Turns the incremental model-maintenance subsystem on (idempotent):
   // seeds the FactorJoin maintenance copy and the per-column NDV sketches
@@ -218,6 +242,11 @@ class ByteCard : public minihouse::CardinalityEstimator {
   // Forwarders to the scheduler (StartServing must have run).
   std::shared_ptr<minihouse::QueryTicket> Submit(
       const minihouse::BoundQuery& query);
+  // SQL front door: analyzes `sql` against `db` on the calling thread and
+  // submits the bound query. Analyzer errors come back through Wait on the
+  // returned ticket (never a null ticket, never a crash).
+  std::shared_ptr<minihouse::QueryTicket> Submit(
+      const std::string& sql, const minihouse::Database& db);
   Result<minihouse::ExecResult> Wait(
       const std::shared_ptr<minihouse::QueryTicket>& ticket);
 

@@ -5,7 +5,9 @@
 #include <numeric>
 #include <utility>
 
+#include "cardest/route_class.h"
 #include "common/logging.h"
+#include "minihouse/predicate.h"
 #include "stats/ndv_classic.h"
 
 namespace bytecard {
@@ -42,6 +44,37 @@ bool EstimatorSnapshot::IsHealthy(const std::string& table) const {
 double EstimatorSnapshot::Estimate(const cardest::CardEstRequest& request,
                                    cardest::InferenceSession* session,
                                    SnapshotCounters* counters) const {
+  // Adaptive routing: resolve the request's route class against the mined
+  // table, then dispatch to the empirically-best family. With no live table
+  // (bootstrap, empty mine, stale epoch) this is one bool test and the
+  // general path below runs byte-identically to the pre-routing dispatch.
+  if (routing_live_) {
+    const std::string cls = cardest::RouteClassOf(request, session);
+    const routing::RouteDecision* route = routing_->Find(cls);
+    if (route != nullptr) {
+      if (counters != nullptr) counters->route_classes_seen.insert(cls);
+      if (route->family != routing::RouteFamily::kGeneral &&
+          route->family != routing::RouteFamily::kCachedActual) {
+        double routed = 0.0;
+        if (EstimateWithFamily(route->family, request, session, counters,
+                               &routed)) {
+          if (counters != nullptr) ++counters->routed_estimates;
+          return routed;
+        }
+        if (counters != nullptr) ++counters->route_fallbacks;
+      }
+      // kGeneral routes fall through by decision; kCachedActual routes are
+      // answered by the feedback cache upstream (EstimationContext), so the
+      // snapshot serves them generally on a cache miss. Neither counts as a
+      // route fallback — the general path *is* their mined answer here.
+    }
+  }
+  return EstimateGeneral(request, session, counters);
+}
+
+double EstimatorSnapshot::EstimateGeneral(
+    const cardest::CardEstRequest& request, cardest::InferenceSession* session,
+    SnapshotCounters* counters) const {
   using cardest::CardEstTarget;
   switch (request.target) {
     case CardEstTarget::kSelectivity:
@@ -104,6 +137,118 @@ double EstimatorSnapshot::EstimateCountDisjunction(
     SnapshotCounters* counters) const {
   return Estimate(cardest::CardEstRequest::Disjunction(table, disjuncts),
                   nullptr, counters);
+}
+
+bool EstimatorSnapshot::FamilySelectivity(routing::RouteFamily family,
+                                          const minihouse::Table& table,
+                                          const minihouse::Conjunction& filters,
+                                          cardest::InferenceSession* session,
+                                          double* out) const {
+  // Family-prefixed memo keys keep routed probes out of the general "sel:"
+  // memo: the same (table, filters) can be probed both ways in one query
+  // (e.g. a routed scan next to a general join prefix) and each must replay
+  // its own answer.
+  std::string key;
+  if (session != nullptr) {
+    key = "rt" + std::to_string(static_cast<int>(family)) + ":" +
+          cardest::TableKey(table, filters);
+    double value = 0.0;
+    bool was_fallback = false;
+    if (session->LookupScalar(key, &value, &was_fallback)) {
+      *out = value;
+      return true;
+    }
+  }
+  double value = 0.0;
+  switch (family) {
+    case routing::RouteFamily::kBn: {
+      const cardest::BnInferenceContext* context = bn_context(table.name());
+      if (context == nullptr || !IsHealthy(table.name())) return false;
+      value = context->EstimateSelectivity(filters);
+      break;
+    }
+    case routing::RouteFamily::kTraditional:
+      if (fallback_ == nullptr) return false;
+      value = fallback_->EstimateSelectivity(table, filters);
+      break;
+    case routing::RouteFamily::kSample: {
+      if (samples_ == nullptr) return false;
+      auto it = samples_->find(table.name());
+      if (it == samples_->end() || it->second.num_rows() == 0) return false;
+      value = static_cast<double>(it->second.CountMatches(filters)) /
+              static_cast<double>(it->second.num_rows());
+      break;
+    }
+    case routing::RouteFamily::kZoneMap:
+      value = minihouse::ZoneMapSelectivityBound(table, filters);
+      break;
+    default:
+      return false;
+  }
+  if (session != nullptr) session->StoreScalar(key, value, false);
+  *out = value;
+  return true;
+}
+
+bool EstimatorSnapshot::EstimateWithFamily(
+    routing::RouteFamily family, const cardest::CardEstRequest& request,
+    cardest::InferenceSession* session, SnapshotCounters* counters,
+    double* out) const {
+  using cardest::CardEstTarget;
+  switch (request.target) {
+    case CardEstTarget::kSelectivity:
+      return FamilySelectivity(family, *request.table, *request.filters,
+                               session, out);
+    case CardEstTarget::kJoinCount: {
+      std::vector<int> scratch;
+      const std::vector<int>& subset = request.ResolveTables(session, &scratch);
+      if (subset.size() == 1) {
+        // Single-table "join" questions are selectivity questions; every
+        // selectivity-capable family answers them scaled to row counts.
+        const minihouse::BoundTableRef& ref = request.query->tables[subset[0]];
+        double sel = 0.0;
+        if (!FamilySelectivity(family, *ref.table, ref.filters, session,
+                               &sel)) {
+          return false;
+        }
+        *out = sel * static_cast<double>(ref.table->num_rows());
+        return true;
+      }
+      switch (family) {
+        case routing::RouteFamily::kFactorJoin: {
+          if (fj_engine_ == nullptr) return false;
+          FeatureVector features;
+          features.query = request.query;
+          features.table_subset = subset;
+          features.session = session;
+          Result<double> estimate = fj_engine_->Estimate(features);
+          if (!estimate.ok()) return false;
+          *out = estimate.value();
+          return true;
+        }
+        case routing::RouteFamily::kTraditional:
+          if (fallback_ == nullptr) return false;
+          *out = fallback_->EstimateJoinCardinality(*request.query, subset);
+          return true;
+        default:
+          return false;
+      }
+    }
+    case CardEstTarget::kGroupNdv:
+      if (family != routing::RouteFamily::kTraditional ||
+          fallback_ == nullptr) {
+        return false;
+      }
+      *out = fallback_->EstimateGroupNdv(*request.query);
+      return true;
+    case CardEstTarget::kColumnNdv:
+    case CardEstTarget::kDisjunction:
+      // No alternate family implements these targets; the general path's
+      // RBX / inclusion-exclusion machinery is the only answer.
+      return false;
+  }
+  (void)counters;
+  return false;
 }
 
 double EstimatorSnapshot::SelectivityImpl(const minihouse::Table& table,
@@ -352,6 +497,14 @@ void SnapshotBuilder::SetNdvSketches(
   has_ndv_sketches_ = true;
 }
 
+Status SnapshotBuilder::SetRoutingTable(
+    std::shared_ptr<const routing::RoutingTable> table) {
+  if (table != nullptr) BC_RETURN_IF_ERROR(table->Validate());
+  routing_ = std::move(table);
+  has_routing_ = true;
+  return Status::Ok();
+}
+
 const cardest::BnInferenceContext* SnapshotBuilder::bn_context(
     const std::string& table) const {
   auto it = new_bns_.find(table);
@@ -445,6 +598,15 @@ Result<std::shared_ptr<const EstimatorSnapshot>> SnapshotBuilder::Finish() {
   snapshot->ndv_sketches_ =
       has_ndv_sketches_ ? std::move(ndv_sketches_)
                         : (base_ != nullptr ? base_->ndv_sketches_ : nullptr);
+  snapshot->routing_ =
+      has_routing_ ? std::move(routing_)
+                   : (base_ != nullptr ? base_->routing_ : nullptr);
+  // Routing serves only while the mined evidence matches the data the models
+  // absorbed: a later ingest epoch voids every route until a re-mine.
+  snapshot->routing_live_ = snapshot->routing_ != nullptr &&
+                            !snapshot->routing_->empty() &&
+                            snapshot->routing_->mined_epoch() ==
+                                snapshot->ingest_epoch_;
 
   return std::shared_ptr<const EstimatorSnapshot>(std::move(snapshot));
 }

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "bytecard/inference_engine.h"
 #include "bytecard/model_validator.h"
+#include "bytecard/routing/routing_table.h"
 #include "cardest/ndv/hll.h"
 #include "cardest/request.h"
 #include "minihouse/optimizer.h"
@@ -21,6 +23,11 @@ namespace bytecard {
 // per pinned view (single-threaded); pass nullptr when not accounting.
 struct SnapshotCounters {
   int64_t fallback_estimates = 0;
+  // Adaptive-routing accounting (all zero while no routing table is live,
+  // which is also how the byte-identity invariant is asserted in tests).
+  int64_t routed_estimates = 0;   // answered by a mined non-general family
+  int64_t route_fallbacks = 0;    // mined family inapplicable -> general path
+  std::set<std::string> route_classes_seen;  // distinct classes with a route
 };
 
 // One immutable, atomically-swappable unit of serving state: the per-table
@@ -82,6 +89,42 @@ class EstimatorSnapshot {
       const std::vector<minihouse::Conjunction>& disjuncts,
       SnapshotCounters* counters = nullptr) const;
 
+  // --- Adaptive routing -----------------------------------------------------
+  // Answers `request` with one specific estimator family, bypassing the
+  // tiered general dispatch. Returns false (and leaves *out untouched) when
+  // the family cannot answer this request shape on this snapshot — missing
+  // engine, no sample, unhealthy model, unsupported target. Estimate() calls
+  // this when a live routing table names a family for the request's class;
+  // the RouteMiner calls it directly to score candidate families on the
+  // replayed feedback trace. Routed probes memoize under family-prefixed
+  // session keys ("rt<family>:") so the general path's "sel:" memo is never
+  // polluted — the byte-identity invariant survives mixed routed/general
+  // probes within one query.
+  bool EstimateWithFamily(routing::RouteFamily family,
+                          const cardest::CardEstRequest& request,
+                          cardest::InferenceSession* session,
+                          SnapshotCounters* counters, double* out) const;
+
+  // The pre-routing tiered dispatch (BN -> FactorJoin -> traditional),
+  // byte-identical to the historical Estimate() body. Estimate() lands here
+  // for unrouted classes; the RouteMiner calls it directly so the general
+  // baseline is scored routing-free even when re-mining a snapshot whose
+  // routing table is already live.
+  double EstimateGeneral(const cardest::CardEstRequest& request,
+                         cardest::InferenceSession* session,
+                         SnapshotCounters* counters) const;
+
+  // The mined routing table (null until a RouteMiner publish).
+  const routing::RoutingTable* routing_table() const { return routing_.get(); }
+  std::shared_ptr<const routing::RoutingTable> routing_table_shared() const {
+    return routing_;
+  }
+  // True when the routing table is non-empty AND its mined epoch matches
+  // this snapshot's ingest epoch. A delta publish that advances the epoch
+  // silently disables routing (the trace evidence predates the new data)
+  // until routes are re-mined.
+  bool routing_live() const { return routing_live_; }
+
   // --- Introspection --------------------------------------------------------
   const cardest::BnInferenceContext* bn_context(
       const std::string& table) const;
@@ -102,6 +145,14 @@ class EstimatorSnapshot {
  private:
   friend class SnapshotBuilder;
   EstimatorSnapshot() = default;
+
+  // Single-table selectivity through one specific family (shared by the
+  // kSelectivity and single-table kJoinCount routed paths).
+  bool FamilySelectivity(routing::RouteFamily family,
+                         const minihouse::Table& table,
+                         const minihouse::Conjunction& filters,
+                         cardest::InferenceSession* session,
+                         double* out) const;
 
   // Per-target implementations behind the Estimate dispatch; all thread the
   // session down to the engines that can exploit it.
@@ -149,6 +200,11 @@ class EstimatorSnapshot {
   // HyperLogLog NDV catalog from the incremental maintainer; shared with
   // neighbors when unchanged, replaced wholesale on merge.
   std::shared_ptr<const cardest::NdvSketchCatalog> ndv_sketches_;
+  // Mined routing table (null until the RouteMiner publishes one); shared
+  // with neighbor snapshots when unchanged. routing_live_ is derived in
+  // Finish so the hot path pays one bool test when no routes apply.
+  std::shared_ptr<const routing::RoutingTable> routing_;
+  bool routing_live_ = false;
 };
 
 // Builds an EstimatorSnapshot, either from scratch (bootstrap) or as the
@@ -185,6 +241,12 @@ class SnapshotBuilder {
   // maintainer's merged state). Without a call, the base's is inherited.
   void SetNdvSketches(
       std::shared_ptr<const cardest::NdvSketchCatalog> sketches);
+  // Installs the successor's mined routing table after validating it (the
+  // same admission discipline every model artifact passes through). Null
+  // clears routing. Without a call, the base's table is inherited — so
+  // ordinary model publishes keep routes, while the epoch-match rule in
+  // routing_live() retires them when ingest advances.
+  Status SetRoutingTable(std::shared_ptr<const routing::RoutingTable> table);
 
   // Pending view (new engines first, then base): lets lifecycle code derive
   // training options and probe models before publication.
@@ -217,6 +279,8 @@ class SnapshotBuilder {
   bool has_ingest_epoch_ = false;
   std::shared_ptr<const cardest::NdvSketchCatalog> ndv_sketches_;
   bool has_ndv_sketches_ = false;
+  std::shared_ptr<const routing::RoutingTable> routing_;
+  bool has_routing_ = false;
 };
 
 // The per-query pinned view handed out by ByteCard::PinSnapshot: implements
@@ -246,6 +310,14 @@ class SnapshotEstimator : public minihouse::CardinalityEstimator {
   }
   int64_t FallbackEstimates() const override {
     return counters_.fallback_estimates;
+  }
+  minihouse::RoutingStats routing_stats() const override {
+    minihouse::RoutingStats stats;
+    stats.route_classes =
+        static_cast<int64_t>(counters_.route_classes_seen.size());
+    stats.routed_estimates = counters_.routed_estimates;
+    stats.route_fallbacks = counters_.route_fallbacks;
+    return stats;
   }
   minihouse::QueryFeedbackHook* feedback_hook() const override {
     return hook_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "cardest/route_class.h"
+
 namespace bytecard::cardest {
 
 // ---------------------------------------------------------------------------
@@ -318,6 +320,17 @@ const std::string& InferenceSession::TableToken(
   const minihouse::BoundTableRef& ref = query.tables[table_idx];
   return table_tokens_
       .emplace(key, TableKey(*ref.table, ref.filters))
+      .first->second;
+}
+
+const std::string& InferenceSession::TableShapeToken(
+    const minihouse::BoundQuery& query, int table_idx) {
+  const auto key = std::make_pair(static_cast<const void*>(&query), table_idx);
+  auto it = table_shapes_.find(key);
+  if (it != table_shapes_.end()) return it->second;
+  const minihouse::BoundTableRef& ref = query.tables[table_idx];
+  return table_shapes_
+      .emplace(key, TableShape(*ref.table, ref.filters))
       .first->second;
 }
 

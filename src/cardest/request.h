@@ -158,6 +158,12 @@ class InferenceSession {
   const std::string& TableToken(const minihouse::BoundQuery& query,
                                 int table_idx);
 
+  // Operand-free twin of TableToken: the table's *shape* (route_class.h).
+  // Route resolution runs on every estimate when a routing table is live, so
+  // the per-table shape is memoized exactly like the fingerprint token.
+  const std::string& TableShapeToken(const minihouse::BoundQuery& query,
+                                     int table_idx);
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -176,6 +182,7 @@ class InferenceSession {
   // Keyed by (query identity, table index): sessions are per-query, but the
   // cheap guard keeps a stray cross-query reuse from serving stale tokens.
   std::map<std::pair<const void*, int>, std::string> table_tokens_;
+  std::map<std::pair<const void*, int>, std::string> table_shapes_;
   Stats stats_;
 };
 

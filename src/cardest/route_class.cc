@@ -1,0 +1,185 @@
+#include "cardest/route_class.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace bytecard::cardest {
+
+std::string PredicateShapeToken(const minihouse::ColumnPredicate& pred) {
+  std::string token = std::to_string(pred.column) + ":" +
+                      std::to_string(static_cast<int>(pred.op));
+  if (!pred.in_list.empty()) token += ":in";
+  return token;
+}
+
+std::string TableShape(const minihouse::Table& table,
+                       const minihouse::Conjunction& filters) {
+  std::vector<std::string> parts;
+  parts.reserve(filters.size());
+  for (const minihouse::ColumnPredicate& pred : filters) {
+    parts.push_back(PredicateShapeToken(pred));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string shape = table.name();
+  shape += "(";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) shape += "&";
+    shape += parts[i];
+  }
+  shape += ")";
+  return shape;
+}
+
+namespace {
+
+// Table shape via the session memo when one is given.
+const std::string* ShapeOf(const minihouse::BoundQuery& query, int table_idx,
+                           InferenceSession* session, std::string* storage) {
+  if (session != nullptr) return &session->TableShapeToken(query, table_idx);
+  const minihouse::BoundTableRef& ref = query.tables[table_idx];
+  *storage = TableShape(*ref.table, ref.filters);
+  return storage;
+}
+
+}  // namespace
+
+std::string SubplanShape(const minihouse::BoundQuery& query,
+                         const std::vector<int>& subset,
+                         InferenceSession* session) {
+  if (subset.size() == 1) {
+    std::string storage;
+    return *ShapeOf(query, subset[0], session, &storage);
+  }
+
+  // Same self-join disambiguation as SubplanKey: duplicated shape tokens are
+  // suffixed with their query-table index so distinct join prefixes keep
+  // distinct classes. Shapes collapse more aggressively than fingerprints
+  // (same columns + ops, different operands), which is exactly the point —
+  // a class is the template, not the instance.
+  const int num_tables = query.num_tables();
+  std::vector<std::string> all_shapes(num_tables);
+  std::map<std::string, int> shape_counts;
+  for (int t = 0; t < num_tables; ++t) {
+    std::string storage;
+    all_shapes[t] = *ShapeOf(query, t, session, &storage);
+    ++shape_counts[all_shapes[t]];
+  }
+
+  std::vector<std::string> table_shapes;  // indexed by position in `subset`
+  table_shapes.reserve(subset.size());
+  for (int t : subset) {
+    std::string shape = all_shapes[t];
+    if (shape_counts[shape] > 1) shape += "#" + std::to_string(t);
+    table_shapes.push_back(std::move(shape));
+  }
+
+  auto shape_of = [&](int query_table) -> const std::string* {
+    for (size_t i = 0; i < subset.size(); ++i) {
+      if (subset[i] == query_table) return &table_shapes[i];
+    }
+    return nullptr;
+  };
+
+  std::vector<std::string> edge_tokens;
+  for (const minihouse::JoinEdge& e : query.joins) {
+    const std::string* lt = shape_of(e.left_table);
+    const std::string* rt = shape_of(e.right_table);
+    if (lt == nullptr || rt == nullptr) continue;  // edge leaves the subset
+    std::string a = *lt + "." + std::to_string(e.left_column);
+    std::string b = *rt + "." + std::to_string(e.right_column);
+    if (b < a) std::swap(a, b);  // direction-independent
+    edge_tokens.push_back(a + "=" + b);
+  }
+
+  std::sort(table_shapes.begin(), table_shapes.end());
+  std::sort(edge_tokens.begin(), edge_tokens.end());
+  std::string shape = "J(";
+  for (size_t i = 0; i < table_shapes.size(); ++i) {
+    if (i > 0) shape += ",";
+    shape += table_shapes[i];
+  }
+  shape += ";";
+  for (size_t i = 0; i < edge_tokens.size(); ++i) {
+    if (i > 0) shape += ",";
+    shape += edge_tokens[i];
+  }
+  shape += ")";
+  return shape;
+}
+
+std::string GroupShape(const minihouse::BoundQuery& query,
+                       InferenceSession* session) {
+  std::vector<int> scratch;
+  const std::vector<int>* all;
+  if (session != nullptr) {
+    all = &session->AllTables(query.num_tables());
+  } else {
+    scratch.resize(query.tables.size());
+    std::iota(scratch.begin(), scratch.end(), 0);
+    all = &scratch;
+  }
+  std::string shape = "G(";
+  shape += SubplanShape(query, *all, session);
+  std::vector<std::string> group_tokens;
+  group_tokens.reserve(query.group_by.size());
+  for (const minihouse::GroupKeyRef& g : query.group_by) {
+    group_tokens.push_back(query.tables[g.table].table->name() + "." +
+                           std::to_string(g.column));
+  }
+  std::sort(group_tokens.begin(), group_tokens.end());
+  for (const std::string& tok : group_tokens) {
+    shape += ";";
+    shape += tok;
+  }
+  shape += ")";
+  return shape;
+}
+
+std::string RouteClassOf(const CardEstRequest& request,
+                         InferenceSession* session) {
+  switch (request.target) {
+    case CardEstTarget::kSelectivity:
+      return TableShape(*request.table, *request.filters);
+    case CardEstTarget::kJoinCount: {
+      std::vector<int> scratch;
+      return SubplanShape(*request.query,
+                          request.ResolveTables(session, &scratch), session);
+    }
+    case CardEstTarget::kGroupNdv:
+      return GroupShape(*request.query, session);
+    case CardEstTarget::kColumnNdv:
+      return "V(" + TableShape(*request.table, *request.filters) + ";" +
+             std::to_string(request.ndv_column) + ")";
+    case CardEstTarget::kDisjunction: {
+      std::vector<std::string> bodies;
+      bodies.reserve(request.disjuncts->size());
+      for (const minihouse::Conjunction& d : *request.disjuncts) {
+        std::vector<std::string> parts;
+        parts.reserve(d.size());
+        for (const minihouse::ColumnPredicate& pred : d) {
+          parts.push_back(PredicateShapeToken(pred));
+        }
+        std::sort(parts.begin(), parts.end());
+        std::string body = "(";
+        for (size_t i = 0; i < parts.size(); ++i) {
+          if (i > 0) body += "&";
+          body += parts[i];
+        }
+        body += ")";
+        bodies.push_back(std::move(body));
+      }
+      std::sort(bodies.begin(), bodies.end());
+      std::string shape = "O(" + request.table->name() + ";";
+      for (size_t i = 0; i < bodies.size(); ++i) {
+        if (i > 0) shape += "|";
+        shape += bodies[i];
+      }
+      shape += ")";
+      return shape;
+    }
+  }
+  return std::string();
+}
+
+}  // namespace bytecard::cardest

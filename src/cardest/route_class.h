@@ -1,0 +1,53 @@
+#ifndef BYTECARD_CARDEST_ROUTE_CLASS_H_
+#define BYTECARD_CARDEST_ROUTE_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "cardest/request.h"
+#include "minihouse/query.h"
+
+namespace bytecard::cardest {
+
+// --- Route classes ------------------------------------------------------------
+// A route class is the *template* identity of an estimation request: the
+// fingerprint grammar of request.h with every literal operand dropped, so
+// queries that differ only in constants collapse into one class. Two queries
+// asking "users WHERE age > ?" land in the same class no matter the bound
+// value; the adaptive router (bytecard/routing) learns one estimator-family
+// decision per class from the feedback trace and applies it to every future
+// instantiation of the template.
+//
+// The shape grammar mirrors the fingerprint grammar token for token —
+// including sorted predicate/table/edge tokens and the self-join "#<idx>"
+// disambiguation — but uses parentheses instead of braces/brackets so a
+// shape can never be mistaken for (or collide with) a fingerprint:
+//   predicate shape  "col:op[:in]"           (operands dropped; ":in" marks
+//                     an IN-list predicate — list membership is part of the
+//                     template even though the members are not)
+//   table shape      "name(s1&s2&...)"        predicate shapes sorted
+//   join shape       "J(t1,t2,...;e1,...)"    table shapes + normalized edges
+//   group NDV        "G(<join-of-all>;tbl.col;...)"
+//   column NDV       "V(<table>;col)"
+//   disjunction      "O(name;(d1)|(d2)|...)"
+std::string PredicateShapeToken(const minihouse::ColumnPredicate& pred);
+std::string TableShape(const minihouse::Table& table,
+                       const minihouse::Conjunction& filters);
+std::string SubplanShape(const minihouse::BoundQuery& query,
+                         const std::vector<int>& subset,
+                         InferenceSession* session = nullptr);
+std::string GroupShape(const minihouse::BoundQuery& query,
+                       InferenceSession* session = nullptr);
+
+// The route class of any request shape. Single-table join subsets reduce to
+// the bare table shape (like SubplanKey), so a scan question asked through
+// the join path shares its class with the same question asked directly.
+// `session` memoizes per-table shape tokens (see
+// InferenceSession::TableShapeToken); the returned string is byte-identical
+// with or without it.
+std::string RouteClassOf(const CardEstRequest& request,
+                         InferenceSession* session = nullptr);
+
+}  // namespace bytecard::cardest
+
+#endif  // BYTECARD_CARDEST_ROUTE_CLASS_H_

@@ -79,6 +79,8 @@ void CollectFeedback(const PhysicalOperator* op, const PhysicalPlan& plan,
     obs.actual = static_cast<double>(op->stats().rows_out);
     obs.qerror = FeedbackQError(obs.estimated, obs.actual);
     obs.served_from_cache = plan.feedback_served.count(stamp.fingerprint) > 0;
+    obs.route_class = stamp.route_class;
+    obs.replay = stamp.replay;
     // A guard firing on a specialized kernel travels with the observation so
     // the hook can veto the specialization for this fingerprint next time.
     obs.mis_specialized = op->stats().despecialized_morsels > 0;
@@ -120,6 +122,9 @@ Result<ExecResult> ExecuteQuery(const BoundQuery& query,
   stats->probe_cache_hits = plan.estimation.probe_cache_hits;
   stats->planning_nanos = plan.estimation.planning_nanos;
   stats->snapshot_version = plan.estimation.snapshot_version;
+  stats->route_classes = plan.estimation.route_classes;
+  stats->routed_estimates = plan.estimation.routed_estimates;
+  stats->route_fallbacks = plan.estimation.route_fallbacks;
 
   // Close the loop: report every stamped operator's estimate-vs-actual back
   // to the estimator framework.

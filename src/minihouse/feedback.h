@@ -61,6 +61,65 @@ enum class FeedbackKind {
   kGroupNdv,  // GROUP BY output cardinality (actual = group count)
 };
 
+// A self-contained description of the estimation question an observation
+// answered, detached from the (long-dead) BoundQuery that asked it. The
+// route miner replays these against a live snapshot to score alternative
+// estimator families on recorded actuals. Table/column references are by
+// name / local index so a replay only needs the Database, not the query.
+struct ReplaySpec {
+  bool valid = false;
+  std::vector<std::string> tables;      // base-table names, replay order
+  std::vector<Conjunction> filters;     // per-table filters, same order
+  struct Edge {
+    int left_table = -1;   // index into `tables`
+    int left_column = -1;
+    int right_table = -1;
+    int right_column = -1;
+  };
+  std::vector<Edge> edges;              // join edges internal to `tables`
+  struct GroupKey {
+    int table = -1;        // index into `tables`
+    int column = -1;
+  };
+  std::vector<GroupKey> group_keys;     // kGroupNdv only
+};
+
+// Captures the replay spec for the subplan `subset` of `query` (kGroupNdv
+// passes every table). Edges whose endpoints are not both in the subset are
+// dropped; endpoint indices are remapped to positions in `tables`.
+inline ReplaySpec MakeReplaySpec(const BoundQuery& query,
+                                 const std::vector<int>& subset,
+                                 FeedbackKind kind) {
+  ReplaySpec spec;
+  std::vector<int> local(query.tables.size(), -1);
+  for (size_t i = 0; i < subset.size(); ++i) {
+    const BoundTableRef& ref = query.tables[subset[i]];
+    spec.tables.push_back(ref.table->name());
+    spec.filters.push_back(ref.filters);
+    local[subset[i]] = static_cast<int>(i);
+  }
+  for (const JoinEdge& e : query.joins) {
+    if (local[e.left_table] < 0 || local[e.right_table] < 0) continue;
+    ReplaySpec::Edge edge;
+    edge.left_table = local[e.left_table];
+    edge.left_column = e.left_column;
+    edge.right_table = local[e.right_table];
+    edge.right_column = e.right_column;
+    spec.edges.push_back(edge);
+  }
+  if (kind == FeedbackKind::kGroupNdv) {
+    for (const GroupKeyRef& g : query.group_by) {
+      if (local[g.table] < 0) return spec;  // invalid: key outside subset
+      ReplaySpec::GroupKey key;
+      key.table = local[g.table];
+      key.column = g.column;
+      spec.group_keys.push_back(key);
+    }
+  }
+  spec.valid = true;
+  return spec;
+}
+
 // One operator's estimate-vs-actual observation.
 struct OperatorFeedback {
   FeedbackKind kind = FeedbackKind::kScan;
@@ -69,6 +128,13 @@ struct OperatorFeedback {
   double estimated = -1.0;          // what the plan was built on
   double actual = -1.0;             // what execution produced
   double qerror = 1.0;              // FeedbackQError(estimated, actual)
+  // The operator's route class (operand-free template; cardest/route_class.h)
+  // and the replayable statement of its estimation question. The miner groups
+  // observations by the *recorded* class string — never recomputed from the
+  // replay, whose local table indices would perturb self-join "#<idx>"
+  // disambiguation.
+  std::string route_class;
+  ReplaySpec replay;
   // True when the estimate itself was served from the feedback cache: the
   // observation validates the cache, not the model, and must not feed drift
   // detection.

@@ -1,9 +1,11 @@
 #include "minihouse/operators.h"
 
 #include <algorithm>
+#include <numeric>
 #include <set>
 #include <utility>
 
+#include "cardest/route_class.h"
 #include "common/logging.h"
 
 namespace bytecard::minihouse {
@@ -307,6 +309,8 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
     fs.estimated = plan.scans[t].estimated_selectivity *
                    static_cast<double>(ref.table->num_rows());
     fs.tables = {ref.table->name()};
+    fs.route_class = cardest::TableShape(*ref.table, ref.filters);
+    fs.replay = MakeReplaySpec(query, {t}, FeedbackKind::kScan);
     scan_op->SetFeedbackStamp(std::move(fs));
   };
 
@@ -395,6 +399,8 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
         for (int q : subset) {
           fs.tables.push_back(query.tables[q].table->name());
         }
+        fs.route_class = cardest::SubplanShape(query, subset);
+        fs.replay = MakeReplaySpec(query, subset, FeedbackKind::kJoin);
         join->SetFeedbackStamp(std::move(fs));
       }
     }
@@ -506,6 +512,10 @@ Result<CompiledDag> CompileOperatorDag(const BoundQuery& query,
     for (const BoundTableRef& ref : query.tables) {
       fs.tables.push_back(ref.table->name());
     }
+    fs.route_class = cardest::GroupShape(query);
+    std::vector<int> all_tables(query.tables.size());
+    std::iota(all_tables.begin(), all_tables.end(), 0);
+    fs.replay = MakeReplaySpec(query, all_tables, FeedbackKind::kGroupNdv);
     dag.root->SetFeedbackStamp(std::move(fs));
   }
   return dag;

@@ -211,6 +211,10 @@ EstimationStats EstimationContext::stats() const {
   stats.feedback_hits = feedback_hits_;
   stats.probe_cache_hits = session_.stats().probe_cache_hits;
   stats.snapshot_version = pinned_->SnapshotVersion();
+  const RoutingStats routing = pinned_->routing_stats();
+  stats.route_classes = routing.route_classes;
+  stats.routed_estimates = routing.routed_estimates;
+  stats.route_fallbacks = routing.route_fallbacks;
   return stats;
 }
 

@@ -24,6 +24,14 @@ class QueryContext;  // query_context.h (which includes this header)
 // is intentionally paid inside optimizer calls so that estimation overhead
 // (the sample-based method's weakness at low latency quantiles) shows up in
 // end-to-end latency.
+// Adaptive-routing accounting a pinned estimator view exposes (all zero for
+// estimators without a routing layer, or while no routing table is live).
+struct RoutingStats {
+  int64_t route_classes = 0;     // distinct route classes with a mined route
+  int64_t routed_estimates = 0;  // estimates answered by a routed family
+  int64_t route_fallbacks = 0;   // routed family inapplicable -> general path
+};
+
 class CardinalityEstimator {
  public:
   virtual ~CardinalityEstimator() = default;
@@ -75,6 +83,11 @@ class CardinalityEstimator {
   // which live for exactly one query.
   virtual int64_t FallbackEstimates() const { return 0; }
 
+  // Adaptive-routing counters since this instance was created (see
+  // RoutingStats). Meaningful on pinned views; the default (no routing
+  // layer) reports zeros.
+  virtual RoutingStats routing_stats() const { return {}; }
+
   // Runtime-feedback surface, if this estimator maintains one (the ByteCard
   // facade's feedback manager). Non-null makes the optimizer consult the
   // feedback cache before paying for model inference, and makes the executor
@@ -95,6 +108,10 @@ struct EstimationStats {
   int64_t probe_cache_hits = 0;
   int64_t planning_nanos = 0;     // wall time inside Optimizer::Plan
   uint64_t snapshot_version = 0;  // model snapshot the whole plan was built on
+  // Adaptive-routing accounting (zeros without a live routing table).
+  int64_t route_classes = 0;      // distinct route classes hit while planning
+  int64_t routed_estimates = 0;   // estimates answered by a routed family
+  int64_t route_fallbacks = 0;    // routed family inapplicable -> general
 };
 
 // Per-query estimation scope: pins one model snapshot for the lifetime of a

@@ -52,6 +52,12 @@ struct ExecStats {
   int64_t probe_cache_hits = 0;
   int64_t planning_nanos = 0;     // optimizer wall time, ns (= plan_ms source)
   uint64_t snapshot_version = 0;  // model snapshot the plan was built on
+  // Adaptive routing (all zero without a live mined routing table): distinct
+  // route classes planning touched, estimates answered by a routed family,
+  // and routed estimates that degraded to the general path.
+  int64_t route_classes = 0;
+  int64_t routed_estimates = 0;
+  int64_t route_fallbacks = 0;
   // Runtime-feedback capture for this query (0/1.0 when feedback is off):
   // estimate-vs-actual observations emitted and the worst per-operator
   // q-error among them.

@@ -15,6 +15,9 @@ QueryScheduler::QueryScheduler(CardinalityEstimator* estimator,
       optimizer_(options_.optimizer),
       pool_(pool != nullptr ? pool : &common::ThreadPool::Global()) {
   BC_CHECK(estimator_ != nullptr);
+  if (options_.heavy_promote_after_ms > 0) {
+    pool_->set_heavy_promote_after_millis(options_.heavy_promote_after_ms);
+  }
 }
 
 QueryScheduler::~QueryScheduler() {
@@ -83,6 +86,27 @@ std::shared_ptr<QueryTicket> QueryScheduler::Submit(const BoundQuery& query) {
   ticket->queued_.Restart();
   pool_->Submit([this, ticket] { Run(ticket); }, lane);
   return ticket;
+}
+
+std::shared_ptr<QueryTicket> QueryScheduler::FailedTicket(Status status) {
+  std::shared_ptr<QueryTicket> ticket(
+      new QueryTicket(estimator_, options_.use_session));
+  ticket->result_ = std::move(status);
+  ticket->done_ = true;  // pre-publication: no other thread sees the ticket
+  return ticket;
+}
+
+std::shared_ptr<QueryTicket> QueryScheduler::Submit(const std::string& sql,
+                                                    const Database& db) {
+  if (options_.sql_analyzer == nullptr) {
+    return FailedTicket(Status::InvalidArgument(
+        "scheduler has no SQL analyzer configured"));
+  }
+  // Analysis runs on the submitting thread, like planning: N clients parse
+  // and bind N statements concurrently against the immutable catalog.
+  Result<BoundQuery> bound = options_.sql_analyzer(sql, db);
+  if (!bound.ok()) return FailedTicket(bound.status());
+  return Submit(bound.value());
 }
 
 Result<ExecResult> QueryScheduler::Wait(

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -16,6 +18,8 @@
 #include "minihouse/query_context.h"
 
 namespace bytecard::minihouse {
+
+class Database;
 
 struct SchedulerOptions {
   // Planner configuration for queries submitted through the scheduler.
@@ -37,6 +41,20 @@ struct SchedulerOptions {
 
   // Per-query InferenceSession memoization (see EstimationContext).
   bool use_session = true;
+
+  // Priority aging for the heavy lane (milliseconds; 0 = disabled): a heavy
+  // query whose head-of-queue wait reaches this age is promoted past the
+  // pool's fast-first rule, so a saturating stream of fast queries cannot
+  // starve it forever. The heavy-lane concurrency cap still applies.
+  int64_t heavy_promote_after_ms = 0;
+
+  // SQL front door (see QueryScheduler::Submit(sql, db)): the analyzer run
+  // on the submitting thread. Injected as a function so the engine layer
+  // does not depend on the SQL library; ByteCard::StartServing wires the
+  // default sql::AnalyzeSql. Null rejects SQL submissions with
+  // InvalidArgument through the ticket.
+  std::function<Result<BoundQuery>(const std::string&, const Database&)>
+      sql_analyzer;
 };
 
 // One submitted query's handle: created by Submit, redeemed by Wait. The
@@ -105,6 +123,14 @@ class QueryScheduler {
   // until Wait returns (the BoundQuery itself is copied).
   std::shared_ptr<QueryTicket> Submit(const BoundQuery& query);
 
+  // SQL front door: runs the configured analyzer against `db` on the calling
+  // thread, then submits the bound query. Analysis errors (parse failure,
+  // unknown table/column, no analyzer configured) surface as the ticket's
+  // result — Wait returns the error Status; the ticket is never null and
+  // never reaches the pool.
+  std::shared_ptr<QueryTicket> Submit(const std::string& sql,
+                                      const Database& db);
+
   // Blocks until the ticket's query finished; returns its result. Each
   // ticket is redeemed once.
   Result<ExecResult> Wait(const std::shared_ptr<QueryTicket>& ticket);
@@ -129,6 +155,9 @@ class QueryScheduler {
 
  private:
   void Run(const std::shared_ptr<QueryTicket>& ticket);
+  // A pre-failed ticket: done_ already set, `status` as its result, nothing
+  // enqueued and no counters touched (the query never entered the system).
+  std::shared_ptr<QueryTicket> FailedTicket(Status status);
 
   CardinalityEstimator* const estimator_;
   const SchedulerOptions options_;

@@ -17,6 +17,7 @@
 #include "bytecard/bytecard.h"
 #include "minihouse/executor.h"
 #include "minihouse/scheduler.h"
+#include "sql/analyzer.h"
 #include "stats/traditional_estimator.h"
 #include "test_util.h"
 
@@ -208,6 +209,97 @@ TEST(SchedulerTest, DestructorDrainsUnredeemedTickets) {
 // streams submit through the scheduler. Every query must return the serial
 // answer and report a snapshot version from the published range; run under
 // TSan this is the no-data-race proof for the whole serving path.
+// --- SQL front door -----------------------------------------------------------
+
+SchedulerOptions WithSqlAnalyzer(SchedulerOptions options = {}) {
+  options.sql_analyzer = [](const std::string& sql,
+                            const minihouse::Database& db) {
+    return sql::AnalyzeSql(sql, db);
+  };
+  return options;
+}
+
+TEST(SchedulerSqlTest, SubmitSqlExecutesLikeBoundQuery) {
+  SketchFixture f = BuildSketchFixture();
+  QueryScheduler scheduler(f.estimator.get(), WithSqlAnalyzer());
+
+  auto from_sql = scheduler.Wait(scheduler.Submit(
+      "SELECT COUNT(*) FROM fact WHERE value <= 20", *f.db));
+  ASSERT_TRUE(from_sql.ok()) << from_sql.status().ToString();
+
+  BoundQuery bound;
+  minihouse::BoundTableRef fact;
+  fact.table = f.db->FindTable("fact").value();
+  fact.alias = "fact";
+  fact.filters = {Pred(1, CompareOp::kLe, 20)};
+  bound.tables = {fact};
+  bound.aggs = {{minihouse::AggFunc::kCountStar, -1, -1}};
+  auto from_bound = scheduler.Wait(scheduler.Submit(bound));
+  ASSERT_TRUE(from_bound.ok());
+  EXPECT_EQ(from_sql.value().agg.agg_values[0][0],
+            from_bound.value().agg.agg_values[0][0]);
+  EXPECT_EQ(scheduler.counters().submitted, 2);
+}
+
+TEST(SchedulerSqlTest, AnalyzerErrorsSurfaceThroughWait) {
+  SketchFixture f = BuildSketchFixture();
+  QueryScheduler scheduler(f.estimator.get(), WithSqlAnalyzer());
+
+  // Parse error, unknown table, unknown column: each fails through the
+  // ticket, never reaching the pool or the counters.
+  for (const char* sql :
+       {"SELECT COUNT( FROM fact", "SELECT COUNT(*) FROM nope",
+        "SELECT COUNT(*) FROM fact WHERE nope = 1"}) {
+    auto ticket = scheduler.Submit(std::string(sql), *f.db);
+    ASSERT_NE(ticket, nullptr);
+    auto result = scheduler.Wait(ticket);
+    EXPECT_FALSE(result.ok()) << sql;
+  }
+  EXPECT_EQ(scheduler.counters().submitted, 0);
+  EXPECT_EQ(scheduler.in_flight(), 0);
+}
+
+TEST(SchedulerSqlTest, FacadeWiresDefaultAnalyzer) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "bytecard_sql_front_door").string();
+  fs::remove_all(dir);
+  auto db = testutil::BuildToyDatabase(6000);
+
+  ByteCard::Options options;
+  options.rbx.population_sizes = {6000};
+  options.rbx.sample_rates = {0.05};
+  options.rbx.replicas = 1;
+  options.rbx.epochs = 5;
+  options.run_monitor = false;
+  auto bc = ByteCard::Bootstrap(*db, {testutil::ToyJoinQuery(*db)}, dir,
+                                options);
+  ASSERT_TRUE(bc.ok()) << bc.status().ToString();
+  std::unique_ptr<ByteCard> bytecard = std::move(bc).value();
+
+  // StartServing with no analyzer configured wires sql::AnalyzeSql.
+  bytecard->StartServing(SchedulerOptions{});
+  auto good = bytecard->Wait(bytecard->Submit(
+      std::string("SELECT COUNT(*) FROM fact WHERE value <= 10"), *db));
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_GT(good.value().agg.agg_values[0][0], 0.0);
+  auto bad = bytecard->Wait(
+      bytecard->Submit(std::string("SELECT COUNT(*) FROM nope"), *db));
+  EXPECT_FALSE(bad.ok());
+  bytecard->StopServing();
+  fs::remove_all(dir);
+}
+
+TEST(SchedulerSqlTest, MissingAnalyzerRejectsSqlSubmissions) {
+  SketchFixture f = BuildSketchFixture();
+  QueryScheduler scheduler(f.estimator.get(), SchedulerOptions{});
+  auto result = scheduler.Wait(
+      scheduler.Submit("SELECT COUNT(*) FROM fact", *f.db));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("analyzer"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(SchedulerConcurrencyTest, LifecyclePublishesRaceSubmittingStreams) {
   namespace fs = std::filesystem;
   const std::string dir =
